@@ -1,0 +1,91 @@
+// Ablation of the evaluation-protocol design choices called out in
+// DESIGN.md §4/§5 (not a paper table): sensitivity of AHNTP and a strong
+// baseline to (a) the hard-negative fraction and (b) the negatives-per-
+// positive training ratio, plus (c) the temporal vs random split gap.
+//
+//   ./build/bench/bench_ablation_protocol [--scale=0.06] [--epochs=300]
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  options.include_epinions = false;  // one dataset keeps this bench brisk
+  options.include_ciao = true;
+  bench::PrintBanner("Protocol ablation",
+                     "negative sampling & split design choices (DESIGN.md)",
+                     options);
+  auto datasets = bench::BuildDatasets(options);
+  AHNTP_CHECK(!datasets.empty())
+      << "this bench runs on the Ciao-like dataset";
+  const data::SocialDataset& dataset = datasets.front().dataset;
+
+  std::printf("\n(a) hard-negative fraction (test difficulty knob)\n");
+  std::printf("%-9s %-9s | %9s | %9s\n", "model", "hard", "acc", "f1");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (const char* model : {"SGC", "AHNTP"}) {
+    for (double hard : {0.0, 0.5, 1.0}) {
+      core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+      config.model = model;
+      config.split.hard_negative_fraction = hard;
+      core::ExperimentResult result =
+          bench::MustRunAveraged(dataset, config, options);
+      std::printf("%-9s %-9.1f | %8.2f%% | %8.2f%%\n", model, hard,
+                  result.test.accuracy * 100.0, result.test.f1 * 100.0);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\n(b) training negatives per positive (paper uses 2, Section V-A.4)\n");
+  std::printf("%-9s %-9s | %9s | %9s\n", "model", "neg/pos", "acc", "f1");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (int ratio : {1, 2, 4}) {
+    core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+    config.model = "AHNTP";
+    config.split.train_negatives_per_positive = ratio;
+    core::ExperimentResult result =
+        bench::MustRunAveraged(dataset, config, options);
+    std::printf("%-9s %-9d | %8.2f%% | %8.2f%%\n", "AHNTP", ratio,
+                result.test.accuracy * 100.0, result.test.f1 * 100.0);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(c) random vs temporal split (future-work setting)\n");
+  std::printf("%-9s %-9s | %9s | %9s\n", "model", "split", "acc", "f1");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (bool temporal : {false, true}) {
+    core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+    config.model = "AHNTP";
+    config.temporal_split = temporal;
+    core::ExperimentResult result =
+        bench::MustRunAveraged(dataset, config, options);
+    std::printf("%-9s %-9s | %8.2f%% | %8.2f%%\n", "AHNTP",
+                temporal ? "temporal" : "random",
+                result.test.accuracy * 100.0, result.test.f1 * 100.0);
+    std::fflush(stdout);
+  }
+  std::printf("\n(d) attention heads in the adaptive conv (paper uses 1)\n");
+  std::printf("%-9s %-9s | %9s | %9s\n", "model", "heads", "acc", "f1");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (size_t heads : {1u, 2u, 4u}) {
+    core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+    config.model = "AHNTP";
+    config.ahntp.attention_heads = heads;
+    core::ExperimentResult result =
+        bench::MustRunAveraged(dataset, config, options);
+    std::printf("%-9s %-9zu | %8.2f%% | %8.2f%%\n", "AHNTP", heads,
+                result.test.accuracy * 100.0, result.test.f1 * 100.0);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected: (a) higher hard fractions depress every model but\n"
+      "high-order models degrade less; (b) the paper's 2:1 ratio is a\n"
+      "reasonable operating point; (c) forecasting future trust is harder\n"
+      "than random-split completion; (d) extra heads are roughly neutral at\n"
+      "this scale.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 12 / Fig. 14 (Q4.4): the temperature sweep of the
+// supervised contrastive loss (Eq. 20). The paper finds t = 0.3 optimal:
+// too small over-sharpens, too large over-smooths the pair distribution.
+//
+//   ./build/bench/bench_fig12_14_temperature [--scale=0.06] [--epochs=60]
+//       [--temperatures=0.1,0.2,0.3,0.4,0.5]
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  std::vector<double> temperatures =
+      flags.GetDoubleList("temperatures", {0.1, 0.2, 0.3, 0.4, 0.5});
+  bench::PrintBanner("Fig. 12/14",
+                     "contrastive learning with different temperature t",
+                     options);
+
+  for (const auto& named : bench::BuildDatasets(options)) {
+    std::printf("\n### %s\n", named.name.c_str());
+    std::printf("%-7s | %9s | %9s\n", "t", "acc", "f1");
+    std::printf("%s\n", std::string(32, '-').c_str());
+    double best_acc = 0.0;
+    double best_t = 0.0;
+    for (double t : temperatures) {
+      core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+      config.model = "AHNTP";
+      config.trainer.temperature = static_cast<float>(t);
+      core::ExperimentResult result = bench::MustRunAveraged(named.dataset, config, options);
+      std::printf("%-7.2f | %8.2f%% | %8.2f%%\n", t,
+                  result.test.accuracy * 100.0, result.test.f1 * 100.0);
+      std::fflush(stdout);
+      if (result.test.accuracy > best_acc) {
+        best_acc = result.test.accuracy;
+        best_t = t;
+      }
+    }
+    std::printf("measured best t: %.2f (paper: 0.30)\n", best_t);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table V / Fig. 7 / Fig. 8 (Q3): the ablation study. Compares
+// full AHNTP against AHNTP_nompr (plain PageRank), AHNTP_noatt (standard
+// hypergraph convolution), and AHNTP_nocon (cross-entropy only) at the 80%
+// training split on both datasets.
+//
+//   ./build/bench/bench_fig7_8_ablation [--scale=0.06] [--epochs=60]
+
+#include <cmath>
+#include <limits>
+
+#include "bench_util.h"
+
+namespace {
+
+struct PaperAblation {
+  const char* variant;
+  double acc[2];  // Ciao, Epinions
+  double f1[2];
+};
+
+// Paper values: AHNTP reaches 86.11/90.11 (Ciao) and 89.78/92.94 (Epinions).
+// Variant values derive from the deltas Section V-C reports; the Epinions
+// paragraph only spells out the noatt delta (2.76 acc / 1.82 F1), so the
+// other Epinions cells are unknown (printed as n/a, encoded as NaN).
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr PaperAblation kPaper[] = {
+    {"AHNTP", {86.11, 89.78}, {90.11, 92.94}},
+    {"AHNTP-nompr", {86.11 - 2.09, kNaN}, {90.11 - 1.33, kNaN}},
+    {"AHNTP-noatt", {86.11 - 4.94, 89.78 - 2.76}, {90.11 - 2.87, 92.94 - 1.82}},
+    {"AHNTP-nocon", {86.11 - 4.20, kNaN}, {90.11 - 2.64, kNaN}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  bench::PrintBanner("Table V / Fig. 7-8", "ablation study of model variants",
+                     options);
+
+  for (const auto& named : bench::BuildDatasets(options)) {
+    int d = named.name == "Ciao" ? 0 : 1;
+    std::printf("\n### %s\n", named.name.c_str());
+    std::printf("%-13s | %9s %9s | %9s %9s\n", "variant", "acc", "acc*", "f1",
+                "f1*");
+    std::printf("%s\n", std::string(58, '-').c_str());
+    double full_acc = 0.0;
+    for (const PaperAblation& row : kPaper) {
+      core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+      config.model = row.variant;
+      core::ExperimentResult result = bench::MustRunAveraged(named.dataset, config, options);
+      char paper_acc[16], paper_f1[16];
+      if (std::isnan(row.acc[d])) {
+        std::snprintf(paper_acc, sizeof(paper_acc), "%9s", "n/a");
+        std::snprintf(paper_f1, sizeof(paper_f1), "%9s", "n/a");
+      } else {
+        std::snprintf(paper_acc, sizeof(paper_acc), "%8.2f%%", row.acc[d]);
+        std::snprintf(paper_f1, sizeof(paper_f1), "%8.2f%%", row.f1[d]);
+      }
+      std::printf("%-13s | %8.2f%% %s | %8.2f%% %s\n", row.variant,
+                  result.test.accuracy * 100.0, paper_acc,
+                  result.test.f1 * 100.0, paper_f1);
+      std::fflush(stdout);
+      if (std::string(row.variant) == "AHNTP") {
+        full_acc = result.test.accuracy;
+      } else {
+        std::printf("%-13s   (full AHNTP is %+.2f acc points ahead)\n", "",
+                    (full_acc - result.test.accuracy) * 100.0);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): full AHNTP beats every ablation; removing\n"
+      "the adaptive attention (noatt) hurts most, then the contrastive\n"
+      "loss (nocon), then MPR (nompr). (acc*/f1* = paper values.)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 9 / Fig. 10 (Q4.2): accuracy and F1 of AHNTP as the number
+// of stacked adaptive hypergraph convolution layers grows from 1 to 5. The
+// paper reports a peak at 3 layers followed by an over-smoothing decline.
+//
+//   ./build/bench/bench_fig9_10_depth [--scale=0.06] [--epochs=60]
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  bench::PrintBanner("Fig. 9-10", "performance vs number of conv layers",
+                     options);
+
+  // Layer widths mirror the paper's halving pattern starting at dims[0],
+  // clamped at the final width (e.g. 64-32-16-16-16 for 5 layers).
+  const size_t top = options.dims.front();
+  const size_t floor_width = options.dims.back();
+  for (const auto& named : bench::BuildDatasets(options)) {
+    std::printf("\n### %s\n", named.name.c_str());
+    std::printf("%-7s %-18s | %9s | %9s | paper shape\n", "layers", "dims",
+                "acc", "f1");
+    std::printf("%s\n", std::string(62, '-').c_str());
+    double best_acc = 0.0;
+    int best_layers = 0;
+    for (int layers = 1; layers <= 5; ++layers) {
+      std::vector<size_t> dims;
+      size_t width = top;
+      for (int l = 0; l < layers; ++l) {
+        dims.push_back(std::max(width, floor_width));
+        width /= 2;
+      }
+      std::string dims_label;
+      for (size_t d : dims) {
+        if (!dims_label.empty()) dims_label += "-";
+        dims_label += std::to_string(d);
+      }
+      core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+      config.model = "AHNTP";
+      config.hidden_dims = dims;
+      core::ExperimentResult result = bench::MustRunAveraged(named.dataset, config, options);
+      std::printf("%-7d %-18s | %8.2f%% | %8.2f%% | %s\n", layers,
+                  dims_label.c_str(), result.test.accuracy * 100.0,
+                  result.test.f1 * 100.0,
+                  layers == 3 ? "paper peak" : (layers > 3 ? "declining" : "rising"));
+      std::fflush(stdout);
+      if (result.test.accuracy > best_acc) {
+        best_acc = result.test.accuracy;
+        best_layers = layers;
+      }
+    }
+    std::printf("measured best depth: %d layers (paper: 3)\n", best_layers);
+  }
+  return 0;
+}

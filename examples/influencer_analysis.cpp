@@ -1,0 +1,101 @@
+// Influencer analysis: compares plain PageRank with the paper's Motif-based
+// PageRank (Section IV-B.1) on a generated social network, reports the most
+// influential users, and shows how triangle motifs reshape the ranking.
+//
+//   ./build/examples/influencer_analysis [--scale 0.05] [--alpha 0.8]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/flags.h"
+#include "data/generator.h"
+#include "graph/analytics.h"
+#include "graph/motifs.h"
+#include "graph/pagerank.h"
+
+namespace {
+
+std::vector<size_t> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&scores](size_t a, size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  const double scale = flags.GetDouble("scale", 0.05);
+  const double alpha = flags.GetDouble("alpha", 0.8);
+
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(data::GeneratorConfig::EpinionsLike(scale))
+          .Generate();
+  auto graph = dataset.TrustGraph();
+  AHNTP_CHECK(graph.ok());
+  std::printf("network: %zu users, %zu trust edges, reciprocity %.2f\n\n",
+              graph->num_nodes(), graph->num_edges(), graph->Reciprocity());
+
+  // Motif census (Fig. 4 / Table II).
+  std::printf("triangle motif census:\n");
+  auto motifs = graph::AllMotifAdjacencies(graph->Adjacency());
+  for (int k = 0; k < 7; ++k) {
+    std::printf("  M%d: %ld instances\n", k + 1,
+                static_cast<long>(
+                    graph::CountMotifInstances(motifs[static_cast<size_t>(k)])));
+  }
+
+  // Plain PageRank vs Motif-based PageRank.
+  std::vector<double> pr = graph::PageRank(graph->Adjacency());
+  graph::MotifPageRankOptions options;
+  options.alpha = alpha;
+  options.motif = graph::Motif::kM6;
+  graph::MotifPageRankResult mpr =
+      graph::MotifPageRank(graph->Adjacency(), options);
+
+  std::printf("\n%-28s | %-28s\n", "top-10 by PageRank",
+              "top-10 by Motif PageRank (M6)");
+  auto top_pr = TopK(pr, 10);
+  auto top_mpr = TopK(mpr.scores, 10);
+  for (size_t i = 0; i < 10; ++i) {
+    std::printf("user %-5zu score %.5f      | user %-5zu score %.5f\n",
+                top_pr[i], pr[top_pr[i]], top_mpr[i],
+                mpr.scores[top_mpr[i]]);
+  }
+
+  // Rank displacement: how much does the motif term reorder the top users?
+  size_t overlap = 0;
+  for (size_t u : top_mpr) {
+    if (std::find(top_pr.begin(), top_pr.end(), u) != top_pr.end()) {
+      ++overlap;
+    }
+  }
+  std::printf(
+      "\ntop-10 overlap between the two rankings: %zu/10 (alpha=%.2f; lower "
+      "alpha -> more motif influence)\n",
+      overlap, alpha);
+
+  // Degree vs motif participation of the top motif-ranked user.
+  size_t star = top_mpr[0];
+  std::vector<int> cores = graph::CoreNumbers(*graph);
+  int max_core = *std::max_element(cores.begin(), cores.end());
+  std::printf(
+      "most influential user by MPR: user %zu (in-degree %zu, out-degree "
+      "%zu, community %d, %d-core of a %d-core network)\n",
+      star, graph->InDegree(static_cast<int>(star)),
+      graph->OutDegree(static_cast<int>(star)), dataset.communities[star],
+      cores[star], max_core);
+  std::printf(
+      "network structure: clustering coefficient %.3f, degree Gini %.2f\n",
+      graph::AverageClusteringCoefficient(*graph),
+      graph::ComputeDegreeStats(*graph).gini);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Trust recommendation: the paper's motivating scenario (Section I) — a
+// merchant wants to find which users would trust a given reviewer. Trains
+// AHNTP, then ranks unconnected candidate users by predicted trust toward a
+// target user and checks the recommendations against held-out edges.
+//
+//   ./build/examples/trust_recommendation [--scale 0.06] [--epochs 60]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "common/flags.h"
+#include "core/model_zoo.h"
+#include "core/trainer.h"
+#include "data/features.h"
+#include "data/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ahntp;
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  const double scale = flags.GetDouble("scale", 0.06);
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 60));
+
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(data::GeneratorConfig::CiaoLike(scale))
+          .Generate();
+  data::TrustSplit split = data::MakeSplit(dataset);
+  auto train_graph = dataset.GraphFromEdges(split.train_positive);
+  AHNTP_CHECK(train_graph.ok());
+  tensor::Matrix features = data::BuildFeatureMatrix(dataset);
+  Rng rng(1);
+
+  models::ModelInputs inputs;
+  inputs.features = &features;
+  inputs.graph = &train_graph.value();
+  inputs.dataset = &dataset;
+  inputs.hidden_dims = {64, 32, 16};
+  inputs.rng = &rng;
+
+  auto spec = core::CreateEncoder("AHNTP", inputs, core::AhntpConfig{});
+  AHNTP_CHECK(spec.ok());
+  models::TrustPredictor predictor(spec->encoder,
+                                   models::TrustPredictorConfig{}, &rng);
+  core::TrainerConfig trainer_config;
+  trainer_config.epochs = epochs;
+  core::Trainer trainer(trainer_config);
+  std::printf("training AHNTP on %zu users (%d epochs)...\n",
+              dataset.num_users, epochs);
+  trainer.Fit(&predictor, split.train_pairs);
+  core::BinaryMetrics test = trainer.Evaluate(&predictor, split.test_pairs);
+  std::printf("test metrics: %s\n\n", test.ToString().c_str());
+
+  // Pick a target user that has held-out trustors (people who trust them in
+  // the test set).
+  std::set<int> held_out_trustors;
+  int target = split.test_positive.front().dst;
+  for (const graph::Edge& e : split.test_positive) {
+    if (e.dst == target) held_out_trustors.insert(e.src);
+  }
+
+  // Score every user without an observed training edge toward the target.
+  std::vector<data::TrustPair> candidates;
+  for (size_t u = 0; u < dataset.num_users; ++u) {
+    int src = static_cast<int>(u);
+    if (src == target) continue;
+    if (train_graph->HasEdge(src, target)) continue;
+    candidates.push_back({src, target, 0.0f});
+  }
+  std::vector<float> scores = predictor.PredictProbabilities(candidates);
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::printf("top-10 predicted trustors of user %d:\n", target);
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min<size_t>(10, order.size()); ++i) {
+    const data::TrustPair& pair = candidates[order[i]];
+    bool held_out = held_out_trustors.count(pair.src) > 0;
+    if (held_out) ++hits;
+    std::printf("  user %-5d p(trust)=%.3f  community=%-3d %s\n", pair.src,
+                scores[order[i]], dataset.communities[static_cast<size_t>(pair.src)],
+                held_out ? "<-- held-out true trustor" : "");
+  }
+  std::printf(
+      "\n%zu of the target's %zu held-out trustors appear in the top-10.\n",
+      hits, held_out_trustors.size());
+  std::printf("(target user %d belongs to community %d)\n", target,
+              dataset.communities[static_cast<size_t>(target)]);
+
+  // Why does the model embed the target this way? Inspect the hyperedges
+  // the final adaptive-convolution layer attends to (Eq. 15).
+  auto* ahntp = dynamic_cast<core::AhntpModel*>(spec->encoder.get());
+  AHNTP_CHECK(ahntp != nullptr);
+  std::printf("\nmost influential hyperedges for user %d's embedding:\n",
+              target);
+  for (const auto& info : ahntp->ExplainUser(target, 5)) {
+    std::printf("  [%s/%s] attention %.3f, %zu members {", info.branch.c_str(),
+                info.source.c_str(), info.attention, info.members.size());
+    for (size_t i = 0; i < std::min<size_t>(6, info.members.size()); ++i) {
+      std::printf(i == 0 ? "%d" : ", %d", info.members[i]);
+    }
+    if (info.members.size() > 6) std::printf(", ...");
+    std::printf("}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs every table/figure reproduction binary and the micro-benchmarks,
+# teeing the combined output. Usage:
+#   scripts/run_all_benches.sh [output-file] [-- extra flags for the
+#   table/figure binaries, e.g. --scale=0.125 --seeds=3]
+set -u
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_output.txt}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "########## $b ##########"
+    case "$b" in
+      *micro*) "$b" ;;          # google-benchmark binaries reject our flags
+      *) "$b" "$@" ;;
+    esac
+  done
+} 2>&1 | tee "$out"

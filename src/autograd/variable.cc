@@ -1,0 +1,91 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ahntp::autograd {
+
+void Node::EnsureGrad() {
+  if (!grad_allocated) {
+    grad = tensor::Matrix(value.rows(), value.cols());
+    grad_allocated = true;
+  }
+}
+
+void Node::AccumulateGrad(const tensor::Matrix& g) {
+  EnsureGrad();
+  AHNTP_CHECK(g.rows() == value.rows() && g.cols() == value.cols())
+      << "gradient shape " << g.rows() << "x" << g.cols()
+      << " does not match value shape " << value.rows() << "x"
+      << value.cols();
+  grad += g;
+}
+
+Variable::Variable(tensor::Matrix value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const tensor::Matrix& Variable::grad() const {
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+void Variable::ZeroGrad() {
+  node_->grad_allocated = false;
+  node_->grad = tensor::Matrix();
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (inputs before
+/// consumers).
+void TopologicalOrder(const std::shared_ptr<Node>& root,
+                      std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_input < top.node->inputs.size()) {
+      Node* child = top.node->inputs[top.next_input++].get();
+      if (visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  AHNTP_CHECK(rows() == 1 && cols() == 1)
+      << "Backward() without a seed requires a scalar output; shape is "
+      << rows() << "x" << cols();
+  Backward(tensor::Matrix::Ones(1, 1));
+}
+
+void Variable::Backward(const tensor::Matrix& seed) const {
+  std::vector<Node*> order;
+  TopologicalOrder(node_, &order);
+  node_->AccumulateGrad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->grad_allocated) {
+      node->backward(*node);
+    }
+  }
+}
+
+}  // namespace ahntp::autograd

@@ -1,0 +1,89 @@
+#ifndef AHNTP_AUTOGRAD_VARIABLE_H_
+#define AHNTP_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahntp::autograd {
+
+/// Internal tape node: holds the forward value, the (lazily allocated)
+/// gradient, edges to the input nodes, and the closure that pushes this
+/// node's gradient into its inputs.
+struct Node {
+  tensor::Matrix value;
+  tensor::Matrix grad;
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  /// Accumulates input gradients from `grad`. Null for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Adds `g` into this node's gradient, allocating on first touch.
+  void AccumulateGrad(const tensor::Matrix& g);
+  /// Ensures `grad` is a zero matrix of the value's shape.
+  void EnsureGrad();
+};
+
+/// A matrix value tracked on the autograd tape. Cheap to copy (shared
+/// handle). Build computation graphs with the free functions in
+/// autograd/ops.h, then call Backward() on a scalar (1x1) result.
+class Variable {
+ public:
+  /// Detached empty variable.
+  Variable() : node_(std::make_shared<Node>()) {}
+
+  /// Wraps a value; set `requires_grad` for trainable parameters.
+  explicit Variable(tensor::Matrix value, bool requires_grad = false);
+
+  /// Internal: wraps an existing node (used by ops).
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  const tensor::Matrix& value() const { return node_->value; }
+  tensor::Matrix& mutable_value() { return node_->value; }
+
+  /// Gradient accumulated by the last Backward(). Zero matrix when untouched.
+  const tensor::Matrix& grad() const;
+
+  /// Mutable gradient (gradient clipping and similar in-place transforms).
+  tensor::Matrix& mutable_grad() {
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+
+  bool requires_grad() const { return node_->requires_grad; }
+
+  size_t rows() const { return node_->value.rows(); }
+  size_t cols() const { return node_->value.cols(); }
+
+  /// Clears the accumulated gradient (parameters between steps).
+  void ZeroGrad();
+
+  /// Reverse-mode backprop from this node. Precondition: 1x1 value.
+  /// Seeds with d(out)/d(out) = 1.
+  void Backward() const;
+
+  /// Backprop with an explicit seed gradient of this node's shape.
+  void Backward(const tensor::Matrix& seed) const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Convenience: a trainable parameter variable.
+inline Variable Parameter(tensor::Matrix value) {
+  return Variable(std::move(value), /*requires_grad=*/true);
+}
+
+/// Convenience: a non-trainable input variable.
+inline Variable Constant(tensor::Matrix value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+}  // namespace ahntp::autograd
+
+#endif  // AHNTP_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace ahntp::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[AHNTP FATAL] %s:%d: check failed: %s %s\n", file,
+               line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ahntp::internal

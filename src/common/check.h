@@ -1,0 +1,72 @@
+#ifndef AHNTP_COMMON_CHECK_H_
+#define AHNTP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ahntp::internal {
+
+/// Prints a fatal check failure and aborts. Out-of-line so the macro body
+/// stays small at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream sink used by the AHNTP_CHECK macros to build the failure message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ahntp::internal
+
+/// Aborts with a diagnostic when `cond` is false. For programming errors
+/// (invariant violations), not recoverable conditions — those use Status.
+#define AHNTP_CHECK(cond)                                             \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::ahntp::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define AHNTP_CHECK_EQ(a, b) AHNTP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AHNTP_CHECK_NE(a, b) AHNTP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AHNTP_CHECK_LT(a, b) AHNTP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AHNTP_CHECK_LE(a, b) AHNTP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AHNTP_CHECK_GT(a, b) AHNTP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AHNTP_CHECK_GE(a, b) AHNTP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK.
+#define AHNTP_CHECK_OK(expr)                                      \
+  do {                                                            \
+    ::ahntp::Status _ahntp_check_status = (expr);                 \
+    AHNTP_CHECK(_ahntp_check_status.ok())                         \
+        << _ahntp_check_status.ToString();                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define AHNTP_DCHECK(cond) AHNTP_CHECK(cond)
+#else
+#define AHNTP_DCHECK(cond) \
+  if (true) {              \
+  } else /* NOLINT */      \
+    ::ahntp::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#endif
+
+#endif  // AHNTP_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace ahntp {
+
+Result<CsvTable> ReadCsv(const std::string& path, char sep, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, sep);
+    if (header_pending) {
+      table.header = std::move(fields);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (in.bad()) return Status::IoError("read error on " + path);
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table, char sep) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::string sep_str(1, sep);
+  if (!table.header.empty()) {
+    out << StrJoin(table.header, sep_str) << "\n";
+  }
+  for (const auto& row : table.rows) {
+    out << StrJoin(row, sep_str) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::Ok();
+}
+
+}  // namespace ahntp

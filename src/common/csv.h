@@ -1,0 +1,29 @@
+#ifndef AHNTP_COMMON_CSV_H_
+#define AHNTP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ahntp {
+
+/// A parsed CSV table: optional header plus rows of string fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a CSV file. Fields are separated by `sep`; no quoting dialect is
+/// supported (the datasets this library emits never need it). When
+/// `has_header` is true the first non-empty line populates `header`.
+Result<CsvTable> ReadCsv(const std::string& path, char sep = ',',
+                         bool has_header = true);
+
+/// Writes a CSV file; writes `table.header` first when non-empty.
+Status WriteCsv(const std::string& path, const CsvTable& table,
+                char sep = ',');
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_CSV_H_

@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ahntp {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  AHNTP_CHECK_GT(bound, 0u);
+  // Lemire rejection-free-ish bounded sampling with fixup for bias.
+  uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AHNTP_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
+  AHNTP_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  AHNTP_CHECK_GT(total, 0.0);
+  double target = NextDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  AHNTP_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // For dense draws use a partial Fisher-Yates; for sparse draws, rejection.
+  if (k * 3 >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(NextBounded(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t candidate = static_cast<size_t>(NextBounded(n));
+    if (chosen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace ahntp

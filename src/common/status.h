@@ -1,0 +1,141 @@
+#ifndef AHNTP_COMMON_STATUS_H_
+#define AHNTP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ahntp {
+
+/// Error categories used across the library. Recoverable failures are
+/// reported through Status / Result<T> (RocksDB idiom); programming errors
+/// abort through the AHNTP_CHECK macros in common/check.h.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the success path
+/// (no allocation when ok).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. `Result<T>` holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error status (Ok if this holds a value).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace ahntp
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define AHNTP_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::ahntp::Status _ahntp_status = (expr);           \
+    if (!_ahntp_status.ok()) return _ahntp_status;    \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define AHNTP_ASSIGN_OR_RETURN(lhs, expr)                    \
+  auto AHNTP_CONCAT_(_ahntp_result_, __LINE__) = (expr);     \
+  if (!AHNTP_CONCAT_(_ahntp_result_, __LINE__).ok())         \
+    return AHNTP_CONCAT_(_ahntp_result_, __LINE__).status(); \
+  lhs = std::move(AHNTP_CONCAT_(_ahntp_result_, __LINE__)).value()
+
+#define AHNTP_CONCAT_INNER_(a, b) a##b
+#define AHNTP_CONCAT_(a, b) AHNTP_CONCAT_INNER_(a, b)
+
+#endif  // AHNTP_COMMON_STATUS_H_

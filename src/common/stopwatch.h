@@ -1,0 +1,31 @@
+#ifndef AHNTP_COMMON_STOPWATCH_H_
+#define AHNTP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ahntp {
+
+/// Wall-clock stopwatch used by the benchmark harness and trainers.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_STOPWATCH_H_

@@ -1,0 +1,97 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ahntp {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string StrTrim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool StrStartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  std::string buf = StrTrim(text);
+  if (buf.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf = StrTrim(text);
+  if (buf.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: " + buf);
+  }
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace ahntp

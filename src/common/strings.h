@@ -1,0 +1,37 @@
+#ifndef AHNTP_COMMON_STRINGS_H_
+#define AHNTP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ahntp {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a base-10 integer; whole string must be consumed.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// Parses a floating-point value; whole string must be consumed.
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_STRINGS_H_

@@ -1,0 +1,99 @@
+#include "core/adaptive_conv.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace ahntp::core {
+
+using autograd::Variable;
+
+AdaptiveHypergraphConv::AdaptiveHypergraphConv(
+    const hypergraph::Hypergraph& hg, size_t in_features, size_t out_features,
+    Rng* rng, bool use_attention, float leaky_slope, size_t num_heads)
+    : num_vertices_(hg.num_vertices()),
+      num_edges_(hg.num_edges()),
+      out_features_(out_features),
+      use_attention_(use_attention),
+      leaky_slope_(leaky_slope),
+      edge_weight_(
+          autograd::Parameter(tensor::Matrix(hg.num_edges(), 1, 1.0f))) {
+  AHNTP_CHECK_GT(num_edges_, 0u) << "hypergraph has no hyperedges";
+  AHNTP_CHECK_GE(num_heads, 1u);
+  if (!use_attention) num_heads = 1;  // heads only differ through attention
+  AHNTP_CHECK_EQ(out_features % num_heads, 0u)
+      << "out_features must divide evenly across attention heads";
+  const size_t head_dim = out_features / num_heads;
+  for (size_t h = 0; h < num_heads; ++h) {
+    Head head;
+    head.transform = std::make_unique<nn::Linear>(in_features, head_dim, rng,
+                                                  /*use_bias=*/false);
+    head.attn_vertex =
+        autograd::Parameter(nn::XavierUniform(head_dim, 1, rng));
+    head.attn_edge = autograd::Parameter(nn::XavierUniform(head_dim, 1, rng));
+    heads_.push_back(std::move(head));
+  }
+  tensor::CsrMatrix incidence = hg.Incidence();
+  edge_mean_ = incidence.Transposed().RowNormalized();
+  vertex_mean_ = incidence.RowNormalized();
+  pairs_ = hg.Pairs();
+}
+
+Variable AdaptiveHypergraphConv::RunHead(
+    const Head& head, const Variable& x, const Variable& h_e,
+    tensor::Matrix* attention_sum) const {
+  // Eqs. 14-16: shared-attention reweighting of incident hyperedges.
+  Variable wh_e = head.transform->Forward(h_e);  // m x d_h
+  Variable wx = head.transform->Forward(x);      // n x d_h
+  Variable wx_pairs = autograd::GatherRows(wx, pairs_.vertex);
+  Variable whe_pairs = autograd::GatherRows(wh_e, pairs_.edge);
+  Variable score = autograd::LeakyRelu(
+      autograd::Add(autograd::MatMul(wx_pairs, head.attn_vertex),
+                    autograd::MatMul(whe_pairs, head.attn_edge)),
+      leaky_slope_);
+  Variable alpha =
+      autograd::SegmentSoftmax(score, pairs_.vertex, num_vertices_);
+  *attention_sum += alpha.value();
+  Variable weighted = autograd::MulColBroadcast(whe_pairs, alpha);
+  return autograd::SegmentSum(weighted, pairs_.vertex, num_vertices_);
+}
+
+Variable AdaptiveHypergraphConv::Forward(const Variable& x) const {
+  AHNTP_CHECK_EQ(x.rows(), num_vertices_);
+  // Step 1: Mess_e (Eq. 10) and the adaptive reweighting h_e (Eq. 11).
+  Variable mess_e = autograd::SpMMConst(edge_mean_, x);
+  Variable h_e = autograd::MulColBroadcast(mess_e, edge_weight_);
+
+  if (!use_attention_) {
+    // Eqs. 12-13: mean over incident hyperedges, then theta + ReLU.
+    Variable mess_v = autograd::SpMMConst(vertex_mean_, h_e);
+    return autograd::Relu(heads_.front().transform->Forward(mess_v));
+  }
+
+  tensor::Matrix attention_sum(pairs_.vertex.size(), 1);
+  std::vector<Variable> head_outputs;
+  head_outputs.reserve(heads_.size());
+  for (const Head& head : heads_) {
+    head_outputs.push_back(RunHead(head, x, h_e, &attention_sum));
+  }
+  attention_sum *= 1.0f / static_cast<float>(heads_.size());
+  last_attention_ = attention_sum;
+  Variable combined = head_outputs.size() == 1
+                          ? head_outputs.front()
+                          : autograd::ConcatCols(head_outputs);
+  return autograd::Relu(combined);
+}
+
+std::vector<Variable> AdaptiveHypergraphConv::Parameters() const {
+  std::vector<Variable> params;
+  for (const Head& head : heads_) {
+    for (auto& p : head.transform->Parameters()) params.push_back(p);
+    if (use_attention_) {
+      params.push_back(head.attn_vertex);
+      params.push_back(head.attn_edge);
+    }
+  }
+  params.push_back(edge_weight_);
+  return params;
+}
+
+}  // namespace ahntp::core

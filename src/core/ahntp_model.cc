@@ -1,0 +1,159 @@
+#include "core/ahntp_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/pagerank.h"
+
+namespace ahntp::core {
+
+using autograd::Variable;
+using hypergraph::Hypergraph;
+
+AhntpModel::AhntpModel(const models::ModelInputs& inputs,
+                       const AhntpConfig& config)
+    : config_(config),
+      features_(autograd::Constant(*inputs.features)),
+      node_hg_(0),
+      structure_hg_(0),
+      combined_hg_(0),
+      dropout_(config.dropout),
+      rng_(inputs.rng) {
+  AHNTP_CHECK(inputs.features != nullptr && inputs.graph != nullptr &&
+              inputs.dataset != nullptr && inputs.rng != nullptr);
+  AHNTP_CHECK(!config_.hidden_dims.empty());
+  const graph::Digraph& g = *inputs.graph;
+
+  // ---- Influence scores: MPR (Eqs. 3-5) or plain PageRank (ablation). ----
+  if (config_.use_mpr) {
+    graph::MotifPageRankOptions mpr;
+    mpr.alpha = config_.mpr_alpha;
+    mpr.motif = config_.motif;
+    influence_ = graph::MotifPageRank(g.Adjacency(), mpr).scores;
+  } else {
+    influence_ = graph::PageRank(g.Adjacency());
+  }
+
+  // ---- Two-tier hypergroups (Section IV-B). ----
+  Hypergraph social = hypergraph::BuildSocialInfluenceHypergroup(
+      g, influence_, config_.social_top_k);
+  Hypergraph attr = hypergraph::BuildAttributeHypergroup(
+      g.num_nodes(), inputs.dataset->attributes, config_.attribute_min_size);
+  node_hg_ = Hypergraph::Concat(social, attr);
+  node_edge_sources_.assign(social.num_edges(), "social-influence");
+  node_edge_sources_.insert(node_edge_sources_.end(), attr.num_edges(),
+                            "attribute");
+
+  Hypergraph pairwise = hypergraph::BuildPairwiseHypergroup(g);
+  hypergraph::MultiHopOptions hop_options;
+  hop_options.num_hops = config_.multi_hop;
+  hop_options.max_edge_size = config_.multi_hop_max_edge_size;
+  Hypergraph multihop = hypergraph::BuildMultiHopHypergroup(g, hop_options);
+  structure_hg_ = Hypergraph::Concat(pairwise, multihop);
+  structure_edge_sources_.assign(pairwise.num_edges(), "pairwise");
+  structure_edge_sources_.insert(structure_edge_sources_.end(),
+                                 multihop.num_edges(), "multi-hop");
+
+  combined_hg_ = Hypergraph::Concat(node_hg_, structure_hg_);
+
+  // ---- Branches. ----
+  const size_t in_dim = inputs.features->cols();
+  node_branch_ = MakeBranch(node_hg_, in_dim, inputs.rng);
+  structure_branch_ = MakeBranch(structure_hg_, in_dim, inputs.rng);
+}
+
+AhntpModel::Branch AhntpModel::MakeBranch(const Hypergraph& hg, size_t in_dim,
+                                          Rng* rng) {
+  Branch branch;
+  const auto& dims = config_.hidden_dims;
+  // Feature-extraction MLP into the first conv width (Section IV-B end).
+  branch.feature_mlp = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{in_dim, dims[0]}, rng, nn::Activation::kRelu,
+      nn::Activation::kRelu);
+  size_t prev = dims[0];
+  for (size_t out : dims) {
+    branch.convs.push_back(std::make_unique<AdaptiveHypergraphConv>(
+        hg, prev, out, rng, config_.use_attention, /*leaky_slope=*/0.2f,
+        config_.attention_heads));
+    prev = out;
+  }
+  return branch;
+}
+
+Variable AhntpModel::RunBranch(const Branch& branch, const Variable& x) {
+  branch.feature_mlp->SetTraining(training_);
+  Variable h = branch.feature_mlp->Forward(x);
+  for (size_t i = 0; i < branch.convs.size(); ++i) {
+    h = branch.convs[i]->Forward(h);
+    if (i + 1 < branch.convs.size()) {
+      h = autograd::Dropout(h, dropout_, rng_, training_);
+    }
+  }
+  return h;
+}
+
+Variable AhntpModel::EncodeUsers() {
+  Variable node_embedding = RunBranch(node_branch_, features_);
+  Variable structure_embedding = RunBranch(structure_branch_, features_);
+  return autograd::ConcatCols({node_embedding, structure_embedding});
+}
+
+std::vector<AhntpModel::HyperedgeInfluence> AhntpModel::ExplainUser(
+    int u, size_t top_k) {
+  AHNTP_CHECK(config_.use_attention)
+      << "ExplainUser requires the attention variant";
+  AHNTP_CHECK(u >= 0 && static_cast<size_t>(u) < node_hg_.num_vertices());
+  bool was_training = training_;
+  SetTraining(false);
+  EncodeUsers();  // refreshes last_attention() on every conv layer
+  SetTraining(was_training);
+
+  std::vector<HyperedgeInfluence> influences;
+  struct BranchView {
+    const Branch* branch;
+    const Hypergraph* hg;
+    const std::vector<std::string>* sources;
+    const char* name;
+  };
+  const BranchView views[] = {
+      {&node_branch_, &node_hg_, &node_edge_sources_, "node"},
+      {&structure_branch_, &structure_hg_, &structure_edge_sources_,
+       "structure"},
+  };
+  for (const BranchView& view : views) {
+    const AdaptiveHypergraphConv& last = *view.branch->convs.back();
+    const auto& pairs = last.pairs();
+    const tensor::Matrix& attention = last.last_attention();
+    AHNTP_CHECK_EQ(attention.rows(), pairs.vertex.size());
+    for (size_t p = 0; p < pairs.vertex.size(); ++p) {
+      if (pairs.vertex[p] != u) continue;
+      HyperedgeInfluence info;
+      info.branch = view.name;
+      info.edge_index = pairs.edge[p];
+      info.source = (*view.sources)[static_cast<size_t>(pairs.edge[p])];
+      info.attention = attention.At(p, 0);
+      info.members =
+          view.hg->EdgeVertices(static_cast<size_t>(pairs.edge[p]));
+      influences.push_back(std::move(info));
+    }
+  }
+  std::sort(influences.begin(), influences.end(),
+            [](const HyperedgeInfluence& a, const HyperedgeInfluence& b) {
+              return a.attention > b.attention;
+            });
+  if (influences.size() > top_k) influences.resize(top_k);
+  return influences;
+}
+
+std::vector<Variable> AhntpModel::Parameters() const {
+  std::vector<Variable> params;
+  for (const Branch* branch : {&node_branch_, &structure_branch_}) {
+    for (auto& p : branch->feature_mlp->Parameters()) params.push_back(p);
+    for (const auto& conv : branch->convs) {
+      for (auto& p : conv->Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace ahntp::core

@@ -1,0 +1,143 @@
+#include "core/experiment.h"
+
+#include "common/stopwatch.h"
+#include "hypergraph/builders.h"
+#include "models/heuristics.h"
+
+namespace ahntp::core {
+
+namespace {
+
+/// Evaluation path for the non-learned propagation heuristics: score pairs
+/// on the training graph, calibrate the threshold on training pairs, report
+/// test metrics. Mirrors the learned-model protocol minus the training.
+ExperimentResult RunHeuristicExperiment(const data::SocialDataset& dataset,
+                                        const ExperimentConfig& config,
+                                        models::Heuristic heuristic) {
+  Stopwatch timer;
+  data::TrustSplit split =
+      config.temporal_split ? data::MakeTemporalSplit(dataset, config.split)
+                            : data::MakeSplit(dataset, config.split);
+  graph::Digraph train_graph =
+      dataset.GraphFromEdges(split.train_positive).value();
+  auto labels_of = [](const std::vector<data::TrustPair>& pairs) {
+    std::vector<float> labels(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) labels[i] = pairs[i].label;
+    return labels;
+  };
+  std::vector<float> train_probs = models::HeuristicProbabilities(
+      train_graph, heuristic, split.train_pairs);
+  std::vector<float> test_probs = models::HeuristicProbabilities(
+      train_graph, heuristic, split.test_pairs);
+  ExperimentResult result;
+  result.model = config.model;
+  result.threshold =
+      BestAccuracyThreshold(train_probs, labels_of(split.train_pairs));
+  result.train = EvaluateBinary(train_probs, labels_of(split.train_pairs),
+                                result.threshold);
+  result.test = EvaluateBinary(test_probs, labels_of(split.test_pairs),
+                               result.threshold);
+  result.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const data::SocialDataset& dataset,
+                                       const ExperimentConfig& config) {
+  if (auto heuristic = models::ParseHeuristic(config.model);
+      heuristic.ok()) {
+    if (config.temporal_split && dataset.trust_edge_times.empty()) {
+      return Status::FailedPrecondition(
+          "temporal_split requires dataset.trust_edge_times");
+    }
+    return RunHeuristicExperiment(dataset, config, heuristic.value());
+  }
+  Stopwatch setup_timer;
+  if (config.temporal_split && dataset.trust_edge_times.empty()) {
+    return Status::FailedPrecondition(
+        "temporal_split requires dataset.trust_edge_times");
+  }
+  data::TrustSplit split =
+      config.temporal_split ? data::MakeTemporalSplit(dataset, config.split)
+                            : data::MakeSplit(dataset, config.split);
+  AHNTP_ASSIGN_OR_RETURN(graph::Digraph train_graph,
+                         dataset.GraphFromEdges(split.train_positive));
+  tensor::Matrix features =
+      data::BuildFeatureMatrix(dataset, config.features);
+  Rng rng(config.model_seed);
+
+  models::ModelInputs inputs;
+  inputs.features = &features;
+  inputs.graph = &train_graph;
+  inputs.dataset = &dataset;
+  inputs.hidden_dims = config.hidden_dims;
+  inputs.dropout = config.dropout;
+  inputs.rng = &rng;
+
+  hypergraph::Hypergraph baseline_hg(0);
+  if (ModelNeedsHypergraph(config.model)) {
+    hypergraph::Hypergraph attr = hypergraph::BuildAttributeHypergroup(
+        dataset.num_users, dataset.attributes);
+    hypergraph::Hypergraph pairwise =
+        hypergraph::BuildPairwiseHypergroup(train_graph);
+    hypergraph::MultiHopOptions hop;
+    hop.num_hops = config.baseline_multi_hop;
+    hop.max_edge_size = config.baseline_multi_hop_max_edge_size;
+    hypergraph::Hypergraph multihop =
+        hypergraph::BuildMultiHopHypergroup(train_graph, hop);
+    baseline_hg = hypergraph::Hypergraph::Concat(
+        hypergraph::Hypergraph::Concat(attr, pairwise), multihop);
+    inputs.hypergraph = &baseline_hg;
+  }
+
+  AHNTP_ASSIGN_OR_RETURN(ModelSpec spec,
+                         CreateEncoder(config.model, inputs, config.ahntp));
+  models::TrustPredictorConfig head;
+  models::TrustPredictor predictor(spec.encoder, head, &rng);
+
+  TrainerConfig trainer_config = config.trainer;
+  trainer_config.use_contrastive =
+      trainer_config.use_contrastive && spec.use_contrastive;
+  auto* ahntp_encoder = dynamic_cast<AhntpModel*>(spec.encoder.get());
+  if (trainer_config.regularizer_weight > 0.0f &&
+      trainer_config.regularizer_hypergraph == nullptr &&
+      ahntp_encoder != nullptr) {
+    trainer_config.regularizer_hypergraph =
+        &ahntp_encoder->combined_hypergraph();
+  }
+  double setup_seconds = setup_timer.ElapsedSeconds();
+
+  // Carve a validation slice off the (already shuffled) training pairs for
+  // early stopping and threshold calibration; test pairs stay untouched.
+  std::vector<data::TrustPair> fit_pairs = split.train_pairs;
+  std::vector<data::TrustPair> val_pairs;
+  size_t val_count = static_cast<size_t>(
+      static_cast<double>(fit_pairs.size()) * config.validation_fraction);
+  if (val_count > 0 && val_count < fit_pairs.size()) {
+    val_pairs.assign(fit_pairs.end() - static_cast<long>(val_count),
+                     fit_pairs.end());
+    fit_pairs.resize(fit_pairs.size() - val_count);
+  }
+
+  Trainer trainer(trainer_config);
+  TrainResult train_result = trainer.Fit(&predictor, fit_pairs, val_pairs);
+
+  ExperimentResult result;
+  result.model = config.model;
+  result.best_epoch = train_result.best_epoch;
+  // The decision threshold is calibrated on held-out validation pairs (the
+  // cosine head ranks but carries no natural 0.5 operating point).
+  const auto& calibration_pairs = val_pairs.empty() ? fit_pairs : val_pairs;
+  result.threshold = trainer.CalibrateThreshold(&predictor, calibration_pairs);
+  result.test = trainer.Evaluate(&predictor, split.test_pairs,
+                                 result.threshold);
+  result.train = trainer.Evaluate(&predictor, split.train_pairs,
+                                  result.threshold);
+  result.setup_seconds = setup_seconds;
+  result.train_seconds = train_result.train_seconds;
+  result.num_parameters = predictor.NumParameters();
+  return result;
+}
+
+}  // namespace ahntp::core

@@ -1,0 +1,56 @@
+#ifndef AHNTP_CORE_EXPERIMENT_H_
+#define AHNTP_CORE_EXPERIMENT_H_
+
+#include <string>
+
+#include "core/model_zoo.h"
+#include "core/trainer.h"
+#include "data/features.h"
+#include "data/split.h"
+
+namespace ahntp::core {
+
+/// One end-to-end run: split -> features -> encoder -> train -> evaluate.
+/// This is the unit every bench binary sweeps over.
+struct ExperimentConfig {
+  std::string model = "AHNTP";
+  data::SplitOptions split;
+  /// Use the chronological split (train on oldest edges, test on newest)
+  /// instead of the random split. Requires dataset.trust_edge_times.
+  bool temporal_split = false;
+  data::FeatureOptions features;
+  std::vector<size_t> hidden_dims = {256, 128, 64};
+  float dropout = 0.1f;
+  AhntpConfig ahntp;
+  TrainerConfig trainer;
+  /// Fraction of training pairs held out for early stopping and decision-
+  /// threshold calibration (never part of the test set).
+  double validation_fraction = 0.1;
+  /// Multi-hop depth of the hypergraph handed to the hypergraph baselines
+  /// (attribute || pairwise || multi-hop). Table VI sweeps this for HGNN+.
+  int baseline_multi_hop = 1;
+  size_t baseline_multi_hop_max_edge_size = 128;
+  uint64_t model_seed = 1;
+};
+
+struct ExperimentResult {
+  std::string model;
+  BinaryMetrics test;
+  BinaryMetrics train;
+  /// Decision threshold calibrated on the validation pairs.
+  float threshold = 0.5f;
+  /// Epoch whose parameters were kept under early stopping.
+  int best_epoch = 0;
+  double setup_seconds = 0.0;
+  double train_seconds = 0.0;
+  size_t num_parameters = 0;
+};
+
+/// Runs one experiment. The training graph contains only the split's
+/// training positives; test edges stay hidden from every model input.
+Result<ExperimentResult> RunExperiment(const data::SocialDataset& dataset,
+                                       const ExperimentConfig& config);
+
+}  // namespace ahntp::core
+
+#endif  // AHNTP_CORE_EXPERIMENT_H_

@@ -1,0 +1,129 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ahntp::core {
+
+std::string BinaryMetrics::ToString() const {
+  return StrFormat(
+      "acc=%.4f precision=%.4f recall=%.4f f1=%.4f auc=%.4f (n=%zu)",
+      accuracy, precision, recall, f1, auc, num_samples);
+}
+
+BinaryMetrics EvaluateBinary(const std::vector<float>& probabilities,
+                             const std::vector<float>& labels,
+                             float threshold) {
+  AHNTP_CHECK_EQ(probabilities.size(), labels.size());
+  AHNTP_CHECK_GT(probabilities.size(), 0u);
+  BinaryMetrics m;
+  m.num_samples = probabilities.size();
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    bool predicted = probabilities[i] >= threshold;
+    bool actual = labels[i] >= 0.5f;
+    if (predicted && actual) {
+      ++tp;
+    } else if (predicted && !actual) {
+      ++fp;
+    } else if (!predicted && !actual) {
+      ++tn;
+    } else {
+      ++fn;
+    }
+  }
+  m.accuracy = static_cast<double>(tp + tn) /
+               static_cast<double>(m.num_samples);
+  m.precision = (tp + fp) > 0
+                    ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  m.recall = (tp + fn) > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+
+  // AUC via the rank-sum (Mann-Whitney) formulation; ties share ranks.
+  size_t num_pos = tp + fn;
+  size_t num_neg = fp + tn;
+  if (num_pos > 0 && num_neg > 0) {
+    std::vector<size_t> order(probabilities.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return probabilities[a] < probabilities[b];
+    });
+    double rank_sum_pos = 0.0;
+    size_t i = 0;
+    double rank = 1.0;
+    while (i < order.size()) {
+      size_t j = i;
+      while (j + 1 < order.size() &&
+             probabilities[order[j + 1]] == probabilities[order[i]]) {
+        ++j;
+      }
+      double avg_rank = (rank + rank + static_cast<double>(j - i)) / 2.0;
+      for (size_t k = i; k <= j; ++k) {
+        if (labels[order[k]] >= 0.5f) rank_sum_pos += avg_rank;
+      }
+      rank += static_cast<double>(j - i + 1);
+      i = j + 1;
+    }
+    m.auc = (rank_sum_pos -
+             static_cast<double>(num_pos) * (static_cast<double>(num_pos) + 1.0) / 2.0) /
+            (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+  }
+  return m;
+}
+
+float BestAccuracyThreshold(const std::vector<float>& probabilities,
+                            const std::vector<float>& labels) {
+  AHNTP_CHECK_EQ(probabilities.size(), labels.size());
+  AHNTP_CHECK_GT(probabilities.size(), 0u);
+  const size_t n = probabilities.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return probabilities[a] < probabilities[b];
+  });
+  size_t total_pos = 0;
+  for (float l : labels) total_pos += l >= 0.5f ? 1 : 0;
+  // Sweep thresholds between consecutive distinct scores. With threshold
+  // below everything, all predictions are positive.
+  size_t pos_below = 0;  // positives with score < threshold (misclassified)
+  size_t neg_below = 0;  // negatives with score < threshold (correct)
+  size_t best_correct = total_pos;  // threshold below all scores
+  float best_threshold = probabilities[order[0]] - 1e-6f;
+  float best_distance = std::fabs(best_threshold - 0.5f);
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = order[i];
+    if (labels[idx] >= 0.5f) {
+      ++pos_below;
+    } else {
+      ++neg_below;
+    }
+    // Candidate threshold just above probabilities[idx].
+    if (i + 1 < n && probabilities[order[i + 1]] == probabilities[idx]) {
+      continue;  // not a distinct boundary
+    }
+    float threshold = i + 1 < n ? (probabilities[idx] +
+                                   probabilities[order[i + 1]]) /
+                                      2.0f
+                                : probabilities[idx] + 1e-6f;
+    size_t correct = neg_below + (total_pos - pos_below);
+    float distance = std::fabs(threshold - 0.5f);
+    if (correct > best_correct ||
+        (correct == best_correct && distance < best_distance)) {
+      best_correct = correct;
+      best_threshold = threshold;
+      best_distance = distance;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace ahntp::core

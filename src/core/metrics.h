@@ -1,0 +1,38 @@
+#ifndef AHNTP_CORE_METRICS_H_
+#define AHNTP_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace ahntp::core {
+
+/// Binary-classification metrics for trust prediction (Section V-A.3 uses
+/// accuracy and F1; precision/recall/AUC are reported for completeness).
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double auc = 0.0;
+  size_t num_samples = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes metrics from predicted probabilities and 0/1 labels.
+/// `threshold` classifies probability >= threshold as positive.
+BinaryMetrics EvaluateBinary(const std::vector<float>& probabilities,
+                             const std::vector<float>& labels,
+                             float threshold = 0.5f);
+
+/// Picks the accuracy-maximizing decision threshold by scanning the
+/// midpoints between consecutive sorted scores. Used to calibrate the
+/// cosine head (Eq. 19) on *training* pairs before test evaluation —
+/// cosine similarities carry ranking information but no inherent 0.5
+/// operating point. Ties prefer the threshold closest to 0.5.
+float BestAccuracyThreshold(const std::vector<float>& probabilities,
+                            const std::vector<float>& labels);
+
+}  // namespace ahntp::core
+
+#endif  // AHNTP_CORE_METRICS_H_

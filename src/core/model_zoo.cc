@@ -1,0 +1,62 @@
+#include "core/model_zoo.h"
+
+#include "models/atne_trust.h"
+#include "models/gat.h"
+#include "models/guardian.h"
+#include "models/hgnn_plus.h"
+#include "models/kgtrust.h"
+#include "models/matrix_factorization.h"
+#include "models/sgc.h"
+#include "models/unignn.h"
+
+namespace ahntp::core {
+
+std::vector<std::string> AvailableModels() {
+  return {"GAT",    "SGC",    "Guardian",    "AtNE-Trust",
+          "KGTrust", "UniGCN", "UniGAT",      "HGNN+",
+          "MF",     "AHNTP",  "AHNTP-nompr", "AHNTP-noatt",
+          "AHNTP-nocon"};
+}
+
+bool ModelNeedsHypergraph(const std::string& name) {
+  return name == "UniGCN" || name == "UniGAT" || name == "HGNN+";
+}
+
+Result<ModelSpec> CreateEncoder(const std::string& name,
+                                const models::ModelInputs& inputs,
+                                const AhntpConfig& ahntp_config) {
+  ModelSpec spec;
+  if (name == "GAT") {
+    spec.encoder = std::make_shared<models::Gat>(inputs);
+  } else if (name == "SGC") {
+    spec.encoder = std::make_shared<models::Sgc>(inputs);
+  } else if (name == "Guardian") {
+    spec.encoder = std::make_shared<models::Guardian>(inputs);
+  } else if (name == "AtNE-Trust") {
+    spec.encoder = std::make_shared<models::AtneTrust>(inputs);
+  } else if (name == "KGTrust") {
+    spec.encoder = std::make_shared<models::KgTrust>(inputs);
+  } else if (name == "UniGCN") {
+    spec.encoder = std::make_shared<models::UniGcn>(inputs);
+  } else if (name == "UniGAT") {
+    spec.encoder = std::make_shared<models::UniGat>(inputs);
+  } else if (name == "HGNN+") {
+    spec.encoder = std::make_shared<models::HgnnPlus>(inputs);
+  } else if (name == "MF") {
+    spec.encoder = std::make_shared<models::MatrixFactorization>(inputs);
+  } else if (name == "AHNTP" || name == "AHNTP-nompr" ||
+             name == "AHNTP-noatt" || name == "AHNTP-nocon") {
+    AhntpConfig config = ahntp_config;
+    config.hidden_dims = inputs.hidden_dims;
+    config.dropout = inputs.dropout;
+    if (name == "AHNTP-nompr") config.use_mpr = false;
+    if (name == "AHNTP-noatt") config.use_attention = false;
+    spec.encoder = std::make_shared<AhntpModel>(inputs, config);
+    spec.use_contrastive = name != "AHNTP-nocon";
+  } else {
+    return Status::NotFound("unknown model: " + name);
+  }
+  return spec;
+}
+
+}  // namespace ahntp::core

@@ -1,0 +1,37 @@
+#ifndef AHNTP_CORE_MODEL_ZOO_H_
+#define AHNTP_CORE_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ahntp_model.h"
+#include "models/encoder.h"
+
+namespace ahntp::core {
+
+/// A constructed encoder plus the training-protocol flags its paper variant
+/// prescribes.
+struct ModelSpec {
+  std::shared_ptr<models::Encoder> encoder;
+  /// True only for full AHNTP: the baselines (and the AHNTP_nocon ablation)
+  /// train with cross-entropy alone, per Sections V-A.2 and V-C.
+  bool use_contrastive = false;
+};
+
+/// All model names accepted by CreateEncoder: the eight baselines of
+/// Section V-A.2, AHNTP, and its three Table V ablations.
+std::vector<std::string> AvailableModels();
+
+/// True for models that consume ModelInputs::hypergraph.
+bool ModelNeedsHypergraph(const std::string& name);
+
+/// Builds an encoder by name. `ahntp_config` parameterizes AHNTP and its
+/// ablation variants (ablations override the relevant switch).
+Result<ModelSpec> CreateEncoder(const std::string& name,
+                                const models::ModelInputs& inputs,
+                                const AhntpConfig& ahntp_config);
+
+}  // namespace ahntp::core
+
+#endif  // AHNTP_CORE_MODEL_ZOO_H_

@@ -1,0 +1,49 @@
+#ifndef AHNTP_CORE_REPEATED_H_
+#define AHNTP_CORE_REPEATED_H_
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace ahntp::core {
+
+/// Mean and sample standard deviation of one metric across repeats.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Aggregate of repeated experiment runs (different model seeds and/or
+/// split seeds). Single-seed GNN results on small graphs are noisy; papers
+/// (and this harness) should report means.
+struct RepeatedResult {
+  std::string model;
+  int num_runs = 0;
+  MetricSummary accuracy;
+  MetricSummary f1;
+  MetricSummary auc;
+  double total_train_seconds = 0.0;
+  /// The last run's full result (for thresholds, parameter counts, ...).
+  ExperimentResult last;
+
+  std::string ToString() const;
+};
+
+/// Runs the experiment `num_runs` times with model seeds
+/// config.model_seed + i. When `vary_split_seed` is set, the split seed
+/// advances in lockstep as well (different negative samples / shuffles).
+Result<RepeatedResult> RunRepeatedExperiment(const data::SocialDataset& dataset,
+                                             ExperimentConfig config,
+                                             int num_runs,
+                                             bool vary_split_seed = false);
+
+/// K-fold style robustness check over the *positive edge set*: rotates the
+/// split seed so each fold sees a different test slice, mirroring the
+/// paper's Q2 robustness question. Returns the cross-fold summary.
+Result<RepeatedResult> RunCrossValidation(const data::SocialDataset& dataset,
+                                          ExperimentConfig config,
+                                          int num_folds = 5);
+
+}  // namespace ahntp::core
+
+#endif  // AHNTP_CORE_REPEATED_H_

@@ -1,0 +1,213 @@
+#include "core/trainer.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "hypergraph/regularizer.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+
+namespace ahntp::core {
+
+using autograd::Variable;
+
+namespace {
+
+/// Builds the segment structure for Eq. 20 within a batch: pairs sharing an
+/// anchor (source user) form one segment.
+struct ContrastiveGroups {
+  std::vector<int> anchors;        // segment id per pair
+  size_t num_anchors = 0;
+  std::vector<bool> is_positive;   // per pair
+  bool has_positive_anchor = false;
+};
+
+ContrastiveGroups GroupByAnchor(const std::vector<data::TrustPair>& batch) {
+  ContrastiveGroups groups;
+  groups.anchors.reserve(batch.size());
+  groups.is_positive.reserve(batch.size());
+  std::unordered_map<int, int> anchor_ids;
+  for (const data::TrustPair& p : batch) {
+    auto [it, inserted] =
+        anchor_ids.emplace(p.src, static_cast<int>(anchor_ids.size()));
+    groups.anchors.push_back(it->second);
+    bool positive = p.label >= 0.5f;
+    groups.is_positive.push_back(positive);
+    if (positive) groups.has_positive_anchor = true;
+  }
+  groups.num_anchors = anchor_ids.size();
+  return groups;
+}
+
+}  // namespace
+
+namespace {
+
+/// Copies all parameter values (for best-epoch restore).
+std::vector<tensor::Matrix> SnapshotParameters(
+    const std::vector<Variable>& params) {
+  std::vector<tensor::Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const Variable& p : params) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void RestoreParameters(std::vector<Variable>* params,
+                       const std::vector<tensor::Matrix>& snapshot) {
+  AHNTP_CHECK_EQ(params->size(), snapshot.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    (*params)[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+TrainResult Trainer::Fit(models::TrustPredictor* model,
+                         const std::vector<data::TrustPair>& train_pairs,
+                         const std::vector<data::TrustPair>& validation_pairs) {
+  AHNTP_CHECK(model != nullptr);
+  AHNTP_CHECK(!train_pairs.empty());
+  Stopwatch timer;
+  const bool early_stopping =
+      config_.patience > 0 && !validation_pairs.empty();
+  std::vector<Variable> params = model->Parameters();
+  std::vector<tensor::Matrix> best_snapshot;
+  double best_val_auc = -1.0;
+  int best_epoch = 0;
+  int checks_without_improvement = 0;
+  Rng rng(config_.seed);
+  nn::Adam optimizer(model->Parameters(), config_.learning_rate, 0.9f, 0.999f,
+                     1e-8f, config_.weight_decay);
+  std::vector<data::TrustPair> pairs = train_pairs;
+  const size_t batch_size =
+      config_.batch_size == 0 ? pairs.size() : config_.batch_size;
+
+  TrainResult result;
+  model->SetTraining(true);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.lr_schedule != nullptr) {
+      optimizer.set_learning_rate(config_.lr_schedule->Rate(epoch));
+    }
+    rng.Shuffle(&pairs);
+    double epoch_loss = 0.0;
+    double epoch_contrastive = 0.0;
+    double epoch_bce = 0.0;
+    size_t num_batches = 0;
+    for (size_t start = 0; start < pairs.size(); start += batch_size) {
+      size_t end = std::min(start + batch_size, pairs.size());
+      std::vector<data::TrustPair> batch(pairs.begin() + static_cast<long>(start),
+                                         pairs.begin() + static_cast<long>(end));
+      std::vector<float> labels(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) labels[i] = batch[i].label;
+
+      models::TrustPredictor::PairOutput out = model->Forward(batch);
+      Variable bce = nn::BinaryCrossEntropy(out.probability, labels);
+      Variable loss = autograd::Scale(bce, config_.lambda2);
+      double contrastive_value = 0.0;
+      if (config_.use_contrastive) {
+        ContrastiveGroups groups = GroupByAnchor(batch);
+        if (groups.has_positive_anchor) {
+          Variable contrastive = nn::SupervisedContrastiveLoss(
+              out.cosine, groups.anchors, groups.num_anchors,
+              groups.is_positive, config_.temperature);
+          contrastive_value = contrastive.value().At(0, 0);
+          loss = autograd::Add(loss,
+                               autograd::Scale(contrastive, config_.lambda1));
+        }
+      }
+      if (model->encoder().HasAuxLoss() && config_.aux_loss_weight > 0.0f) {
+        loss = autograd::Add(loss, autograd::Scale(model->encoder().AuxLoss(),
+                                                   config_.aux_loss_weight));
+      }
+      if (config_.regularizer_weight > 0.0f &&
+          config_.regularizer_hypergraph != nullptr) {
+        Variable reg = hypergraph::HypergraphSmoothness(
+            out.embeddings, *config_.regularizer_hypergraph);
+        float scale = config_.regularizer_weight /
+                      static_cast<float>(out.embeddings.rows());
+        loss = autograd::Add(loss, autograd::Scale(reg, scale));
+      }
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (config_.clip_gradient_norm > 0.0f) {
+        nn::ClipGradientNorm(optimizer.params(), config_.clip_gradient_norm);
+      }
+      optimizer.Step();
+
+      epoch_loss += loss.value().At(0, 0);
+      epoch_contrastive += contrastive_value;
+      epoch_bce += bce.value().At(0, 0);
+      ++num_batches;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = epoch_loss / static_cast<double>(num_batches);
+    stats.contrastive_loss =
+        epoch_contrastive / static_cast<double>(num_batches);
+    stats.bce_loss = epoch_bce / static_cast<double>(num_batches);
+    result.history.push_back(stats);
+    if (config_.verbose &&
+        (epoch % std::max(config_.log_every, 1) == 0 ||
+         epoch + 1 == config_.epochs)) {
+      AHNTP_LOG(Info) << "epoch " << epoch << " loss=" << stats.loss
+                      << " (bce=" << stats.bce_loss
+                      << " con=" << stats.contrastive_loss << ")";
+    }
+    if (early_stopping && (epoch % std::max(config_.eval_every, 1) == 0 ||
+                           epoch + 1 == config_.epochs)) {
+      double val_auc = Evaluate(model, validation_pairs).auc;
+      model->SetTraining(true);
+      if (val_auc > best_val_auc) {
+        best_val_auc = val_auc;
+        best_epoch = epoch;
+        best_snapshot = SnapshotParameters(params);
+        checks_without_improvement = 0;
+      } else if (++checks_without_improvement >= config_.patience) {
+        if (config_.verbose) {
+          AHNTP_LOG(Info) << "early stop at epoch " << epoch
+                          << " (best val auc " << best_val_auc << " @ epoch "
+                          << best_epoch << ")";
+        }
+        break;
+      }
+    }
+  }
+  if (early_stopping && !best_snapshot.empty()) {
+    RestoreParameters(&params, best_snapshot);
+    result.best_epoch = best_epoch;
+    result.best_validation_auc = best_val_auc;
+  } else {
+    result.best_epoch =
+        result.history.empty() ? 0 : result.history.back().epoch;
+  }
+  result.final_loss =
+      result.history.empty() ? 0.0 : result.history.back().loss;
+  result.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+BinaryMetrics Trainer::Evaluate(models::TrustPredictor* model,
+                                const std::vector<data::TrustPair>& pairs,
+                                float threshold) const {
+  AHNTP_CHECK(model != nullptr);
+  std::vector<float> probs = model->PredictProbabilities(pairs);
+  std::vector<float> labels(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) labels[i] = pairs[i].label;
+  return EvaluateBinary(probs, labels, threshold);
+}
+
+float Trainer::CalibrateThreshold(
+    models::TrustPredictor* model,
+    const std::vector<data::TrustPair>& pairs) const {
+  AHNTP_CHECK(model != nullptr);
+  std::vector<float> probs = model->PredictProbabilities(pairs);
+  std::vector<float> labels(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) labels[i] = pairs[i].label;
+  return BestAccuracyThreshold(probs, labels);
+}
+
+}  // namespace ahntp::core

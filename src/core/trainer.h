@@ -1,0 +1,112 @@
+#ifndef AHNTP_CORE_TRAINER_H_
+#define AHNTP_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "data/split.h"
+#include "models/trust_predictor.h"
+#include "nn/scheduler.h"
+
+namespace ahntp::core {
+
+/// Training configuration implementing Section IV-D's objective: the
+/// combined loss L = lambda1 * L_contrastive + lambda2 * L_bce (Eq. 22),
+/// optionally plus the hypergraph regularizer (Eq. 23) and an encoder
+/// auxiliary loss (AtNE-Trust reconstruction). Baselines per the paper use
+/// cross-entropy only -> set use_contrastive = false.
+struct TrainerConfig {
+  int epochs = 60;
+  /// 0 = full-batch (one encoder pass per epoch, the fast path on CPU).
+  size_t batch_size = 0;
+  float learning_rate = 1e-3f;  // Section V-A.4
+  float weight_decay = 1e-4f;   // Section V-A.4
+
+  bool use_contrastive = true;
+  float lambda1 = 1.0f;      // weight of L1 (contrastive)
+  float lambda2 = 1.0f;      // weight of L2 (cross-entropy)
+  float temperature = 0.3f;  // Section V-A.4 best t
+
+  /// Weight of the encoder's auxiliary loss when it has one.
+  float aux_loss_weight = 0.1f;
+
+  /// Weight of the Eq. 23 hypergraph smoothness regularizer (0 = off);
+  /// scaled internally by 1/num_users.
+  float regularizer_weight = 0.0f;
+  const hypergraph::Hypergraph* regularizer_hypergraph = nullptr;
+
+  /// Global gradient-norm clip applied before every optimizer step
+  /// (0 = off).
+  float clip_gradient_norm = 0.0f;
+
+  /// Optional learning-rate schedule queried at each epoch; must outlive
+  /// the trainer. Null = constant learning_rate.
+  const nn::LrSchedule* lr_schedule = nullptr;
+
+  uint64_t seed = 123;
+  bool verbose = false;
+  int log_every = 10;
+
+  /// Early stopping: when > 0 and validation pairs are supplied to Fit(),
+  /// validation AUC is checked every `eval_every` epochs; after `patience`
+  /// consecutive checks without improvement, training stops and the best
+  /// parameters are restored. Lets every model train to its own sweet spot
+  /// (the paper does not fix an epoch budget). Ignored when Fit() receives
+  /// no validation pairs.
+  int patience = 6;
+  int eval_every = 5;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double contrastive_loss = 0.0;
+  double bce_loss = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_loss = 0.0;
+  double train_seconds = 0.0;
+  /// Epoch whose parameters were kept (last epoch without early stopping).
+  int best_epoch = 0;
+  /// Best validation AUC seen (0 when no validation set was supplied).
+  double best_validation_auc = 0.0;
+};
+
+/// Mini-batch trainer for any TrustPredictor.
+class Trainer {
+ public:
+  explicit Trainer(const TrainerConfig& config) : config_(config) {}
+
+  /// Trains in place; deterministic given config.seed and the model's
+  /// initialization. When `validation_pairs` is non-empty and
+  /// config.patience > 0, applies early stopping on validation AUC and
+  /// restores the best parameters before returning.
+  TrainResult Fit(models::TrustPredictor* model,
+                  const std::vector<data::TrustPair>& train_pairs,
+                  const std::vector<data::TrustPair>& validation_pairs = {});
+
+  /// Evaluates accuracy/F1/AUC on labelled pairs (eval mode) at the given
+  /// decision threshold.
+  BinaryMetrics Evaluate(models::TrustPredictor* model,
+                         const std::vector<data::TrustPair>& pairs,
+                         float threshold = 0.5f) const;
+
+  /// Calibrates the accuracy-maximizing decision threshold on labelled
+  /// pairs (normally the training pairs). The cosine head (Eq. 19) ranks
+  /// pairs but has no inherent 0.5 operating point; calibration on train
+  /// data is applied uniformly to every model in the benchmark.
+  float CalibrateThreshold(models::TrustPredictor* model,
+                           const std::vector<data::TrustPair>& pairs) const;
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace ahntp::core
+
+#endif  // AHNTP_CORE_TRAINER_H_

@@ -1,0 +1,105 @@
+#include "data/dataset.h"
+
+#include "common/strings.h"
+
+namespace ahntp::data {
+
+Result<graph::Digraph> SocialDataset::TrustGraph() const {
+  return graph::Digraph::FromEdges(num_users, trust_edges);
+}
+
+Result<graph::Digraph> SocialDataset::GraphFromEdges(
+    const std::vector<graph::Edge>& edges) const {
+  return graph::Digraph::FromEdges(num_users, edges);
+}
+
+double SocialDataset::TrustDensity() const {
+  if (num_users < 2) return 0.0;
+  return static_cast<double>(trust_edges.size()) /
+         (static_cast<double>(num_users) *
+          static_cast<double>(num_users - 1));
+}
+
+Status SocialDataset::Validate() const {
+  if (attribute_names.size() != attributes.size() ||
+      attribute_names.size() != attribute_cardinalities.size()) {
+    return Status::Corruption("attribute metadata sizes disagree");
+  }
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    if (attributes[a].size() != num_users) {
+      return Status::Corruption(
+          StrFormat("attribute %zu has %zu entries for %zu users", a,
+                    attributes[a].size(), num_users));
+    }
+    for (int v : attributes[a]) {
+      if (v >= attribute_cardinalities[a]) {
+        return Status::Corruption(
+            StrFormat("attribute %zu value %d exceeds cardinality %d", a, v,
+                      attribute_cardinalities[a]));
+      }
+    }
+  }
+  if (item_categories.size() != num_items) {
+    return Status::Corruption("item_categories size != num_items");
+  }
+  for (int c : item_categories) {
+    if (c < 0 || c >= num_item_categories) {
+      return Status::Corruption(StrFormat("item category %d out of range", c));
+    }
+  }
+  for (const Purchase& p : purchases) {
+    if (p.user < 0 || static_cast<size_t>(p.user) >= num_users ||
+        p.item < 0 || static_cast<size_t>(p.item) >= num_items) {
+      return Status::Corruption("purchase references unknown user/item");
+    }
+    if (p.rating < 1.0f || p.rating > 5.0f) {
+      return Status::Corruption(
+          StrFormat("rating %.2f outside [1,5]", p.rating));
+    }
+  }
+  for (const graph::Edge& e : trust_edges) {
+    if (e.src < 0 || static_cast<size_t>(e.src) >= num_users || e.dst < 0 ||
+        static_cast<size_t>(e.dst) >= num_users) {
+      return Status::Corruption("trust edge endpoint out of range");
+    }
+    if (e.src == e.dst) {
+      return Status::Corruption("self-trust edge");
+    }
+  }
+  if (!communities.empty() && communities.size() != num_users) {
+    return Status::Corruption("communities size != num_users");
+  }
+  if (!trust_edge_times.empty()) {
+    if (trust_edge_times.size() != trust_edges.size()) {
+      return Status::Corruption("trust_edge_times size != trust_edges size");
+    }
+    for (double t : trust_edge_times) {
+      if (t < 0.0 || t > 1.0) {
+        return Status::Corruption(
+            StrFormat("trust edge time %.4f outside [0,1]", t));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+DatasetStatistics ComputeStatistics(const SocialDataset& dataset) {
+  DatasetStatistics stats;
+  stats.num_users = dataset.num_users;
+  stats.num_items = dataset.num_items;
+  stats.num_purchases = dataset.purchases.size();
+  stats.num_trust_relations = dataset.trust_edges.size();
+  stats.trust_density = dataset.TrustDensity();
+  auto graph = dataset.TrustGraph();
+  if (graph.ok()) {
+    stats.reciprocity = graph->Reciprocity();
+    stats.avg_out_degree =
+        dataset.num_users == 0
+            ? 0.0
+            : static_cast<double>(graph->num_edges()) /
+                  static_cast<double>(dataset.num_users);
+  }
+  return stats;
+}
+
+}  // namespace ahntp::data

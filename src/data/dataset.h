@@ -1,0 +1,82 @@
+#ifndef AHNTP_DATA_DATASET_H_
+#define AHNTP_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace ahntp::data {
+
+/// One user-item purchase/review interaction.
+struct Purchase {
+  int user = 0;
+  int item = 0;
+  float rating = 0.0f;  // 1..5 review scale
+};
+
+/// A product-review social dataset in the shape of Epinions/Ciao
+/// (Table III): users with categorical attributes, items with categories,
+/// purchase behaviours, and directed trust relations (the ground truth).
+struct SocialDataset {
+  std::string name;
+  size_t num_users = 0;
+  size_t num_items = 0;
+
+  /// Categorical attribute columns: attributes[a][u] is user u's value id
+  /// for attribute a (negative = missing). Parallel to attribute_names and
+  /// attribute_cardinalities.
+  std::vector<std::string> attribute_names;
+  std::vector<int> attribute_cardinalities;
+  std::vector<std::vector<int>> attributes;
+
+  /// Item category ids (size num_items), in [0, num_item_categories).
+  int num_item_categories = 0;
+  std::vector<int> item_categories;
+
+  std::vector<Purchase> purchases;
+
+  /// Directed trust relations: (src trusts dst). The positive pairs.
+  std::vector<graph::Edge> trust_edges;
+
+  /// Optional per-edge creation times in [0, 1], parallel to trust_edges
+  /// (empty = untimed dataset). Enables the temporal evaluation protocol of
+  /// the paper's future-work direction (dynamic social networks); the
+  /// generator records normalized edge insertion order here.
+  std::vector<double> trust_edge_times;
+
+  /// Latent generating community per user (kept for analysis/diagnostics;
+  /// never exposed to models as a feature).
+  std::vector<int> communities;
+
+  /// Builds the trust digraph over all trust edges.
+  Result<graph::Digraph> TrustGraph() const;
+
+  /// Builds a digraph restricted to the given edge subset.
+  Result<graph::Digraph> GraphFromEdges(
+      const std::vector<graph::Edge>& edges) const;
+
+  /// Trust density |E| / (n*(n-1)) — the "data sparsity" row of Table III.
+  double TrustDensity() const;
+
+  /// Structural sanity checks (index ranges, ratings in [1,5], ...).
+  Status Validate() const;
+};
+
+/// Summary statistics mirroring Table III.
+struct DatasetStatistics {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_purchases = 0;
+  size_t num_trust_relations = 0;
+  double trust_density = 0.0;   // percentage basis matches the paper
+  double reciprocity = 0.0;
+  double avg_out_degree = 0.0;
+};
+
+DatasetStatistics ComputeStatistics(const SocialDataset& dataset);
+
+}  // namespace ahntp::data
+
+#endif  // AHNTP_DATA_DATASET_H_

@@ -1,0 +1,87 @@
+#include "data/features.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ahntp::data {
+
+size_t FeatureDimension(const SocialDataset& dataset,
+                        const FeatureOptions& options) {
+  size_t dim = 0;
+  if (options.include_attributes) {
+    for (int card : dataset.attribute_cardinalities) {
+      dim += static_cast<size_t>(card);
+    }
+  }
+  if (options.include_behavior) dim += 2;
+  if (options.include_category_histogram) {
+    dim += static_cast<size_t>(dataset.num_item_categories);
+  }
+  return dim;
+}
+
+tensor::Matrix BuildFeatureMatrix(const SocialDataset& dataset,
+                                  const FeatureOptions& options) {
+  const size_t n = dataset.num_users;
+  const size_t dim = FeatureDimension(dataset, options);
+  AHNTP_CHECK_GT(dim, 0u) << "feature options select no features";
+  tensor::Matrix x(n, dim);
+
+  size_t offset = 0;
+  if (options.include_attributes) {
+    for (size_t a = 0; a < dataset.attributes.size(); ++a) {
+      size_t card = static_cast<size_t>(dataset.attribute_cardinalities[a]);
+      for (size_t u = 0; u < n; ++u) {
+        int value = dataset.attributes[a][u];
+        if (value >= 0) {
+          x.At(u, offset + static_cast<size_t>(value)) = 1.0f;
+        }
+      }
+      offset += card;
+    }
+  }
+
+  if (options.include_behavior || options.include_category_histogram) {
+    std::vector<float> counts(n, 0.0f);
+    std::vector<float> rating_sums(n, 0.0f);
+    std::vector<std::vector<float>> hist;
+    if (options.include_category_histogram) {
+      hist.assign(n, std::vector<float>(
+                         static_cast<size_t>(dataset.num_item_categories),
+                         0.0f));
+    }
+    for (const Purchase& p : dataset.purchases) {
+      size_t u = static_cast<size_t>(p.user);
+      counts[u] += 1.0f;
+      rating_sums[u] += p.rating;
+      if (options.include_category_histogram) {
+        int cat = dataset.item_categories[static_cast<size_t>(p.item)];
+        hist[u][static_cast<size_t>(cat)] += 1.0f;
+      }
+    }
+    if (options.include_behavior) {
+      for (size_t u = 0; u < n; ++u) {
+        x.At(u, offset) = std::log1p(counts[u]);
+        // Mean rating scaled into [0,1]; users without purchases get 0.
+        x.At(u, offset + 1) =
+            counts[u] > 0.0f ? (rating_sums[u] / counts[u]) / 5.0f : 0.0f;
+      }
+      offset += 2;
+    }
+    if (options.include_category_histogram) {
+      for (size_t u = 0; u < n; ++u) {
+        float total = counts[u];
+        for (size_t c = 0;
+             c < static_cast<size_t>(dataset.num_item_categories); ++c) {
+          x.At(u, offset + c) = total > 0.0f ? hist[u][c] / total : 0.0f;
+        }
+      }
+      offset += static_cast<size_t>(dataset.num_item_categories);
+    }
+  }
+  AHNTP_CHECK_EQ(offset, dim);
+  return x;
+}
+
+}  // namespace ahntp::data

@@ -1,0 +1,33 @@
+#ifndef AHNTP_DATA_FEATURES_H_
+#define AHNTP_DATA_FEATURES_H_
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace ahntp::data {
+
+/// Options for assembling the initial user feature matrix X (Section III-C
+/// input). All models in the evaluation share the same X, as the paper's
+/// experimental protocol prescribes.
+struct FeatureOptions {
+  /// One-hot encode categorical attribute columns.
+  bool include_attributes = true;
+  /// Append log-scaled purchase count and mean rating.
+  bool include_behavior = true;
+  /// Append the L1-normalized item-category histogram of purchases.
+  bool include_category_histogram = true;
+};
+
+/// Builds the (num_users x C) feature matrix. Trust edges are deliberately
+/// NOT encoded here — structure reaches the models only through their graph
+/// or hypergraph operators, keeping the comparison fair.
+tensor::Matrix BuildFeatureMatrix(const SocialDataset& dataset,
+                                  const FeatureOptions& options = {});
+
+/// Dimension the matrix returned by BuildFeatureMatrix will have.
+size_t FeatureDimension(const SocialDataset& dataset,
+                        const FeatureOptions& options = {});
+
+}  // namespace ahntp::data
+
+#endif  // AHNTP_DATA_FEATURES_H_

@@ -1,0 +1,189 @@
+#include "data/io.h"
+
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ahntp::data {
+
+namespace fs = std::filesystem;
+
+Status SaveDataset(const SocialDataset& dataset,
+                   const std::string& directory) {
+  AHNTP_RETURN_IF_ERROR(dataset.Validate());
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return Status::IoError("cannot create " + directory);
+
+  {
+    CsvTable meta;
+    meta.header = {"key", "value"};
+    meta.rows.push_back({"name", dataset.name});
+    meta.rows.push_back({"num_users", std::to_string(dataset.num_users)});
+    meta.rows.push_back({"num_items", std::to_string(dataset.num_items)});
+    meta.rows.push_back(
+        {"num_item_categories", std::to_string(dataset.num_item_categories)});
+    for (size_t a = 0; a < dataset.attribute_names.size(); ++a) {
+      meta.rows.push_back(
+          {"attribute:" + dataset.attribute_names[a],
+           std::to_string(dataset.attribute_cardinalities[a])});
+    }
+    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/meta.csv", meta));
+  }
+  {
+    CsvTable users;
+    users.header = {"user"};
+    for (const auto& name : dataset.attribute_names) {
+      users.header.push_back(name);
+    }
+    users.header.push_back("community");
+    for (size_t u = 0; u < dataset.num_users; ++u) {
+      std::vector<std::string> row = {std::to_string(u)};
+      for (const auto& column : dataset.attributes) {
+        row.push_back(std::to_string(column[u]));
+      }
+      row.push_back(dataset.communities.empty()
+                        ? "-1"
+                        : std::to_string(dataset.communities[u]));
+      users.rows.push_back(std::move(row));
+    }
+    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/users.csv", users));
+  }
+  {
+    CsvTable items;
+    items.header = {"item", "category"};
+    for (size_t i = 0; i < dataset.num_items; ++i) {
+      items.rows.push_back(
+          {std::to_string(i), std::to_string(dataset.item_categories[i])});
+    }
+    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/items.csv", items));
+  }
+  {
+    CsvTable purchases;
+    purchases.header = {"user", "item", "rating"};
+    for (const Purchase& p : dataset.purchases) {
+      purchases.rows.push_back({std::to_string(p.user), std::to_string(p.item),
+                                StrFormat("%.1f", p.rating)});
+    }
+    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/purchases.csv", purchases));
+  }
+  {
+    CsvTable trust;
+    bool timed = !dataset.trust_edge_times.empty();
+    trust.header = timed ? std::vector<std::string>{"src", "dst", "time"}
+                         : std::vector<std::string>{"src", "dst"};
+    for (size_t i = 0; i < dataset.trust_edges.size(); ++i) {
+      const graph::Edge& e = dataset.trust_edges[i];
+      std::vector<std::string> row = {std::to_string(e.src),
+                                      std::to_string(e.dst)};
+      if (timed) {
+        row.push_back(StrFormat("%.6f", dataset.trust_edge_times[i]));
+      }
+      trust.rows.push_back(std::move(row));
+    }
+    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/trust.csv", trust));
+  }
+  return Status::Ok();
+}
+
+Result<SocialDataset> LoadDataset(const std::string& directory) {
+  SocialDataset ds;
+  AHNTP_ASSIGN_OR_RETURN(CsvTable meta, ReadCsv(directory + "/meta.csv"));
+  for (const auto& row : meta.rows) {
+    if (row.size() != 2) return Status::Corruption("bad meta.csv row");
+    const std::string& key = row[0];
+    const std::string& value = row[1];
+    if (key == "name") {
+      ds.name = value;
+    } else if (key == "num_users") {
+      AHNTP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
+      ds.num_users = static_cast<size_t>(v);
+    } else if (key == "num_items") {
+      AHNTP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
+      ds.num_items = static_cast<size_t>(v);
+    } else if (key == "num_item_categories") {
+      AHNTP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
+      ds.num_item_categories = static_cast<int>(v);
+    } else if (StrStartsWith(key, "attribute:")) {
+      ds.attribute_names.push_back(key.substr(10));
+      AHNTP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
+      ds.attribute_cardinalities.push_back(static_cast<int>(v));
+    }
+  }
+
+  AHNTP_ASSIGN_OR_RETURN(CsvTable users, ReadCsv(directory + "/users.csv"));
+  const size_t num_attrs = ds.attribute_names.size();
+  ds.attributes.assign(num_attrs, std::vector<int>(ds.num_users, -1));
+  ds.communities.assign(ds.num_users, -1);
+  if (users.rows.size() != ds.num_users) {
+    return Status::Corruption("users.csv row count != num_users");
+  }
+  for (const auto& row : users.rows) {
+    if (row.size() != num_attrs + 2) {
+      return Status::Corruption("bad users.csv row width");
+    }
+    AHNTP_ASSIGN_OR_RETURN(int64_t u, ParseInt(row[0]));
+    if (u < 0 || static_cast<size_t>(u) >= ds.num_users) {
+      return Status::Corruption("user id out of range in users.csv");
+    }
+    for (size_t a = 0; a < num_attrs; ++a) {
+      AHNTP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[a + 1]));
+      ds.attributes[a][static_cast<size_t>(u)] = static_cast<int>(v);
+    }
+    AHNTP_ASSIGN_OR_RETURN(int64_t c, ParseInt(row[num_attrs + 1]));
+    ds.communities[static_cast<size_t>(u)] = static_cast<int>(c);
+  }
+  if (!ds.communities.empty() && ds.communities[0] == -1) {
+    // Dataset without community annotations.
+    bool any = false;
+    for (int c : ds.communities) any = any || c >= 0;
+    if (!any) ds.communities.clear();
+  }
+
+  AHNTP_ASSIGN_OR_RETURN(CsvTable items, ReadCsv(directory + "/items.csv"));
+  ds.item_categories.assign(ds.num_items, 0);
+  if (items.rows.size() != ds.num_items) {
+    return Status::Corruption("items.csv row count != num_items");
+  }
+  for (const auto& row : items.rows) {
+    if (row.size() != 2) return Status::Corruption("bad items.csv row");
+    AHNTP_ASSIGN_OR_RETURN(int64_t i, ParseInt(row[0]));
+    AHNTP_ASSIGN_OR_RETURN(int64_t c, ParseInt(row[1]));
+    if (i < 0 || static_cast<size_t>(i) >= ds.num_items) {
+      return Status::Corruption("item id out of range");
+    }
+    ds.item_categories[static_cast<size_t>(i)] = static_cast<int>(c);
+  }
+
+  AHNTP_ASSIGN_OR_RETURN(CsvTable purchases,
+                         ReadCsv(directory + "/purchases.csv"));
+  for (const auto& row : purchases.rows) {
+    if (row.size() != 3) return Status::Corruption("bad purchases.csv row");
+    AHNTP_ASSIGN_OR_RETURN(int64_t u, ParseInt(row[0]));
+    AHNTP_ASSIGN_OR_RETURN(int64_t i, ParseInt(row[1]));
+    AHNTP_ASSIGN_OR_RETURN(double r, ParseDouble(row[2]));
+    ds.purchases.push_back({static_cast<int>(u), static_cast<int>(i),
+                            static_cast<float>(r)});
+  }
+
+  AHNTP_ASSIGN_OR_RETURN(CsvTable trust, ReadCsv(directory + "/trust.csv"));
+  bool timed = trust.header.size() == 3 && trust.header[2] == "time";
+  for (const auto& row : trust.rows) {
+    if (row.size() != (timed ? 3u : 2u)) {
+      return Status::Corruption("bad trust.csv row");
+    }
+    AHNTP_ASSIGN_OR_RETURN(int64_t s, ParseInt(row[0]));
+    AHNTP_ASSIGN_OR_RETURN(int64_t d, ParseInt(row[1]));
+    ds.trust_edges.push_back({static_cast<int>(s), static_cast<int>(d)});
+    if (timed) {
+      AHNTP_ASSIGN_OR_RETURN(double t, ParseDouble(row[2]));
+      ds.trust_edge_times.push_back(t);
+    }
+  }
+
+  AHNTP_RETURN_IF_ERROR(ds.Validate());
+  return ds;
+}
+
+}  // namespace ahntp::data

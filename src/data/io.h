@@ -1,0 +1,22 @@
+#ifndef AHNTP_DATA_IO_H_
+#define AHNTP_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace ahntp::data {
+
+/// Persists a dataset as CSV files under `directory` (created if missing):
+/// meta.csv, users.csv, items.csv, purchases.csv, trust.csv. The format is
+/// the library's interchange format; a real Epinions/Ciao dump converted to
+/// these files is a drop-in replacement for the synthetic generator.
+Status SaveDataset(const SocialDataset& dataset, const std::string& directory);
+
+/// Loads a dataset saved by SaveDataset. Validates on load.
+Result<SocialDataset> LoadDataset(const std::string& directory);
+
+}  // namespace ahntp::data
+
+#endif  // AHNTP_DATA_IO_H_

@@ -1,0 +1,155 @@
+#include "graph/analytics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace ahntp::graph {
+
+double LocalClusteringCoefficient(const Digraph& graph, int u) {
+  std::vector<int> neighbors = graph.UndirectedNeighbors(u);
+  if (neighbors.size() < 2) return 0.0;
+  size_t links = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (graph.HasEdge(neighbors[i], neighbors[j]) ||
+          graph.HasEdge(neighbors[j], neighbors[i])) {
+        ++links;
+      }
+    }
+  }
+  double possible = static_cast<double>(neighbors.size()) *
+                    static_cast<double>(neighbors.size() - 1) / 2.0;
+  return static_cast<double>(links) / possible;
+}
+
+double AverageClusteringCoefficient(const Digraph& graph) {
+  if (graph.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    total += LocalClusteringCoefficient(graph, static_cast<int>(u));
+  }
+  return total / static_cast<double>(graph.num_nodes());
+}
+
+ComponentResult ConnectedComponents(const Digraph& graph) {
+  ComponentResult result;
+  result.component.assign(graph.num_nodes(), -1);
+  std::vector<size_t> sizes;
+  for (size_t start = 0; start < graph.num_nodes(); ++start) {
+    if (result.component[start] != -1) continue;
+    int id = static_cast<int>(result.num_components++);
+    size_t size = 0;
+    std::queue<int> frontier;
+    frontier.push(static_cast<int>(start));
+    result.component[start] = id;
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      ++size;
+      for (int w : graph.UndirectedNeighbors(v)) {
+        if (result.component[static_cast<size_t>(w)] == -1) {
+          result.component[static_cast<size_t>(w)] = id;
+          frontier.push(w);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  result.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return result;
+}
+
+DegreeStats ComputeDegreeStats(const Digraph& graph) {
+  DegreeStats stats;
+  const size_t n = graph.num_nodes();
+  if (n == 0) return stats;
+  std::vector<size_t> degrees(n);
+  for (size_t u = 0; u < n; ++u) {
+    degrees[u] = graph.UndirectedNeighbors(static_cast<int>(u)).size();
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  double total = static_cast<double>(
+      std::accumulate(degrees.begin(), degrees.end(), size_t{0}));
+  stats.mean = total / static_cast<double>(n);
+  stats.median = n % 2 == 1
+                     ? static_cast<double>(degrees[n / 2])
+                     : (static_cast<double>(degrees[n / 2 - 1]) +
+                        static_cast<double>(degrees[n / 2])) /
+                           2.0;
+  if (total > 0.0) {
+    // Gini via the sorted-rank formula.
+    double weighted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(degrees[i]);
+    }
+    stats.gini = (2.0 * weighted) / (static_cast<double>(n) * total) -
+                 (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return stats;
+}
+
+double EdgeDensity(const Digraph& graph) {
+  const size_t n = graph.num_nodes();
+  if (n < 2) return 0.0;
+  return static_cast<double>(graph.num_edges()) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+std::vector<int> CoreNumbers(const Digraph& graph) {
+  const size_t n = graph.num_nodes();
+  std::vector<int> degree(n);
+  std::vector<std::vector<int>> neighbors(n);
+  size_t max_degree = 0;
+  for (size_t u = 0; u < n; ++u) {
+    neighbors[u] = graph.UndirectedNeighbors(static_cast<int>(u));
+    degree[u] = static_cast<int>(neighbors[u].size());
+    max_degree = std::max(max_degree, neighbors[u].size());
+  }
+  // Matula-Beck peeling with lazy bucket queues: always remove a vertex of
+  // the current minimum degree b; its core number is the running maximum of
+  // the degrees at removal time. Stale bucket entries (vertices re-filed
+  // after degree drops) are skipped on pop. Since a neighbour's degree only
+  // ever drops to >= b, the scan pointer b never moves backwards: O(V + E).
+  std::vector<std::vector<int>> buckets(max_degree + 1);
+  for (size_t u = 0; u < n; ++u) {
+    buckets[static_cast<size_t>(degree[u])].push_back(static_cast<int>(u));
+  }
+  std::vector<int> core(n, 0);
+  std::vector<bool> removed(n, false);
+  int running_core = 0;
+  size_t processed = 0;
+  size_t b = 0;
+  while (processed < n && b <= max_degree) {
+    if (buckets[b].empty()) {
+      ++b;
+      continue;
+    }
+    int u = buckets[b].back();
+    buckets[b].pop_back();
+    if (removed[static_cast<size_t>(u)] ||
+        degree[static_cast<size_t>(u)] != static_cast<int>(b)) {
+      continue;  // stale entry
+    }
+    removed[static_cast<size_t>(u)] = true;
+    ++processed;
+    running_core = std::max(running_core, static_cast<int>(b));
+    core[static_cast<size_t>(u)] = running_core;
+    for (int w : neighbors[static_cast<size_t>(u)]) {
+      if (removed[static_cast<size_t>(w)]) continue;
+      int& dw = degree[static_cast<size_t>(w)];
+      if (dw > static_cast<int>(b)) {
+        --dw;
+        buckets[static_cast<size_t>(dw)].push_back(w);
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace ahntp::graph

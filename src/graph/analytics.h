@@ -1,0 +1,49 @@
+#ifndef AHNTP_GRAPH_ANALYTICS_H_
+#define AHNTP_GRAPH_ANALYTICS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ahntp::graph {
+
+/// Local clustering coefficient of node u over the undirected view: the
+/// fraction of neighbour pairs that are themselves connected. 0 for degree
+/// < 2 nodes.
+double LocalClusteringCoefficient(const Digraph& graph, int u);
+
+/// Mean local clustering coefficient over all nodes (Watts-Strogatz).
+double AverageClusteringCoefficient(const Digraph& graph);
+
+/// Weakly connected components: per-node component id (0-based, dense) in
+/// discovery order.
+struct ComponentResult {
+  std::vector<int> component;
+  size_t num_components = 0;
+  size_t largest_size = 0;
+};
+ComponentResult ConnectedComponents(const Digraph& graph);
+
+/// Degree distribution summary over the undirected view.
+struct DegreeStats {
+  size_t min = 0;
+  size_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  /// Gini coefficient of the degree distribution (hub concentration:
+  /// 0 = egalitarian, -> 1 = a few hubs hold all edges).
+  double gini = 0.0;
+};
+DegreeStats ComputeDegreeStats(const Digraph& graph);
+
+/// Directed edge density |E| / (n * (n-1)).
+double EdgeDensity(const Digraph& graph);
+
+/// K-core decomposition over the undirected view: core[u] is the largest k
+/// such that u belongs to a subgraph where every node has degree >= k.
+/// High-core users form the densely knit "trust core" of the network.
+std::vector<int> CoreNumbers(const Digraph& graph);
+
+}  // namespace ahntp::graph
+
+#endif  // AHNTP_GRAPH_ANALYTICS_H_

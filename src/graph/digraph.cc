@@ -1,0 +1,105 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ahntp::graph {
+
+Digraph::Digraph(size_t num_nodes)
+    : num_nodes_(num_nodes),
+      out_(num_nodes),
+      in_(num_nodes),
+      adjacency_(num_nodes, num_nodes) {}
+
+Result<Digraph> Digraph::FromEdges(size_t num_nodes,
+                                   const std::vector<Edge>& edges) {
+  Digraph g(num_nodes);
+  std::set<std::pair<int, int>> seen;
+  std::vector<tensor::Triplet> triplets;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0 ||
+        static_cast<size_t>(e.src) >= num_nodes ||
+        static_cast<size_t>(e.dst) >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%d,%d) out of range for %zu nodes", e.src, e.dst,
+                    num_nodes));
+    }
+    if (e.src == e.dst) continue;  // self-loops carry no trust signal
+    if (!seen.insert({e.src, e.dst}).second) continue;
+    g.edges_.push_back(e);
+    g.out_[static_cast<size_t>(e.src)].push_back(e.dst);
+    g.in_[static_cast<size_t>(e.dst)].push_back(e.src);
+    triplets.push_back({e.src, e.dst, 1.0f});
+  }
+  for (auto& nbrs : g.out_) std::sort(nbrs.begin(), nbrs.end());
+  for (auto& nbrs : g.in_) std::sort(nbrs.begin(), nbrs.end());
+  g.adjacency_ =
+      tensor::CsrMatrix::FromTriplets(num_nodes, num_nodes, std::move(triplets));
+  return g;
+}
+
+bool Digraph::HasEdge(int src, int dst) const {
+  if (src < 0 || static_cast<size_t>(src) >= num_nodes_) return false;
+  const auto& nbrs = out_[static_cast<size_t>(src)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+const std::vector<int>& Digraph::OutNeighbors(int u) const {
+  AHNTP_CHECK(u >= 0 && static_cast<size_t>(u) < num_nodes_);
+  return out_[static_cast<size_t>(u)];
+}
+
+const std::vector<int>& Digraph::InNeighbors(int u) const {
+  AHNTP_CHECK(u >= 0 && static_cast<size_t>(u) < num_nodes_);
+  return in_[static_cast<size_t>(u)];
+}
+
+std::vector<int> Digraph::NeighborhoodBall(int u, int hops) const {
+  AHNTP_CHECK(u >= 0 && static_cast<size_t>(u) < num_nodes_);
+  AHNTP_CHECK_GE(hops, 0);
+  std::vector<int> distance(num_nodes_, -1);
+  std::queue<int> frontier;
+  distance[static_cast<size_t>(u)] = 0;
+  frontier.push(u);
+  std::vector<int> ball;
+  while (!frontier.empty()) {
+    int v = frontier.front();
+    frontier.pop();
+    int d = distance[static_cast<size_t>(v)];
+    if (d >= hops) continue;
+    auto visit = [&](int w) {
+      if (distance[static_cast<size_t>(w)] == -1) {
+        distance[static_cast<size_t>(w)] = d + 1;
+        ball.push_back(w);
+        frontier.push(w);
+      }
+    };
+    for (int w : out_[static_cast<size_t>(v)]) visit(w);
+    for (int w : in_[static_cast<size_t>(v)]) visit(w);
+  }
+  return ball;
+}
+
+double Digraph::Reciprocity() const {
+  if (edges_.empty()) return 0.0;
+  size_t reciprocal = 0;
+  for (const Edge& e : edges_) {
+    if (HasEdge(e.dst, e.src)) ++reciprocal;
+  }
+  return static_cast<double>(reciprocal) / static_cast<double>(edges_.size());
+}
+
+std::vector<int> Digraph::UndirectedNeighbors(int u) const {
+  std::vector<int> merged = OutNeighbors(u);
+  const auto& in = InNeighbors(u);
+  merged.insert(merged.end(), in.begin(), in.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace ahntp::graph

@@ -1,0 +1,70 @@
+#ifndef AHNTP_GRAPH_DIGRAPH_H_
+#define AHNTP_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/csr.h"
+
+namespace ahntp::graph {
+
+/// A directed edge (src follows dst in the paper's social-network reading).
+struct Edge {
+  int src = 0;
+  int dst = 0;
+};
+
+/// Directed graph over [0, n) with CSR adjacency in both directions.
+/// This is the paper's G' = (U, E', R_U): the user-user interaction graph
+/// that motif analysis and PageRank run on.
+class Digraph {
+ public:
+  /// Empty graph with n nodes.
+  explicit Digraph(size_t num_nodes = 0);
+
+  /// Builds from an edge list; duplicates and self-loops are dropped.
+  /// Returns InvalidArgument when an endpoint is out of range.
+  static Result<Digraph> FromEdges(size_t num_nodes,
+                                   const std::vector<Edge>& edges);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool HasEdge(int src, int dst) const;
+
+  /// Successors of u (nodes u points to).
+  const std::vector<int>& OutNeighbors(int u) const;
+  /// Predecessors of u.
+  const std::vector<int>& InNeighbors(int u) const;
+
+  size_t OutDegree(int u) const { return OutNeighbors(u).size(); }
+  size_t InDegree(int u) const { return InNeighbors(u).size(); }
+
+  /// Binary adjacency R_U as CSR: R(u, v) = 1 iff edge u->v.
+  const tensor::CsrMatrix& Adjacency() const { return adjacency_; }
+
+  /// Nodes reachable from u within `hops` steps following either edge
+  /// direction (the social "neighbourhood ball"), excluding u itself.
+  /// Returned in BFS order (nearest first).
+  std::vector<int> NeighborhoodBall(int u, int hops) const;
+
+  /// Fraction of edges whose reverse edge also exists.
+  double Reciprocity() const;
+
+  /// Union of out- and in-neighbours of u (deduplicated).
+  std::vector<int> UndirectedNeighbors(int u) const;
+
+ private:
+  size_t num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  tensor::CsrMatrix adjacency_;
+};
+
+}  // namespace ahntp::graph
+
+#endif  // AHNTP_GRAPH_DIGRAPH_H_

@@ -1,0 +1,54 @@
+#ifndef AHNTP_GRAPH_MOTIFS_H_
+#define AHNTP_GRAPH_MOTIFS_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "tensor/csr.h"
+
+namespace ahntp::graph {
+
+/// The seven classical directed triangle motifs of Fig. 4 (Benson et al.;
+/// adopted by the paper's Motif-based PageRank, Table II).
+enum class Motif {
+  kM1 = 1,  // cyclic triangle of one-way edges
+  kM2,      // one bidirectional edge + cyclic one-way edges
+  kM3,      // two bidirectional edges
+  kM4,      // all three edges bidirectional
+  kM5,      // feed-forward-ish all one-way, acyclic
+  kM6,      // one node bidirectionally tied to both ends of a one-way edge
+  kM7,      // mirror of M6
+};
+
+/// Splits R_U into the bidirectional part BC = R ⊙ R^T and the
+/// unidirectional part UC = R - BC (both binary).
+struct DirectionalSplit {
+  tensor::CsrMatrix bidirectional;   // BC
+  tensor::CsrMatrix unidirectional;  // UC
+};
+DirectionalSplit SplitDirections(const tensor::CsrMatrix& adjacency);
+
+/// Motif-induced adjacency A^{M_k} per Table II: A[i][j] counts the
+/// instances of motif k that contain both i and j (symmetric, zero diagonal
+/// contributions from the formulas themselves).
+tensor::CsrMatrix MotifAdjacency(const tensor::CsrMatrix& adjacency,
+                                 Motif motif);
+
+/// All seven motif adjacencies, index 0 -> M1 ... 6 -> M7.
+std::array<tensor::CsrMatrix, 7> AllMotifAdjacencies(
+    const tensor::CsrMatrix& adjacency);
+
+/// Reference implementation by brute-force triple enumeration (O(n^3));
+/// used to validate the sparse algebra on small graphs.
+tensor::CsrMatrix MotifAdjacencyByEnumeration(const Digraph& graph,
+                                              Motif motif);
+
+/// Total number of instances of `motif` in the graph (each instance counted
+/// once). Derived from the motif adjacency: every triangle instance
+/// contributes to exactly 3 unordered node pairs.
+int64_t CountMotifInstances(const tensor::CsrMatrix& motif_adjacency);
+
+}  // namespace ahntp::graph
+
+#endif  // AHNTP_GRAPH_MOTIFS_H_

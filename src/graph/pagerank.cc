@@ -1,0 +1,95 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ahntp::graph {
+
+using tensor::CsrMatrix;
+
+namespace {
+
+/// One PageRank power iteration loop over a column-stochastic operator
+/// expressed as the row-normalized transpose (so we can use row-major SpMV):
+/// s_new = d * (P s) + (1-d)/n, with dangling mass redistributed uniformly.
+std::vector<double> PowerIterate(const CsrMatrix& row_normalized_transpose,
+                                 const std::vector<bool>& dangling,
+                                 const PageRankOptions& options) {
+  const size_t n = row_normalized_transpose.rows();
+  AHNTP_CHECK_GT(n, 0u);
+  const double d = options.damping;
+  AHNTP_CHECK(d > 0.0 && d < 1.0);
+  std::vector<double> s(n, 1.0 / static_cast<double>(n));
+  std::vector<float> s_f(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) s_f[i] = static_cast<float>(s[i]);
+    // Dangling columns contribute their mass uniformly.
+    double dangling_mass = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (dangling[i]) dangling_mass += s[i];
+    }
+    std::vector<float> propagated = tensor::SpMV(row_normalized_transpose, s_f);
+    double base = (1.0 - d) / static_cast<double>(n) +
+                  d * dangling_mass / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double next = d * static_cast<double>(propagated[i]) + base;
+      delta += std::fabs(next - s[i]);
+      s[i] = next;
+    }
+    if (delta < options.tolerance) break;
+  }
+  // Normalize away accumulated float round-off.
+  double total = 0.0;
+  for (double v : s) total += v;
+  if (total > 0.0) {
+    for (double& v : s) v /= total;
+  }
+  return s;
+}
+
+/// Builds the row-normalized transpose of `adjacency` (each source node's
+/// outgoing weight normalized to 1, laid out by destination for SpMV) and
+/// the dangling-node indicator.
+struct Transition {
+  CsrMatrix operator_matrix;
+  std::vector<bool> dangling;
+};
+
+Transition BuildTransition(const CsrMatrix& adjacency) {
+  AHNTP_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  CsrMatrix row_normalized = adjacency.RowNormalized();
+  std::vector<float> row_sums = adjacency.RowSums();
+  std::vector<bool> dangling(adjacency.rows());
+  for (size_t i = 0; i < adjacency.rows(); ++i) {
+    dangling[i] = row_sums[i] == 0.0f;
+  }
+  return {row_normalized.Transposed(), std::move(dangling)};
+}
+
+}  // namespace
+
+std::vector<double> PageRank(const CsrMatrix& adjacency,
+                             const PageRankOptions& options) {
+  Transition t = BuildTransition(adjacency);
+  return PowerIterate(t.operator_matrix, t.dangling, options);
+}
+
+MotifPageRankResult MotifPageRank(const CsrMatrix& adjacency,
+                                  const MotifPageRankOptions& options) {
+  AHNTP_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+  MotifPageRankResult result;
+  result.motif_adjacency = MotifAdjacency(adjacency, options.motif);
+  // W_c = alpha * R_U + (1 - alpha) * A^{M_k}   (Eq. 4)
+  CsrMatrix weighted_pairwise =
+      adjacency.Binarized().Scaled(static_cast<float>(options.alpha));
+  CsrMatrix weighted_motif =
+      result.motif_adjacency.Scaled(static_cast<float>(1.0 - options.alpha));
+  result.combined_weights =
+      tensor::SparseAdd(weighted_pairwise, weighted_motif).Pruned();
+  result.scores = PageRank(result.combined_weights, options.pagerank);
+  return result;
+}
+
+}  // namespace ahntp::graph

@@ -1,0 +1,105 @@
+#include "hypergraph/builders.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ahntp::hypergraph {
+
+Hypergraph BuildSocialInfluenceHypergroup(
+    const graph::Digraph& graph, const std::vector<double>& influence,
+    int top_k) {
+  AHNTP_CHECK_EQ(influence.size(), graph.num_nodes());
+  AHNTP_CHECK_GT(top_k, 0);
+  Hypergraph hg(graph.num_nodes());
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    std::vector<int> neighbors = graph.UndirectedNeighbors(static_cast<int>(u));
+    // Highest-influence neighbours first; ties broken by id for determinism.
+    std::stable_sort(neighbors.begin(), neighbors.end(),
+                     [&influence](int a, int b) {
+                       return influence[static_cast<size_t>(a)] >
+                              influence[static_cast<size_t>(b)];
+                     });
+    if (neighbors.size() > static_cast<size_t>(top_k)) {
+      neighbors.resize(static_cast<size_t>(top_k));
+    }
+    neighbors.push_back(static_cast<int>(u));
+    AHNTP_CHECK_OK(hg.AddEdge(std::move(neighbors)));
+  }
+  return hg;
+}
+
+Hypergraph BuildSocialInfluenceHypergroup(
+    const graph::Digraph& graph, const SocialInfluenceOptions& options) {
+  std::vector<double> influence;
+  if (options.use_motif_pagerank) {
+    influence = graph::MotifPageRank(graph.Adjacency(), options.mpr).scores;
+  } else {
+    influence = graph::PageRank(graph.Adjacency(), options.mpr.pagerank);
+  }
+  return BuildSocialInfluenceHypergroup(graph, influence, options.top_k);
+}
+
+Hypergraph BuildAttributeHypergroup(
+    size_t num_users, const std::vector<std::vector<int>>& attributes,
+    size_t min_size) {
+  Hypergraph hg(num_users);
+  for (const auto& column : attributes) {
+    AHNTP_CHECK_EQ(column.size(), num_users)
+        << "every attribute column must cover all users";
+    std::map<int, std::vector<int>> groups;
+    for (size_t u = 0; u < num_users; ++u) {
+      if (column[u] >= 0) {
+        groups[column[u]].push_back(static_cast<int>(u));
+      }
+    }
+    for (auto& [value, members] : groups) {
+      if (members.size() >= min_size) {
+        AHNTP_CHECK_OK(hg.AddEdge(std::move(members)));
+      }
+    }
+  }
+  return hg;
+}
+
+Hypergraph BuildPairwiseHypergroup(const graph::Digraph& graph) {
+  Hypergraph hg(graph.num_nodes());
+  std::set<std::pair<int, int>> seen;
+  for (const graph::Edge& e : graph.edges()) {
+    int lo = std::min(e.src, e.dst);
+    int hi = std::max(e.src, e.dst);
+    if (seen.insert({lo, hi}).second) {
+      AHNTP_CHECK_OK(hg.AddEdge({lo, hi}));
+    }
+  }
+  return hg;
+}
+
+Hypergraph BuildMultiHopHypergroup(const graph::Digraph& graph,
+                                   const MultiHopOptions& options) {
+  AHNTP_CHECK_GE(options.num_hops, 1);
+  Hypergraph hg(graph.num_nodes());
+  for (int hop = 1; hop <= options.num_hops; ++hop) {
+    for (size_t u = 0; u < graph.num_nodes(); ++u) {
+      // NeighborhoodBall returns BFS order, so the size cap keeps the
+      // nearest neighbours.
+      std::vector<int> members;
+      members.push_back(static_cast<int>(u));
+      std::vector<int> ball = graph.NeighborhoodBall(static_cast<int>(u), hop);
+      for (int v : ball) {
+        if (options.max_edge_size > 0 &&
+            members.size() >= options.max_edge_size) {
+          break;
+        }
+        members.push_back(v);
+      }
+      AHNTP_CHECK_OK(hg.AddEdge(std::move(members)));
+    }
+  }
+  return hg;
+}
+
+}  // namespace ahntp::hypergraph

@@ -1,0 +1,75 @@
+#include "hypergraph/expansions.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ahntp::hypergraph {
+
+tensor::CsrMatrix CliqueExpansion(const Hypergraph& hg) {
+  std::vector<tensor::Triplet> triplets;
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    const std::vector<int>& members = hg.EdgeVertices(e);
+    float w = hg.EdgeWeight(e);
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        triplets.push_back({members[i], members[j], w});
+        triplets.push_back({members[j], members[i], w});
+      }
+    }
+  }
+  return tensor::CsrMatrix::FromTriplets(hg.num_vertices(), hg.num_vertices(),
+                                         std::move(triplets));
+}
+
+Result<graph::Digraph> StarExpansion(const Hypergraph& hg) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(2 * hg.TotalIncidences());
+  const int n = static_cast<int>(hg.num_vertices());
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    int edge_node = n + static_cast<int>(e);
+    for (int v : hg.EdgeVertices(e)) {
+      edges.push_back({v, edge_node});
+      edges.push_back({edge_node, v});
+    }
+  }
+  return graph::Digraph::FromEdges(hg.num_vertices() + hg.num_edges(), edges);
+}
+
+HypergraphStats ComputeHypergraphStats(const Hypergraph& hg) {
+  HypergraphStats stats;
+  stats.num_vertices = hg.num_vertices();
+  stats.num_edges = hg.num_edges();
+  stats.num_incidences = hg.TotalIncidences();
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    stats.max_edge_size = std::max(stats.max_edge_size, hg.EdgeDegree(e));
+  }
+  stats.mean_edge_size =
+      hg.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(stats.num_incidences) /
+                static_cast<double>(hg.num_edges());
+  std::vector<int> counts = hg.VertexEdgeCounts();
+  for (int c : counts) {
+    if (c == 0) ++stats.isolated_vertices;
+    stats.max_vertex_degree =
+        std::max(stats.max_vertex_degree, static_cast<size_t>(c));
+  }
+  stats.mean_vertex_degree =
+      hg.num_vertices() == 0
+          ? 0.0
+          : static_cast<double>(stats.num_incidences) /
+                static_cast<double>(hg.num_vertices());
+  return stats;
+}
+
+std::string StatsToString(const HypergraphStats& stats) {
+  return StrFormat(
+      "n=%zu m=%zu incidences=%zu isolated=%zu edge_size(mean=%.2f max=%zu) "
+      "vertex_degree(mean=%.2f max=%zu)",
+      stats.num_vertices, stats.num_edges, stats.num_incidences,
+      stats.isolated_vertices, stats.mean_edge_size, stats.max_edge_size,
+      stats.mean_vertex_degree, stats.max_vertex_degree);
+}
+
+}  // namespace ahntp::hypergraph

@@ -1,0 +1,40 @@
+#ifndef AHNTP_HYPERGRAPH_EXPANSIONS_H_
+#define AHNTP_HYPERGRAPH_EXPANSIONS_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ahntp::hypergraph {
+
+/// Clique expansion: the weighted vertex-vertex graph where W(u, v) sums
+/// w_e over hyperedges containing both u and v (u != v). This is the lossy
+/// reduction the paper argues hypergraph methods avoid — exposed so that
+/// the loss is measurable (see tests and the hypergraph_tour example).
+tensor::CsrMatrix CliqueExpansion(const Hypergraph& hg);
+
+/// Star expansion: the bipartite digraph over (vertices, hyperedge nodes)
+/// with edges v -> (n + e) and (n + e) -> v for each incidence. Node ids
+/// [0, n) are the original vertices; [n, n + m) are hyperedges.
+Result<graph::Digraph> StarExpansion(const Hypergraph& hg);
+
+/// Summary statistics of a hypergraph.
+struct HypergraphStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_incidences = 0;
+  size_t isolated_vertices = 0;
+  double mean_edge_size = 0.0;
+  size_t max_edge_size = 0;
+  double mean_vertex_degree = 0.0;  // unweighted: #edges per vertex
+  size_t max_vertex_degree = 0;
+};
+HypergraphStats ComputeHypergraphStats(const Hypergraph& hg);
+
+/// Human-readable one-line summary of the stats.
+std::string StatsToString(const HypergraphStats& stats);
+
+}  // namespace ahntp::hypergraph
+
+#endif  // AHNTP_HYPERGRAPH_EXPANSIONS_H_

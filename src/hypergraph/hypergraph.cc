@@ -1,0 +1,193 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ahntp::hypergraph {
+
+using tensor::CsrMatrix;
+using tensor::Triplet;
+
+Status Hypergraph::AddEdge(std::vector<int> vertices, float weight) {
+  if (vertices.empty()) {
+    return Status::InvalidArgument("hyperedge must contain a vertex");
+  }
+  if (weight <= 0.0f) {
+    return Status::InvalidArgument("hyperedge weight must be positive");
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  for (int v : vertices) {
+    if (v < 0 || static_cast<size_t>(v) >= num_vertices_) {
+      return Status::InvalidArgument(
+          StrFormat("vertex %d out of range for %zu vertices", v,
+                    num_vertices_));
+    }
+  }
+  edges_.push_back(std::move(vertices));
+  weights_.push_back(weight);
+  return Status::Ok();
+}
+
+Result<Hypergraph> Hypergraph::FromEdges(
+    size_t num_vertices, const std::vector<std::vector<int>>& edges,
+    const std::vector<float>& weights) {
+  if (!weights.empty() && weights.size() != edges.size()) {
+    return Status::InvalidArgument("weights size must match edges size");
+  }
+  Hypergraph hg(num_vertices);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    float w = weights.empty() ? 1.0f : weights[e];
+    AHNTP_RETURN_IF_ERROR(hg.AddEdge(edges[e], w));
+  }
+  return hg;
+}
+
+const std::vector<int>& Hypergraph::EdgeVertices(size_t e) const {
+  AHNTP_CHECK_LT(e, edges_.size());
+  return edges_[e];
+}
+
+float Hypergraph::EdgeWeight(size_t e) const {
+  AHNTP_CHECK_LT(e, weights_.size());
+  return weights_[e];
+}
+
+size_t Hypergraph::TotalIncidences() const {
+  size_t total = 0;
+  for (const auto& edge : edges_) total += edge.size();
+  return total;
+}
+
+CsrMatrix Hypergraph::Incidence() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(TotalIncidences());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    for (int v : edges_[e]) {
+      triplets.push_back({v, static_cast<int>(e), 1.0f});
+    }
+  }
+  return CsrMatrix::FromTriplets(num_vertices_, edges_.size(),
+                                 std::move(triplets));
+}
+
+std::vector<float> Hypergraph::VertexDegrees() const {
+  std::vector<float> degrees(num_vertices_, 0.0f);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    for (int v : edges_[e]) degrees[static_cast<size_t>(v)] += weights_[e];
+  }
+  return degrees;
+}
+
+std::vector<float> Hypergraph::EdgeDegrees() const {
+  std::vector<float> degrees(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    degrees[e] = static_cast<float>(edges_[e].size());
+  }
+  return degrees;
+}
+
+std::vector<int> Hypergraph::VertexEdgeCounts() const {
+  std::vector<int> counts(num_vertices_, 0);
+  for (const auto& edge : edges_) {
+    for (int v : edge) ++counts[static_cast<size_t>(v)];
+  }
+  return counts;
+}
+
+CsrMatrix Hypergraph::NormalizedAdjacency() const {
+  // A = Dv^{-1/2} H (W De^{-1}) H^T Dv^{-1/2}, assembled as S * S_w^T where
+  // S = Dv^{-1/2} H and S_w = Dv^{-1/2} H (W De^{-1}).
+  std::vector<float> dv = VertexDegrees();
+  std::vector<float> inv_sqrt_dv(num_vertices_, 0.0f);
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    if (dv[v] > 0.0f) inv_sqrt_dv[v] = 1.0f / std::sqrt(dv[v]);
+  }
+  std::vector<Triplet> left;   // Dv^{-1/2} H
+  std::vector<Triplet> right;  // Dv^{-1/2} H W De^{-1}, transposed below
+  left.reserve(TotalIncidences());
+  right.reserve(TotalIncidences());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    float edge_scale =
+        weights_[e] / static_cast<float>(std::max<size_t>(edges_[e].size(), 1));
+    for (int v : edges_[e]) {
+      float s = inv_sqrt_dv[static_cast<size_t>(v)];
+      left.push_back({v, static_cast<int>(e), s});
+      right.push_back({static_cast<int>(e), v, s * edge_scale});
+    }
+  }
+  CsrMatrix l = CsrMatrix::FromTriplets(num_vertices_, edges_.size(),
+                                        std::move(left));
+  CsrMatrix r = CsrMatrix::FromTriplets(edges_.size(), num_vertices_,
+                                        std::move(right));
+  return tensor::SpGemm(l, r);
+}
+
+CsrMatrix Hypergraph::Laplacian() const {
+  return tensor::SparseSub(CsrMatrix::Identity(num_vertices_),
+                           NormalizedAdjacency());
+}
+
+Hypergraph::IncidencePairs Hypergraph::Pairs() const {
+  IncidencePairs pairs;
+  pairs.vertex.reserve(TotalIncidences());
+  pairs.edge.reserve(TotalIncidences());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    for (int v : edges_[e]) {
+      pairs.vertex.push_back(v);
+      pairs.edge.push_back(static_cast<int>(e));
+    }
+  }
+  return pairs;
+}
+
+Hypergraph Hypergraph::Concat(const Hypergraph& a, const Hypergraph& b) {
+  AHNTP_CHECK_EQ(a.num_vertices(), b.num_vertices())
+      << "hypergroup concatenation requires a shared vertex set";
+  Hypergraph out(a.num_vertices());
+  out.edges_ = a.edges_;
+  out.weights_ = a.weights_;
+  out.edges_.insert(out.edges_.end(), b.edges_.begin(), b.edges_.end());
+  out.weights_.insert(out.weights_.end(), b.weights_.begin(),
+                      b.weights_.end());
+  return out;
+}
+
+Status Hypergraph::Validate() const {
+  if (edges_.size() != weights_.size()) {
+    return Status::Internal("edge/weight size mismatch");
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].empty()) {
+      return Status::Corruption(StrFormat("hyperedge %zu is empty", e));
+    }
+    if (weights_[e] <= 0.0f) {
+      return Status::Corruption(
+          StrFormat("hyperedge %zu has non-positive weight", e));
+    }
+    int prev = -1;
+    for (int v : edges_[e]) {
+      if (v < 0 || static_cast<size_t>(v) >= num_vertices_) {
+        return Status::Corruption(
+            StrFormat("hyperedge %zu has out-of-range vertex %d", e, v));
+      }
+      if (v <= prev) {
+        return Status::Corruption(
+            StrFormat("hyperedge %zu is not sorted/unique", e));
+      }
+      prev = v;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Hypergraph::DebugString() const {
+  return StrFormat("Hypergraph n=%zu m=%zu incidences=%zu", num_vertices_,
+                   edges_.size(), TotalIncidences());
+}
+
+}  // namespace ahntp::hypergraph

@@ -1,0 +1,91 @@
+#ifndef AHNTP_HYPERGRAPH_HYPERGRAPH_H_
+#define AHNTP_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/csr.h"
+
+namespace ahntp::hypergraph {
+
+/// A weighted hypergraph G = (V, E, W) over vertices [0, n): each hyperedge
+/// links an arbitrary vertex subset (Section III-A of the paper). Incidence
+/// and degree structures are derived on demand.
+class Hypergraph {
+ public:
+  /// Empty hypergraph over `num_vertices` vertices.
+  explicit Hypergraph(size_t num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds a hyperedge over `vertices` (deduplicated, sorted). Returns
+  /// InvalidArgument for empty edges or out-of-range vertices.
+  Status AddEdge(std::vector<int> vertices, float weight = 1.0f);
+
+  /// Builds from explicit edge lists; fails like AddEdge on bad input.
+  static Result<Hypergraph> FromEdges(
+      size_t num_vertices, const std::vector<std::vector<int>>& edges,
+      const std::vector<float>& weights = {});
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Sorted, deduplicated vertex list of hyperedge e.
+  const std::vector<int>& EdgeVertices(size_t e) const;
+  float EdgeWeight(size_t e) const;
+
+  /// Hyperedge degree delta(e) = |e|.
+  size_t EdgeDegree(size_t e) const { return EdgeVertices(e).size(); }
+
+  /// Total stored incidences (sum of edge sizes).
+  size_t TotalIncidences() const;
+
+  /// The incidence matrix H (num_vertices x num_edges), binary.
+  tensor::CsrMatrix Incidence() const;
+
+  /// Weighted vertex degrees d(v) = sum_e w_e H(v, e).
+  std::vector<float> VertexDegrees() const;
+
+  /// Edge degrees delta(e) = |e| as floats.
+  std::vector<float> EdgeDegrees() const;
+
+  /// Number of hyperedges containing vertex v.
+  std::vector<int> VertexEdgeCounts() const;
+
+  /// Spectral normalized adjacency
+  ///   A = D_v^{-1/2} H W D_e^{-1} H^T D_v^{-1/2}
+  /// (the propagation operator of HGNN/HGNN+ and the paper's Eq. 24 inner
+  /// term). Isolated vertices yield zero rows. Note: materializes vertex
+  /// pairs sharing a hyperedge; intended for small/medium hypergraphs.
+  tensor::CsrMatrix NormalizedAdjacency() const;
+
+  /// Normalized hypergraph Laplacian L = I - NormalizedAdjacency() (Eq. 24).
+  tensor::CsrMatrix Laplacian() const;
+
+  /// Flattened (vertex, edge) incidence pairs, edge-major order. These are
+  /// the segments used by the adaptive convolution's attention.
+  struct IncidencePairs {
+    std::vector<int> vertex;  // pair p touches vertex[p]
+    std::vector<int> edge;    // ... within hyperedge edge[p]
+  };
+  IncidencePairs Pairs() const;
+
+  /// Hypergroup concatenation H_a || H_b of Eqs. (6)-(9): the union of edge
+  /// sets over a shared vertex set.
+  static Hypergraph Concat(const Hypergraph& a, const Hypergraph& b);
+
+  /// Structural invariants: nonempty in-range edges, positive weights.
+  Status Validate() const;
+
+  /// "Hypergraph n=... m=... incidences=..." summary.
+  std::string DebugString() const;
+
+ private:
+  size_t num_vertices_;
+  std::vector<std::vector<int>> edges_;
+  std::vector<float> weights_;
+};
+
+}  // namespace ahntp::hypergraph
+
+#endif  // AHNTP_HYPERGRAPH_HYPERGRAPH_H_

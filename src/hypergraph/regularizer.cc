@@ -1,0 +1,52 @@
+#include "hypergraph/regularizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ahntp::hypergraph {
+
+using autograd::Variable;
+using tensor::CsrMatrix;
+using tensor::Matrix;
+using tensor::Triplet;
+
+Variable HypergraphSmoothness(const Variable& f, const Hypergraph& hg) {
+  AHNTP_CHECK_EQ(f.rows(), hg.num_vertices());
+  const size_t n = hg.num_vertices();
+  const size_t m = hg.num_edges();
+  std::vector<float> dv = hg.VertexDegrees();
+
+  // S = D_v^{-1/2} H as a constant sparse matrix (n x m).
+  std::vector<Triplet> triplets;
+  triplets.reserve(hg.TotalIncidences());
+  for (size_t e = 0; e < m; ++e) {
+    for (int v : hg.EdgeVertices(e)) {
+      float d = dv[static_cast<size_t>(v)];
+      if (d > 0.0f) {
+        triplets.push_back({v, static_cast<int>(e),
+                            1.0f / std::sqrt(d)});
+      }
+    }
+  }
+  CsrMatrix s = CsrMatrix::FromTriplets(n, m, std::move(triplets));
+
+  // Y = S^T f (m x d); per-edge scale matrix sqrt(w_e / delta_e) broadcast
+  // across the feature dimension.
+  Variable y = autograd::SpMMTransposedConst(s, f);
+  Matrix edge_scale(m, f.cols());
+  for (size_t e = 0; e < m; ++e) {
+    float delta = static_cast<float>(hg.EdgeDegree(e));
+    float scale = delta > 0.0f ? std::sqrt(hg.EdgeWeight(e) / delta) : 0.0f;
+    float* row = edge_scale.RowPtr(e);
+    for (size_t c = 0; c < f.cols(); ++c) row[c] = scale;
+  }
+  Variable scaled = autograd::MulConst(y, edge_scale);
+  Variable quadratic = autograd::ReduceSum(autograd::Mul(scaled, scaled));
+
+  // ||f||_F^2 for the identity term of Eq. 24.
+  Variable norm = autograd::ReduceSum(autograd::Mul(f, f));
+  return autograd::Sub(norm, quadratic);
+}
+
+}  // namespace ahntp::hypergraph

@@ -1,0 +1,21 @@
+#ifndef AHNTP_HYPERGRAPH_REGULARIZER_H_
+#define AHNTP_HYPERGRAPH_REGULARIZER_H_
+
+#include "autograd/ops.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ahntp::hypergraph {
+
+/// Hypergraph smoothness R(f) = f^T (I - D_v^{-1/2} H W D_e^{-1} H^T
+/// D_v^{-1/2}) f (Eq. 24), computed in factored form without materializing
+/// the n x n Laplacian:
+///   R(f) = ||f||_F^2 - sum_e (w_e / delta_e) * ||H^T D_v^{-1/2} f||_e^2.
+/// Equivalent (up to float round-off) to
+/// nn::HypergraphRegularizer(f, hg.Laplacian()) but O(incidences * dim)
+/// instead of O(nnz(Laplacian) * dim). Returns a 1x1 scalar variable.
+autograd::Variable HypergraphSmoothness(const autograd::Variable& f,
+                                        const Hypergraph& hg);
+
+}  // namespace ahntp::hypergraph
+
+#endif  // AHNTP_HYPERGRAPH_REGULARIZER_H_

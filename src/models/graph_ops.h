@@ -1,0 +1,30 @@
+#ifndef AHNTP_MODELS_GRAPH_OPS_H_
+#define AHNTP_MODELS_GRAPH_OPS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "tensor/csr.h"
+
+namespace ahntp::models {
+
+/// GCN propagation operator: A_hat = D^{-1/2} (A_sym + I) D^{-1/2}, where
+/// A_sym is the symmetrized binary adjacency.
+tensor::CsrMatrix SymmetricNormalizedAdjacency(const graph::Digraph& graph);
+
+/// Row-normalized directed operator D_out^{-1} A (trust propagation) or
+/// D_in^{-1} A^T when `incoming`, both with self-loops.
+tensor::CsrMatrix DirectedNormalizedAdjacency(const graph::Digraph& graph,
+                                              bool incoming);
+
+/// Edge pair list for attention layers: undirected neighbourhood plus
+/// self-loops, flattened as (dst, src) pairs grouped (segmented) by dst.
+struct AttentionEdges {
+  std::vector<int> dst;  // segment ids (the aggregating node)
+  std::vector<int> src;  // the neighbour providing the message
+};
+AttentionEdges BuildAttentionEdges(const graph::Digraph& graph);
+
+}  // namespace ahntp::models
+
+#endif  // AHNTP_MODELS_GRAPH_OPS_H_

@@ -1,0 +1,59 @@
+#ifndef AHNTP_MODELS_HEURISTICS_H_
+#define AHNTP_MODELS_HEURISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "graph/digraph.h"
+
+namespace ahntp::models {
+
+/// Classic non-learned link/trust prediction scores — the paper's
+/// "propagation-based" related-work category (Section II-A.1). These need
+/// no training; the experiment harness calibrates a decision threshold on
+/// the training pairs exactly as for the learned models.
+enum class Heuristic {
+  /// |N(u) ∩ N(v)| over undirected neighbourhoods.
+  kCommonNeighbors,
+  /// |N(u) ∩ N(v)| / |N(u) ∪ N(v)|.
+  kJaccard,
+  /// sum_{w in N(u) ∩ N(v)} 1 / log(1 + |N(w)|).
+  kAdamicAdar,
+  /// Truncated Katz index: sum_l beta^l * (#paths of length l), l <= 3.
+  kKatz,
+  /// Trust propagation a la TidalTrust/MoleTrust: max over bounded-length
+  /// directed paths of the product of per-hop attenuation.
+  kPropagation,
+};
+
+/// Human-readable name ("Jaccard").
+std::string HeuristicName(Heuristic heuristic);
+
+/// Parses a name; returns NotFound for unknown ones.
+Result<Heuristic> ParseHeuristic(const std::string& name);
+
+/// Options for the path-based scores.
+struct HeuristicOptions {
+  /// Katz damping per hop.
+  double katz_beta = 0.05;
+  /// Maximum path length explored by Katz and Propagation.
+  int max_path_length = 3;
+  /// Per-hop attenuation of the Propagation score.
+  double propagation_decay = 0.6;
+};
+
+/// Scores one ordered user pair on `graph`. Higher = more likely trust.
+double HeuristicScore(const graph::Digraph& graph, Heuristic heuristic,
+                      int src, int dst, const HeuristicOptions& options = {});
+
+/// Scores a batch of pairs; probabilities are min-max normalized into
+/// [0, 1] over the batch so they compose with the shared metric tooling.
+std::vector<float> HeuristicProbabilities(
+    const graph::Digraph& graph, Heuristic heuristic,
+    const std::vector<data::TrustPair>& pairs,
+    const HeuristicOptions& options = {});
+
+}  // namespace ahntp::models
+
+#endif  // AHNTP_MODELS_HEURISTICS_H_

@@ -1,0 +1,73 @@
+#include "models/trust_predictor.h"
+
+#include "common/check.h"
+
+namespace ahntp::models {
+
+using autograd::Variable;
+
+TrustPredictor::TrustPredictor(std::shared_ptr<Encoder> encoder,
+                               const TrustPredictorConfig& config, Rng* rng)
+    : encoder_(std::move(encoder)) {
+  AHNTP_CHECK(encoder_ != nullptr && rng != nullptr);
+  std::vector<size_t> dims;
+  dims.push_back(encoder_->embedding_dim());
+  dims.insert(dims.end(), config.tower_dims.begin(), config.tower_dims.end());
+  AHNTP_CHECK_GE(dims.size(), 2u) << "tower needs at least one layer";
+  tower_src_ = std::make_unique<nn::Mlp>(dims, rng, nn::Activation::kRelu,
+                                         nn::Activation::kNone,
+                                         config.dropout);
+  tower_dst_ = std::make_unique<nn::Mlp>(dims, rng, nn::Activation::kRelu,
+                                         nn::Activation::kNone,
+                                         config.dropout);
+}
+
+TrustPredictor::PairOutput TrustPredictor::Forward(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_CHECK(!pairs.empty());
+  encoder_->SetTraining(training_);
+  tower_src_->SetTraining(training_);
+  tower_dst_->SetTraining(training_);
+  Variable embeddings = encoder_->EncodeUsers();
+  std::vector<int> src_idx;
+  std::vector<int> dst_idx;
+  src_idx.reserve(pairs.size());
+  dst_idx.reserve(pairs.size());
+  for (const data::TrustPair& p : pairs) {
+    src_idx.push_back(p.src);
+    dst_idx.push_back(p.dst);
+  }
+  Variable t_src =
+      tower_src_->Forward(autograd::GatherRows(embeddings, src_idx));
+  Variable t_dst =
+      tower_dst_->Forward(autograd::GatherRows(embeddings, dst_idx));
+  PairOutput out;
+  out.cosine = autograd::PairwiseCosine(t_src, t_dst);
+  // p = (1 + cos) / 2, the fixed rescaling discussed in the class comment.
+  out.probability =
+      autograd::AddScalar(autograd::Scale(out.cosine, 0.5f), 0.5f);
+  out.embeddings = embeddings;
+  return out;
+}
+
+std::vector<float> TrustPredictor::PredictProbabilities(
+    const std::vector<data::TrustPair>& pairs) {
+  bool was_training = training();
+  SetTraining(false);
+  PairOutput out = Forward(pairs);
+  SetTraining(was_training);
+  std::vector<float> probs(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    probs[i] = out.probability.value().At(i, 0);
+  }
+  return probs;
+}
+
+std::vector<Variable> TrustPredictor::Parameters() const {
+  std::vector<Variable> params = encoder_->Parameters();
+  for (auto& p : tower_src_->Parameters()) params.push_back(p);
+  for (auto& p : tower_dst_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace ahntp::models

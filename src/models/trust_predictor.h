@@ -1,0 +1,60 @@
+#ifndef AHNTP_MODELS_TRUST_PREDICTOR_H_
+#define AHNTP_MODELS_TRUST_PREDICTOR_H_
+
+#include <memory>
+
+#include "data/split.h"
+#include "models/encoder.h"
+#include "nn/mlp.h"
+
+namespace ahntp::models {
+
+/// Configuration of the pairwise head shared by all models.
+struct TrustPredictorConfig {
+  /// Tower widths appended after the encoder output (Eqs. 17-18); the last
+  /// width is the similarity space dimension.
+  std::vector<size_t> tower_dims = {32};
+  float dropout = 0.0f;
+};
+
+/// Encoder + pairwise deep network + cosine head (Eqs. 17-19).
+///
+/// Trustor and trustee pass through separate MLP towers (W_a / W_b in the
+/// paper), then cosine similarity scores the pair. The paper reads the
+/// cosine as a probability in [0, 1]; cosine lives in [-1, 1], so the
+/// probability head maps p = (1 + cos) / 2 — a fixed monotone rescaling that
+/// preserves the paper's ranking semantics (documented in DESIGN.md). The
+/// raw cosine feeds the contrastive loss (Eq. 20).
+class TrustPredictor : public nn::Module {
+ public:
+  TrustPredictor(std::shared_ptr<Encoder> encoder,
+                 const TrustPredictorConfig& config, Rng* rng);
+
+  /// Outputs for a batch of user pairs.
+  struct PairOutput {
+    autograd::Variable cosine;      // (batch x 1) in [-1, 1]
+    autograd::Variable probability;  // (batch x 1) in [0, 1]
+    autograd::Variable embeddings;   // (n x d) encoder output, shared tape
+  };
+
+  /// Encodes all users and scores the given pairs. Respects training().
+  PairOutput Forward(const std::vector<data::TrustPair>& pairs);
+
+  /// Inference helper: probabilities for pairs, eval mode, no grad usage.
+  std::vector<float> PredictProbabilities(
+      const std::vector<data::TrustPair>& pairs);
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+  Encoder& encoder() { return *encoder_; }
+  const Encoder& encoder() const { return *encoder_; }
+
+ private:
+  std::shared_ptr<Encoder> encoder_;
+  std::unique_ptr<nn::Mlp> tower_src_;
+  std::unique_ptr<nn::Mlp> tower_dst_;
+};
+
+}  // namespace ahntp::models
+
+#endif  // AHNTP_MODELS_TRUST_PREDICTOR_H_

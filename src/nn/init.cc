@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ahntp::nn {
+
+tensor::Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Matrix::RandUniform(fan_in, fan_out, rng, -a, a);
+}
+
+tensor::Matrix KaimingNormal(size_t fan_in, size_t fan_out, Rng* rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::Matrix::Randn(fan_in, fan_out, rng, 0.0f, stddev);
+}
+
+}  // namespace ahntp::nn

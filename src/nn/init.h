@@ -1,0 +1,17 @@
+#ifndef AHNTP_NN_INIT_H_
+#define AHNTP_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace ahntp::nn {
+
+/// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+tensor::Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Kaiming/He normal initialization: N(0, sqrt(2/fan_in)).
+tensor::Matrix KaimingNormal(size_t fan_in, size_t fan_out, Rng* rng);
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_INIT_H_

@@ -1,0 +1,24 @@
+#include "nn/layer_norm.h"
+
+#include "common/check.h"
+
+namespace ahntp::nn {
+
+LayerNorm::LayerNorm(size_t features, float epsilon)
+    : features_(features),
+      epsilon_(epsilon),
+      gain_(autograd::Parameter(tensor::Matrix(1, features, 1.0f))),
+      bias_(autograd::Parameter(tensor::Matrix(1, features))) {}
+
+autograd::Variable LayerNorm::Forward(const autograd::Variable& x) const {
+  AHNTP_CHECK_EQ(x.cols(), features_);
+  autograd::Variable standardized = autograd::RowStandardize(x, epsilon_);
+  // Broadcast gain across rows: rows * gain + bias.
+  autograd::Variable gained = autograd::Mul(
+      standardized,
+      autograd::MatMul(
+          autograd::Constant(tensor::Matrix(x.rows(), 1, 1.0f)), gain_));
+  return autograd::AddRowBroadcast(gained, bias_);
+}
+
+}  // namespace ahntp::nn

@@ -1,0 +1,33 @@
+#ifndef AHNTP_NN_LAYER_NORM_H_
+#define AHNTP_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace ahntp::nn {
+
+/// Layer normalization over feature rows: y = gain ⊙ standardize(x) + bias,
+/// with learnable per-feature gain (init 1) and bias (init 0). Stabilizes
+/// deep conv stacks (the Fig. 9/10 depth sweep territory).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(size_t features, float epsilon = 1e-5f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override {
+    return {gain_, bias_};
+  }
+
+  size_t features() const { return features_; }
+
+ private:
+  size_t features_;
+  float epsilon_;
+  autograd::Variable gain_;  // 1 x features
+  autograd::Variable bias_;  // 1 x features
+};
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_LAYER_NORM_H_

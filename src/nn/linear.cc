@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace ahntp::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias),
+      weight_(autograd::Parameter(XavierUniform(in_features, out_features,
+                                                rng))),
+      bias_(autograd::Parameter(tensor::Matrix(1, out_features))) {}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  autograd::Variable out = autograd::MatMul(x, weight_);
+  if (use_bias_) out = autograd::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+std::vector<autograd::Variable> Linear::Parameters() const {
+  if (use_bias_) return {weight_, bias_};
+  return {weight_};
+}
+
+}  // namespace ahntp::nn

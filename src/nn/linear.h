@@ -1,0 +1,37 @@
+#ifndef AHNTP_NN_LINEAR_H_
+#define AHNTP_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace ahntp::nn {
+
+/// Fully connected layer: Y = X * W + b (bias optional).
+class Linear : public Module {
+ public:
+  /// Xavier-initialized weights; zero bias.
+  Linear(size_t in_features, size_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  /// Forward pass; x is (batch x in_features).
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+  autograd::Variable& weight() { return weight_; }
+  autograd::Variable& bias() { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  bool use_bias_;
+  autograd::Variable weight_;  // in x out
+  autograd::Variable bias_;    // 1 x out
+};
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_LINEAR_H_

@@ -1,0 +1,92 @@
+#include "nn/losses.h"
+
+#include "common/check.h"
+
+namespace ahntp::nn {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+Variable BinaryCrossEntropy(const Variable& probs,
+                            const std::vector<float>& targets,
+                            float epsilon) {
+  AHNTP_CHECK_EQ(probs.cols(), 1u);
+  AHNTP_CHECK_EQ(probs.rows(), targets.size());
+  AHNTP_CHECK_GT(targets.size(), 0u);
+  Variable p = autograd::Clamp(probs, epsilon, 1.0f - epsilon);
+  Matrix y(targets.size(), 1);
+  Matrix one_minus_y(targets.size(), 1);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    AHNTP_CHECK(targets[i] == 0.0f || targets[i] == 1.0f)
+        << "BCE target must be 0 or 1, got " << targets[i];
+    y.At(i, 0) = targets[i];
+    one_minus_y.At(i, 0) = 1.0f - targets[i];
+  }
+  // -(y*log(p) + (1-y)*log(1-p)), averaged.
+  Variable log_p = autograd::Log(p);
+  Variable log_1mp = autograd::Log(
+      autograd::AddScalar(autograd::Scale(p, -1.0f), 1.0f));
+  Variable terms = autograd::Add(autograd::MulConst(log_p, y),
+                                 autograd::MulConst(log_1mp, one_minus_y));
+  return autograd::Scale(autograd::ReduceMean(terms), -1.0f);
+}
+
+Variable SupervisedContrastiveLoss(const Variable& sims,
+                                   const std::vector<int>& anchors,
+                                   size_t num_anchors,
+                                   const std::vector<bool>& is_positive,
+                                   float temperature) {
+  AHNTP_CHECK_EQ(sims.cols(), 1u);
+  AHNTP_CHECK_EQ(sims.rows(), anchors.size());
+  AHNTP_CHECK_EQ(anchors.size(), is_positive.size());
+  AHNTP_CHECK_GT(temperature, 0.0f);
+
+  const size_t num_pairs = anchors.size();
+  Matrix pos_mask(num_pairs, 1);
+  std::vector<bool> anchor_has_positive(num_anchors, false);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    pos_mask.At(p, 0) = is_positive[p] ? 1.0f : 0.0f;
+    if (is_positive[p]) {
+      anchor_has_positive[static_cast<size_t>(anchors[p])] = true;
+    }
+  }
+  size_t active_anchors = 0;
+  Matrix anchor_mask(num_anchors, 1);
+  for (size_t a = 0; a < num_anchors; ++a) {
+    if (anchor_has_positive[a]) {
+      anchor_mask.At(a, 0) = 1.0f;
+      ++active_anchors;
+    }
+  }
+  AHNTP_CHECK_GT(active_anchors, 0u)
+      << "supervised contrastive loss needs at least one anchor with a "
+         "positive pair";
+
+  Variable exp_s = autograd::Exp(autograd::Scale(sims, 1.0f / temperature));
+  Variable pos_sum = autograd::SegmentSum(autograd::MulConst(exp_s, pos_mask),
+                                          anchors, num_anchors);
+  Variable all_sum = autograd::SegmentSum(exp_s, anchors, num_anchors);
+  // -log(pos/all) = log(all) - log(pos); anchors without positives masked out.
+  Variable per_anchor =
+      autograd::Sub(autograd::Log(all_sum), autograd::Log(pos_sum));
+  Variable masked = autograd::MulConst(per_anchor, anchor_mask);
+  return autograd::Scale(autograd::ReduceSum(masked),
+                         1.0f / static_cast<float>(active_anchors));
+}
+
+Variable CombinedLoss(const Variable& contrastive, const Variable& bce,
+                      float lambda1, float lambda2) {
+  return autograd::Add(autograd::Scale(contrastive, lambda1),
+                       autograd::Scale(bce, lambda2));
+}
+
+Variable HypergraphRegularizer(const Variable& f,
+                               const tensor::CsrMatrix& laplacian) {
+  AHNTP_CHECK_EQ(laplacian.rows(), laplacian.cols());
+  AHNTP_CHECK_EQ(f.rows(), laplacian.rows());
+  Variable lf = autograd::SpMMConst(laplacian, f);
+  Variable quadratic = autograd::RowwiseDot(f, lf);
+  return autograd::ReduceSum(quadratic);
+}
+
+}  // namespace ahntp::nn

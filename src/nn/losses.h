@@ -1,0 +1,46 @@
+#ifndef AHNTP_NN_LOSSES_H_
+#define AHNTP_NN_LOSSES_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "tensor/csr.h"
+
+namespace ahntp::nn {
+
+/// Binary cross-entropy on probabilities (Eq. 21 of the paper).
+/// `probs` is (n x 1) with entries clamped internally into
+/// [epsilon, 1-epsilon]; `targets` holds 0/1 labels.
+autograd::Variable BinaryCrossEntropy(const autograd::Variable& probs,
+                                      const std::vector<float>& targets,
+                                      float epsilon = 1e-6f);
+
+/// Supervised contrastive loss (Eq. 20 of the paper).
+///
+/// `sims` is an (P x 1) column of similarity scores, one per training pair.
+/// `anchors[p]` groups pairs by their anchor user i; `is_positive[p]` marks
+/// trusted (positive) pairs. For each anchor with at least one positive
+/// pair the loss contributes
+///   -log( sum_pos exp(s/t) / sum_all exp(s/t) )
+/// and the result is averaged over such anchors. Anchors without a positive
+/// pair in the batch are excluded (their term is undefined in Eq. 20).
+autograd::Variable SupervisedContrastiveLoss(
+    const autograd::Variable& sims, const std::vector<int>& anchors,
+    size_t num_anchors, const std::vector<bool>& is_positive,
+    float temperature);
+
+/// Combined training loss (Eq. 22): lambda1 * contrastive + lambda2 * bce.
+autograd::Variable CombinedLoss(const autograd::Variable& contrastive,
+                                const autograd::Variable& bce, float lambda1,
+                                float lambda2);
+
+/// Hypergraph label-smoothing regularizer (Eqs. 23-24):
+///   R(f) = trace(f^T (I - A_norm) f) = sum_i <f_i, (L f)_i>
+/// where `laplacian` is the precomputed normalized hypergraph Laplacian
+/// L = I - D_v^{-1/2} H W D_e^{-1} H^T D_v^{-1/2}. Returns a 1x1 scalar.
+autograd::Variable HypergraphRegularizer(const autograd::Variable& f,
+                                         const tensor::CsrMatrix& laplacian);
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_LOSSES_H_

@@ -1,0 +1,58 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+
+namespace ahntp::nn {
+
+autograd::Variable Activate(const autograd::Variable& x, Activation act,
+                            float leaky_slope) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return autograd::Relu(x);
+    case Activation::kLeakyRelu:
+      return autograd::LeakyRelu(x, leaky_slope);
+    case Activation::kSigmoid:
+      return autograd::Sigmoid(x);
+    case Activation::kTanh:
+      return autograd::Tanh(x);
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng* rng,
+         Activation hidden_activation, Activation output_activation,
+         float dropout)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation),
+      dropout_(dropout),
+      rng_(rng) {
+  AHNTP_CHECK_GE(dims.size(), 2u) << "Mlp needs at least input+output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+autograd::Variable Mlp::Forward(const autograd::Variable& x) const {
+  autograd::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    bool is_last = (i + 1 == layers_.size());
+    h = Activate(h, is_last ? output_activation_ : hidden_activation_);
+    if (!is_last && dropout_ > 0.0f) {
+      h = autograd::Dropout(h, dropout_, rng_, training_);
+    }
+  }
+  return h;
+}
+
+std::vector<autograd::Variable> Mlp::Parameters() const {
+  std::vector<autograd::Variable> params;
+  for (const auto& layer : layers_) {
+    for (auto& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace ahntp::nn

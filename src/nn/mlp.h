@@ -1,0 +1,48 @@
+#ifndef AHNTP_NN_MLP_H_
+#define AHNTP_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace ahntp::nn {
+
+/// Activation applied between MLP layers.
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies an activation to a variable.
+autograd::Variable Activate(const autograd::Variable& x, Activation act,
+                            float leaky_slope = 0.2f);
+
+/// Multi-layer perceptron: a chain of Linear layers with a shared hidden
+/// activation; the output layer activation is configurable separately
+/// (default none). Optional inverted dropout between hidden layers.
+class Mlp : public Module {
+ public:
+  /// `dims` lists layer widths input-first, e.g. {64, 256, 128} builds
+  /// 64->256->128. Requires at least two entries.
+  Mlp(const std::vector<size_t>& dims, Rng* rng,
+      Activation hidden_activation = Activation::kRelu,
+      Activation output_activation = Activation::kNone,
+      float dropout = 0.0f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+  size_t in_features() const { return layers_.front()->in_features(); }
+  size_t out_features() const { return layers_.back()->out_features(); }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_activation_;
+  Activation output_activation_;
+  float dropout_;
+  Rng* rng_;
+};
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_MLP_H_

@@ -1,0 +1,41 @@
+#ifndef AHNTP_NN_MODULE_H_
+#define AHNTP_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ahntp::nn {
+
+/// Base class for trainable components. Parameters are autograd::Variable
+/// handles (shared nodes), so optimizers can update them in place.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameter handles of this module (and submodules).
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+
+  /// Switches train/eval behaviour (dropout etc.).
+  void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  size_t NumParameters() const {
+    size_t total = 0;
+    for (const auto& p : Parameters()) total += p.value().size();
+    return total;
+  }
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_MODULE_H_

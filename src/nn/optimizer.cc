@@ -1,0 +1,83 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ahntp::nn {
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float learning_rate,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    tensor::Matrix& value = p.mutable_value();
+    const tensor::Matrix& grad = p.grad();
+    for (size_t i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] + weight_decay_ * value.data()[i];
+      value.data()[i] -= learning_rate_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float learning_rate,
+           float beta1, float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    tensor::Matrix& value = params_[k].mutable_value();
+    const tensor::Matrix& grad = params_[k].grad();
+    tensor::Matrix& m = m_[k];
+    tensor::Matrix& v = v_[k];
+    for (size_t i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] + weight_decay_ * value.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * g * g;
+      float m_hat = m.data()[i] / bc1;
+      float v_hat = v.data()[i] / bc2;
+      value.data()[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+float ClipGradientNorm(const std::vector<autograd::Variable>& params,
+                       float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    const tensor::Matrix& g = p.grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      total += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const auto& p : params) {
+      // Gradients live on the shared node; scale in place.
+      autograd::Variable handle = p;
+      handle.mutable_grad() *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace ahntp::nn

@@ -1,0 +1,84 @@
+#ifndef AHNTP_NN_OPTIMIZER_H_
+#define AHNTP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ahntp::nn {
+
+/// Base class for first-order optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// Updates the learning rate (for LrSchedule-driven training loops).
+  virtual void set_learning_rate(float rate) = 0;
+  virtual float learning_rate() const = 0;
+
+  /// Zeroes parameter gradients (call between steps).
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float learning_rate,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+  void set_learning_rate(float rate) override { learning_rate_ = rate; }
+  float learning_rate() const override { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with decoupled-from-nothing classic L2 weight decay,
+/// matching the paper's optimizer (§V-A.4: lr 1e-3, decay 1e-4).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float learning_rate = 1e-3f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+  void set_learning_rate(float rate) override { learning_rate_ = rate; }
+  float learning_rate() const override { return learning_rate_; }
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. No-op (still returns the norm) when already
+/// within bounds.
+float ClipGradientNorm(const std::vector<autograd::Variable>& params,
+                       float max_norm);
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_OPTIMIZER_H_

@@ -1,0 +1,88 @@
+#ifndef AHNTP_NN_SCHEDULER_H_
+#define AHNTP_NN_SCHEDULER_H_
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ahntp::nn {
+
+/// Learning-rate schedules. Stateless value objects: query the rate for an
+/// epoch and hand it to the optimizer (which exposes set_learning_rate()).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use for `epoch` (0-based).
+  virtual float Rate(int epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float rate) : rate_(rate) {}
+  float Rate(int /*epoch*/) const override { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// Multiplies the rate by `gamma` every `step_size` epochs.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float initial, int step_size, float gamma)
+      : initial_(initial), step_size_(step_size), gamma_(gamma) {
+    AHNTP_CHECK_GT(step_size, 0);
+    AHNTP_CHECK_GT(gamma, 0.0f);
+  }
+  float Rate(int epoch) const override {
+    return initial_ * std::pow(gamma_, static_cast<float>(epoch / step_size_));
+  }
+
+ private:
+  float initial_;
+  int step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from `initial` to `floor` over `total_epochs`.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float initial, int total_epochs, float floor = 0.0f)
+      : initial_(initial), total_epochs_(total_epochs), floor_(floor) {
+    AHNTP_CHECK_GT(total_epochs, 0);
+  }
+  float Rate(int epoch) const override {
+    if (epoch >= total_epochs_) return floor_;
+    float progress = static_cast<float>(epoch) /
+                     static_cast<float>(total_epochs_);
+    return floor_ + 0.5f * (initial_ - floor_) *
+                        (1.0f + std::cos(static_cast<float>(M_PI) * progress));
+  }
+
+ private:
+  float initial_;
+  int total_epochs_;
+  float floor_;
+};
+
+/// Linear warmup to `peak` over `warmup_epochs`, then constant.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(float peak, int warmup_epochs)
+      : peak_(peak), warmup_epochs_(warmup_epochs) {
+    AHNTP_CHECK_GT(warmup_epochs, 0);
+  }
+  float Rate(int epoch) const override {
+    if (epoch >= warmup_epochs_) return peak_;
+    return peak_ * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_epochs_);
+  }
+
+ private:
+  float peak_;
+  int warmup_epochs_;
+};
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_SCHEDULER_H_

@@ -1,0 +1,83 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace ahntp::nn {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'H', 'N', 'T', 'P', 'C', 'K', '1'};
+}  // namespace
+
+Status SaveParameters(const std::vector<autograd::Variable>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    uint64_t rows = p.value().rows();
+    uint64_t cols = p.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.value().size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(std::vector<autograd::Variable>* params,
+                      const std::string& path) {
+  if (params == nullptr) return Status::InvalidArgument("params is null");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return Status::Corruption("truncated checkpoint header");
+  if (count != params->size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %llu parameters, module has %zu",
+                  static_cast<unsigned long long>(count), params->size()));
+  }
+  // Stage all payloads first so a failure leaves the module untouched.
+  std::vector<tensor::Matrix> staged;
+  staged.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in) return Status::Corruption("truncated checkpoint shape");
+    const auto& expected = (*params)[i].value();
+    if (rows != expected.rows() || cols != expected.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter %llu shape mismatch: checkpoint %llux%llu vs module "
+          "%zux%zu",
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(rows),
+          static_cast<unsigned long long>(cols), expected.rows(),
+          expected.cols()));
+    }
+    tensor::Matrix m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in) return Status::Corruption("truncated checkpoint payload");
+    staged.push_back(std::move(m));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    (*params)[i].mutable_value() = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ahntp::nn

@@ -1,0 +1,37 @@
+#ifndef AHNTP_NN_SERIALIZATION_H_
+#define AHNTP_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace ahntp::nn {
+
+/// Saves parameter values to a binary checkpoint ("AHNTPCK1" magic, then
+/// count + per-parameter shape + float32 payload, little-endian). Parameter
+/// *order* is the identity key: load into a module built with the same
+/// architecture/configuration.
+Status SaveParameters(const std::vector<autograd::Variable>& params,
+                      const std::string& path);
+
+/// Loads a checkpoint into existing parameters. Fails with InvalidArgument
+/// on count/shape mismatch and Corruption on a malformed file; parameters
+/// are untouched on failure.
+Status LoadParameters(std::vector<autograd::Variable>* params,
+                      const std::string& path);
+
+/// Convenience overloads for modules.
+inline Status SaveModule(const Module& module, const std::string& path) {
+  return SaveParameters(module.Parameters(), path);
+}
+inline Status LoadModule(Module* module, const std::string& path) {
+  std::vector<autograd::Variable> params = module->Parameters();
+  return LoadParameters(&params, path);
+}
+
+}  // namespace ahntp::nn
+
+#endif  // AHNTP_NN_SERIALIZATION_H_

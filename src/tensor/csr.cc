@@ -1,0 +1,342 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ahntp::tensor {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    AHNTP_CHECK(t.row >= 0 && static_cast<size_t>(t.row) < rows);
+    AHNTP_CHECK(t.col >= 0 && static_cast<size_t>(t.col) < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix out(rows, cols);
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && static_cast<size_t>(triplets[i].row) == r) {
+      int col = triplets[i].col;
+      float value = triplets[i].value;
+      ++i;
+      while (i < triplets.size() &&
+             static_cast<size_t>(triplets[i].row) == r &&
+             triplets[i].col == col) {
+        value += triplets[i].value;
+        ++i;
+      }
+      out.col_idx_.push_back(col);
+      out.values_.push_back(value);
+    }
+    out.row_ptr_[r + 1] = static_cast<int>(out.col_idx_.size());
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float tolerance) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      float v = dense.At(r, c);
+      if (std::fabs(v) > tolerance) {
+        triplets.push_back({static_cast<int>(r), static_cast<int>(c), v});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Identity(size_t n) {
+  CsrMatrix out(n, n);
+  out.col_idx_.resize(n);
+  out.values_.assign(n, 1.0f);
+  for (size_t i = 0; i < n; ++i) {
+    out.col_idx_[i] = static_cast<int>(i);
+    out.row_ptr_[i + 1] = static_cast<int>(i + 1);
+  }
+  return out;
+}
+
+float CsrMatrix::At(size_t r, size_t c) const {
+  AHNTP_DCHECK(r < rows_ && c < cols_);
+  const int* begin = col_idx_.data() + row_ptr_[r];
+  const int* end = col_idx_.data() + row_ptr_[r + 1];
+  const int* it = std::lower_bound(begin, end, static_cast<int>(c));
+  if (it != end && *it == static_cast<int>(c)) {
+    return values_[static_cast<size_t>(it - col_idx_.data())];
+  }
+  return 0.0f;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      out.At(r, static_cast<size_t>(col_idx_[i])) += values_[i];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix out(cols_, rows_);
+  std::vector<int> counts(cols_, 0);
+  for (int c : col_idx_) ++counts[static_cast<size_t>(c)];
+  out.row_ptr_.assign(cols_ + 1, 0);
+  for (size_t c = 0; c < cols_; ++c) {
+    out.row_ptr_[c + 1] = out.row_ptr_[c] + counts[c];
+  }
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<int> offsets(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      size_t c = static_cast<size_t>(col_idx_[i]);
+      int slot = offsets[c]++;
+      out.col_idx_[slot] = static_cast<int>(r);
+      out.values_[slot] = values_[i];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Scaled(float scalar) const {
+  CsrMatrix out = *this;
+  for (auto& v : out.values_) v *= scalar;
+  return out;
+}
+
+CsrMatrix CsrMatrix::Pruned(float tolerance) const {
+  CsrMatrix out(rows_, cols_);
+  out.col_idx_.reserve(nnz());
+  out.values_.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      if (std::fabs(values_[i]) > tolerance) {
+        out.col_idx_.push_back(col_idx_[i]);
+        out.values_.push_back(values_[i]);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int>(out.col_idx_.size());
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Binarized() const {
+  CsrMatrix out = Pruned(0.0f);
+  for (auto& v : out.values_) v = 1.0f;
+  return out;
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(rows_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) sums[r] += values_[i];
+  }
+  return sums;
+}
+
+std::vector<float> CsrMatrix::ColSums() const {
+  std::vector<float> sums(cols_, 0.0f);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sums[static_cast<size_t>(col_idx_[i])] += values_[i];
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::RowNormalized(float epsilon) const {
+  CsrMatrix out = *this;
+  std::vector<float> sums = RowSums();
+  for (size_t r = 0; r < rows_; ++r) {
+    float denom = sums[r] + epsilon;
+    if (denom == 0.0f) continue;
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      out.values_[i] /= denom;
+    }
+  }
+  return out;
+}
+
+float CsrMatrix::Sum() const {
+  double acc = 0.0;
+  for (float v : values_) acc += v;
+  return static_cast<float>(acc);
+}
+
+bool CsrMatrix::AllClose(const CsrMatrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  return ToDense().AllClose(other.ToDense(), tol);
+}
+
+std::string CsrMatrix::DebugString(size_t max_entries) const {
+  std::ostringstream out;
+  out << "CsrMatrix " << rows_ << "x" << cols_ << " nnz=" << nnz() << " {";
+  size_t shown = 0;
+  for (size_t r = 0; r < rows_ && shown < max_entries; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1] && shown < max_entries;
+         ++i, ++shown) {
+      if (shown > 0) out << ", ";
+      out << "(" << r << "," << col_idx_[i] << ")=" << values_[i];
+    }
+  }
+  if (shown < nnz()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x) {
+  AHNTP_CHECK_EQ(a.cols(), x.size());
+  std::vector<float> y(a.rows(), 0.0f);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      acc += static_cast<double>(values[i]) * x[static_cast<size_t>(col_idx[i])];
+    }
+    y[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
+  AHNTP_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const size_t n = b.cols();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* orow = out.RowPtr(r);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      float av = values[i];
+      const float* brow = b.RowPtr(static_cast<size_t>(col_idx[i]));
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
+  AHNTP_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const size_t n = b.cols();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* brow = b.RowPtr(r);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      float av = values[i];
+      float* orow = out.RowPtr(static_cast<size_t>(col_idx[i]));
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b) {
+  AHNTP_CHECK_EQ(a.cols(), b.rows());
+  // Gustavson's algorithm with a dense accumulator sized to b.cols().
+  std::vector<Triplet> triplets;
+  std::vector<float> accumulator(b.cols(), 0.0f);
+  std::vector<int> touched;
+  const auto& a_row_ptr = a.row_ptr();
+  const auto& a_col_idx = a.col_idx();
+  const auto& a_values = a.values();
+  const auto& b_row_ptr = b.row_ptr();
+  const auto& b_col_idx = b.col_idx();
+  const auto& b_values = b.values();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    touched.clear();
+    for (int i = a_row_ptr[r]; i < a_row_ptr[r + 1]; ++i) {
+      float av = a_values[i];
+      size_t mid = static_cast<size_t>(a_col_idx[i]);
+      for (int j = b_row_ptr[mid]; j < b_row_ptr[mid + 1]; ++j) {
+        size_t c = static_cast<size_t>(b_col_idx[j]);
+        if (accumulator[c] == 0.0f) touched.push_back(static_cast<int>(c));
+        accumulator[c] += av * b_values[j];
+      }
+    }
+    for (int c : touched) {
+      float v = accumulator[static_cast<size_t>(c)];
+      accumulator[static_cast<size_t>(c)] = 0.0f;
+      if (v != 0.0f) triplets.push_back({static_cast<int>(r), c, v});
+    }
+  }
+  return CsrMatrix::FromTriplets(a.rows(), b.cols(), std::move(triplets));
+}
+
+namespace {
+
+/// Merges rows of a and b with the given combine rule; entries combining to
+/// zero are kept out when `drop_zero` (intersection semantics for Hadamard).
+enum class MergeMode { kHadamard, kAdd, kSub };
+
+CsrMatrix Merge(const CsrMatrix& a, const CsrMatrix& b, MergeMode mode) {
+  AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    int ia = a.row_ptr()[r];
+    int ea = a.row_ptr()[r + 1];
+    int ib = b.row_ptr()[r];
+    int eb = b.row_ptr()[r + 1];
+    while (ia < ea || ib < eb) {
+      int ca = ia < ea ? a.col_idx()[ia] : INT32_MAX;
+      int cb = ib < eb ? b.col_idx()[ib] : INT32_MAX;
+      if (ca == cb) {
+        float v = 0.0f;
+        switch (mode) {
+          case MergeMode::kHadamard:
+            v = a.values()[ia] * b.values()[ib];
+            break;
+          case MergeMode::kAdd:
+            v = a.values()[ia] + b.values()[ib];
+            break;
+          case MergeMode::kSub:
+            v = a.values()[ia] - b.values()[ib];
+            break;
+        }
+        if (v != 0.0f) triplets.push_back({static_cast<int>(r), ca, v});
+        ++ia;
+        ++ib;
+      } else if (ca < cb) {
+        if (mode != MergeMode::kHadamard && a.values()[ia] != 0.0f) {
+          triplets.push_back({static_cast<int>(r), ca, a.values()[ia]});
+        }
+        ++ia;
+      } else {
+        if (mode == MergeMode::kAdd && b.values()[ib] != 0.0f) {
+          triplets.push_back({static_cast<int>(r), cb, b.values()[ib]});
+        } else if (mode == MergeMode::kSub && b.values()[ib] != 0.0f) {
+          triplets.push_back({static_cast<int>(r), cb, -b.values()[ib]});
+        }
+        ++ib;
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+}
+
+}  // namespace
+
+CsrMatrix SparseHadamard(const CsrMatrix& a, const CsrMatrix& b) {
+  return Merge(a, b, MergeMode::kHadamard);
+}
+
+CsrMatrix SparseAdd(const CsrMatrix& a, const CsrMatrix& b) {
+  return Merge(a, b, MergeMode::kAdd);
+}
+
+CsrMatrix SparseSub(const CsrMatrix& a, const CsrMatrix& b) {
+  return Merge(a, b, MergeMode::kSub);
+}
+
+}  // namespace ahntp::tensor

@@ -1,0 +1,121 @@
+#ifndef AHNTP_TENSOR_CSR_H_
+#define AHNTP_TENSOR_CSR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahntp::tensor {
+
+/// One (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  float value = 0.0f;
+};
+
+/// Compressed-sparse-row float32 matrix. Powers the motif algebra of
+/// Table II (SpGEMM + Hadamard), graph/hypergraph convolutions (SpMM), and
+/// PageRank iterations (SpMV).
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+
+  /// Zero matrix of the given shape.
+  CsrMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Builds from a dense matrix, dropping entries with |v| <= tolerance.
+  static CsrMatrix FromDense(const Matrix& dense, float tolerance = 0.0f);
+
+  /// Identity matrix of size n.
+  static CsrMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Value at (r, c); zero when the entry is not stored. O(log nnz(row)).
+  float At(size_t r, size_t c) const;
+
+  /// Number of stored entries in row r.
+  size_t RowNnz(size_t r) const {
+    AHNTP_DCHECK(r < rows_);
+    return static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+
+  /// Dense copy (small matrices / tests only).
+  Matrix ToDense() const;
+
+  /// Transpose (CSR -> CSR, O(nnz)).
+  CsrMatrix Transposed() const;
+
+  /// Multiplies all stored values by `scalar`.
+  CsrMatrix Scaled(float scalar) const;
+
+  /// Drops stored entries with |v| <= tolerance.
+  CsrMatrix Pruned(float tolerance = 0.0f) const;
+
+  /// Returns a copy whose stored values are all 1 (the sparsity pattern).
+  CsrMatrix Binarized() const;
+
+  /// Per-row sum of stored values (length rows()).
+  std::vector<float> RowSums() const;
+  /// Per-column sum of stored values (length cols()).
+  std::vector<float> ColSums() const;
+
+  /// Row-stochastic copy: each nonempty row divided by its sum.
+  CsrMatrix RowNormalized(float epsilon = 0.0f) const;
+
+  /// Sum of all stored values.
+  float Sum() const;
+
+  /// True if shapes match and the dense forms differ by at most `tol`.
+  bool AllClose(const CsrMatrix& other, float tol = 1e-5f) const;
+
+  std::string DebugString(size_t max_entries = 16) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<float> values_;
+};
+
+/// y = A * x where x and y are dense vectors (x.size() == A.cols()).
+std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x);
+
+/// out = A * B where A is sparse and B dense. Shapes: (m x k) * (k x n).
+Matrix SpMM(const CsrMatrix& a, const Matrix& b);
+
+/// out = A^T * B without materializing the transpose.
+Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b);
+
+/// Sparse-sparse product (m x k) * (k x n) -> (m x n).
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Entrywise (Hadamard) product; result pattern is the intersection.
+CsrMatrix SparseHadamard(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Entrywise sum; result pattern is the union.
+CsrMatrix SparseAdd(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Entrywise difference a - b.
+CsrMatrix SparseSub(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace ahntp::tensor
+
+#endif  // AHNTP_TENSOR_CSR_H_

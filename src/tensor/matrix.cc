@@ -1,0 +1,314 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ahntp::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  AHNTP_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  size_t cols = rows[0].size();
+  Matrix out(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    AHNTP_CHECK_EQ(rows[r].size(), cols);
+    for (size_t c = 0; c < cols; ++c) out.At(r, c) = rows[r][c];
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0f;
+  return out;
+}
+
+Matrix Matrix::Randn(size_t rows, size_t cols, Rng* rng, float mean,
+                     float stddev) {
+  AHNTP_CHECK(rng != nullptr);
+  Matrix out(rows, cols);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return out;
+}
+
+Matrix Matrix::RandUniform(size_t rows, size_t cols, Rng* rng, float lo,
+                           float hi) {
+  AHNTP_CHECK(rng != nullptr);
+  Matrix out(rows, cols);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = rng->Uniform(lo, hi);
+  }
+  return out;
+}
+
+void Matrix::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Matrix::Reshape(size_t rows, size_t cols) {
+  AHNTP_CHECK_EQ(rows * cols, data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::Mean() const {
+  if (data_.empty()) return 0.0f;
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Matrix::MaxAbs() const {
+  float best = 0.0f;
+  for (float v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Matrix Matrix::RowCopy(size_t r) const {
+  AHNTP_CHECK_LT(r, rows_);
+  Matrix out(1, cols_);
+  for (size_t c = 0; c < cols_; ++c) out.At(0, c) = At(r, c);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::DebugString(size_t max_entries) const {
+  std::ostringstream out;
+  out << "Matrix " << rows_ << "x" << cols_ << " [";
+  size_t shown = std::min(max_entries, data_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[i];
+  }
+  if (shown < data_.size()) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float scalar) {
+  Matrix out = a;
+  out *= scalar;
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
+              bool transpose_b) {
+  const size_t m = transpose_a ? a.cols() : a.rows();
+  const size_t k = transpose_a ? a.rows() : a.cols();
+  const size_t k2 = transpose_b ? b.cols() : b.rows();
+  const size_t n = transpose_b ? b.rows() : b.cols();
+  AHNTP_CHECK_EQ(k, k2);
+  Matrix out(m, n);
+  if (!transpose_a && !transpose_b) {
+    // ikj loop order keeps the inner loop streaming over contiguous rows.
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* orow = out.RowPtr(i);
+      for (size_t p = 0; p < k; ++p) {
+        float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.RowPtr(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else if (transpose_a && !transpose_b) {
+    // out[i][j] += a[p][i] * b[p][j]
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a.RowPtr(p);
+      const float* brow = b.RowPtr(p);
+      for (size_t i = 0; i < m; ++i) {
+        float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out.RowPtr(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else if (!transpose_a && transpose_b) {
+    // out[i][j] = dot(a.row(i), b.row(j))
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* orow = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.RowPtr(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+        orow[j] = static_cast<float>(acc);
+      }
+    }
+  } else {
+    // Rare path; materialize a^T and recurse once.
+    return MatMul(a.Transposed(), b, /*transpose_a=*/false,
+                  /*transpose_b=*/true);
+  }
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  AHNTP_CHECK_EQ(row.rows(), 1u);
+  AHNTP_CHECK_EQ(row.cols(), a.cols());
+  Matrix out = a;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* orow = out.RowPtr(r);
+    const float* brow = row.RowPtr(0);
+    for (size_t c = 0; c < a.cols(); ++c) orow[c] += brow[c];
+  }
+  return out;
+}
+
+Matrix RowSums(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = a.RowPtr(r);
+    for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
+    out.At(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix ColSums(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.RowPtr(r);
+    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+  }
+  return out;
+}
+
+Matrix RowNorms(const Matrix& a, float epsilon) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = a.RowPtr(r);
+    for (size_t c = 0; c < a.cols(); ++c) {
+      acc += static_cast<double>(row[c]) * row[c];
+    }
+    out.At(r, 0) = static_cast<float>(std::sqrt(acc + epsilon));
+  }
+  return out;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  AHNTP_CHECK(!parts.empty());
+  size_t rows = parts[0]->rows();
+  size_t cols = 0;
+  for (const Matrix* part : parts) {
+    AHNTP_CHECK_EQ(part->rows(), rows);
+    cols += part->cols();
+  }
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* orow = out.RowPtr(r);
+    size_t offset = 0;
+    for (const Matrix* part : parts) {
+      const float* prow = part->RowPtr(r);
+      for (size_t c = 0; c < part->cols(); ++c) orow[offset + c] = prow[c];
+      offset += part->cols();
+    }
+  }
+  return out;
+}
+
+Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
+  AHNTP_CHECK(!parts.empty());
+  size_t cols = parts[0]->cols();
+  size_t rows = 0;
+  for (const Matrix* part : parts) {
+    AHNTP_CHECK_EQ(part->cols(), cols);
+    rows += part->rows();
+  }
+  Matrix out(rows, cols);
+  size_t offset = 0;
+  for (const Matrix* part : parts) {
+    for (size_t r = 0; r < part->rows(); ++r) {
+      const float* prow = part->RowPtr(r);
+      float* orow = out.RowPtr(offset + r);
+      for (size_t c = 0; c < cols; ++c) orow[c] = prow[c];
+    }
+    offset += part->rows();
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int>& indices) {
+  Matrix out(indices.size(), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    AHNTP_CHECK(indices[i] >= 0 &&
+                static_cast<size_t>(indices[i]) < a.rows());
+    const float* src = a.RowPtr(static_cast<size_t>(indices[i]));
+    float* dst = out.RowPtr(i);
+    for (size_t c = 0; c < a.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace ahntp::tensor

@@ -1,0 +1,209 @@
+// Tests for graph analytics and hypergraph expansions.
+
+#include <gtest/gtest.h>
+
+#include "graph/analytics.h"
+#include "hypergraph/expansions.h"
+
+namespace ahntp {
+namespace {
+
+graph::Digraph MakeGraph(size_t n, std::vector<graph::Edge> edges) {
+  auto g = graph::Digraph::FromEdges(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+// ---------------------------------------------------------------------------
+// Clustering coefficient
+// ---------------------------------------------------------------------------
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  graph::Digraph g = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(graph::LocalClusteringCoefficient(g, u), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(graph::AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(graph::LocalClusteringCoefficient(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(graph::LocalClusteringCoefficient(g, 1), 0.0);  // deg 1
+}
+
+TEST(ClusteringTest, PartialTriangle) {
+  // 0's neighbours {1,2,3}; only pair (1,2) connected: 1/3.
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_NEAR(graph::LocalClusteringCoefficient(g, 0), 1.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------------
+
+TEST(ComponentsTest, SeparatesIslands) {
+  graph::Digraph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  graph::ComponentResult result = graph::ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(result.largest_size, 3u);
+  EXPECT_EQ(result.component[0], result.component[2]);
+  EXPECT_NE(result.component[0], result.component[3]);
+  EXPECT_NE(result.component[3], result.component[5]);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  graph::Digraph g = MakeGraph(3, {{1, 0}, {1, 2}});
+  EXPECT_EQ(graph::ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(ComponentsTest, EmptyGraphAllSingletons) {
+  graph::Digraph g = MakeGraph(4, {});
+  graph::ComponentResult result = graph::ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 4u);
+  EXPECT_EQ(result.largest_size, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Degree stats / density
+// ---------------------------------------------------------------------------
+
+TEST(DegreeStatsTest, StarGraph) {
+  graph::Digraph g = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stats.median, 1.0);
+  EXPECT_GT(stats.gini, 0.2);  // hub concentration
+}
+
+TEST(DegreeStatsTest, RegularGraphHasZeroGini) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, stats.max);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-9);
+}
+
+TEST(DensityTest, CompleteAndEmpty) {
+  graph::Digraph complete =
+      MakeGraph(3, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {1, 2}, {2, 1}});
+  EXPECT_DOUBLE_EQ(graph::EdgeDensity(complete), 1.0);
+  graph::Digraph empty = MakeGraph(3, {});
+  EXPECT_DOUBLE_EQ(graph::EdgeDensity(empty), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// K-core decomposition
+// ---------------------------------------------------------------------------
+
+TEST(CoreNumbersTest, TrianglePlusPendant) {
+  // Triangle {0,1,2} is a 2-core; pendant 3 hangs off node 0 (1-core).
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  std::vector<int> core = graph::CoreNumbers(g);
+  EXPECT_EQ(core[0], 2);
+  EXPECT_EQ(core[1], 2);
+  EXPECT_EQ(core[2], 2);
+  EXPECT_EQ(core[3], 1);
+}
+
+TEST(CoreNumbersTest, PathGraphIsOneCore) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (int c : graph::CoreNumbers(g)) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreNumbersTest, CompleteGraphIsNMinusOneCore) {
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) edges.push_back({i, j});
+  }
+  graph::Digraph g = MakeGraph(5, edges);
+  for (int c : graph::CoreNumbers(g)) EXPECT_EQ(c, 4);
+}
+
+TEST(CoreNumbersTest, IsolatedNodesAreZeroCore) {
+  graph::Digraph g = MakeGraph(3, {{0, 1}});
+  std::vector<int> core = graph::CoreNumbers(g);
+  EXPECT_EQ(core[2], 0);
+  EXPECT_EQ(core[0], 1);
+}
+
+TEST(CoreNumbersTest, NestedCores) {
+  // Complete K4 on {0,1,2,3} (3-core); {4,5} each connect to two K4 nodes
+  // (2-core); 6 hangs off 4 (1-core).
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) edges.push_back({i, j});
+  }
+  edges.push_back({4, 0});
+  edges.push_back({4, 1});
+  edges.push_back({5, 2});
+  edges.push_back({5, 3});
+  edges.push_back({6, 4});
+  graph::Digraph g = MakeGraph(7, edges);
+  std::vector<int> core = graph::CoreNumbers(g);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(core[i], 3) << i;
+  EXPECT_EQ(core[4], 2);
+  EXPECT_EQ(core[5], 2);
+  EXPECT_EQ(core[6], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Hypergraph expansions
+// ---------------------------------------------------------------------------
+
+hypergraph::Hypergraph SmallHg() {
+  return hypergraph::Hypergraph::FromEdges(4, {{0, 1, 2}, {2, 3}},
+                                           {1.0f, 2.0f})
+      .value();
+}
+
+TEST(CliqueExpansionTest, CoMembershipWeights) {
+  tensor::CsrMatrix clique = hypergraph::CliqueExpansion(SmallHg());
+  EXPECT_EQ(clique.At(0, 1), 1.0f);
+  EXPECT_EQ(clique.At(1, 2), 1.0f);
+  EXPECT_EQ(clique.At(2, 3), 2.0f);  // weight-2 hyperedge
+  EXPECT_EQ(clique.At(0, 3), 0.0f);
+  EXPECT_TRUE(clique.AllClose(clique.Transposed()));
+}
+
+TEST(CliqueExpansionTest, LosesHigherOrderStructure) {
+  // The motivating example: a 3-edge and three 2-edges covering the same
+  // pairs produce the SAME clique expansion — the hypergraph distinction
+  // the paper exploits is destroyed by the reduction.
+  auto triple = hypergraph::Hypergraph::FromEdges(3, {{0, 1, 2}}).value();
+  auto pairs =
+      hypergraph::Hypergraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}).value();
+  EXPECT_TRUE(hypergraph::CliqueExpansion(triple).AllClose(
+      hypergraph::CliqueExpansion(pairs)));
+  EXPECT_NE(triple.num_edges(), pairs.num_edges());
+}
+
+TEST(StarExpansionTest, BipartiteStructure) {
+  auto star = hypergraph::StarExpansion(SmallHg());
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->num_nodes(), 6u);  // 4 vertices + 2 hyperedge nodes
+  EXPECT_EQ(star->num_edges(), 10u);  // 5 incidences x 2 directions
+  EXPECT_TRUE(star->HasEdge(0, 4));
+  EXPECT_TRUE(star->HasEdge(4, 0));
+  EXPECT_FALSE(star->HasEdge(0, 1));  // vertices never directly linked
+  EXPECT_FALSE(star->HasEdge(4, 5));  // hyperedge nodes never linked
+}
+
+TEST(HypergraphStatsTest, CountsEverything) {
+  auto hg = hypergraph::Hypergraph::FromEdges(5, {{0, 1, 2}, {2, 3}}).value();
+  hypergraph::HypergraphStats stats = hypergraph::ComputeHypergraphStats(hg);
+  EXPECT_EQ(stats.num_vertices, 5u);
+  EXPECT_EQ(stats.num_edges, 2u);
+  EXPECT_EQ(stats.num_incidences, 5u);
+  EXPECT_EQ(stats.isolated_vertices, 1u);  // vertex 4
+  EXPECT_DOUBLE_EQ(stats.mean_edge_size, 2.5);
+  EXPECT_EQ(stats.max_edge_size, 3u);
+  EXPECT_EQ(stats.max_vertex_degree, 2u);  // vertex 2
+  std::string text = hypergraph::StatsToString(stats);
+  EXPECT_NE(text.find("n=5"), std::string::npos);
+  EXPECT_NE(text.find("isolated=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahntp

@@ -1,0 +1,152 @@
+#include "hypergraph/builders.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ahntp::hypergraph {
+namespace {
+
+graph::Digraph MakeGraph(size_t n, std::vector<graph::Edge> edges) {
+  auto g = graph::Digraph::FromEdges(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+// ---------------------------------------------------------------------------
+// High social influence hypergroup (Eq. 6)
+// ---------------------------------------------------------------------------
+
+TEST(SocialInfluenceBuilderTest, SelectsTopKByInfluence) {
+  // User 0 connects to 1, 2, 3; influence favors 3 then 1.
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<double> influence = {0.1, 0.3, 0.1, 0.5};
+  Hypergraph hg = BuildSocialInfluenceHypergroup(g, influence, /*top_k=*/2);
+  EXPECT_EQ(hg.num_edges(), 4u);  // one hyperedge per user
+  // User 0's hyperedge: {0} + top-2 neighbours {3, 1} -> sorted {0,1,3}.
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(SocialInfluenceBuilderTest, IsolatedUsersGetSingletonEdges) {
+  graph::Digraph g = MakeGraph(3, {{0, 1}});
+  std::vector<double> influence = {0.3, 0.3, 0.4};
+  Hypergraph hg = BuildSocialInfluenceHypergroup(g, influence, 2);
+  EXPECT_EQ(hg.EdgeVertices(2), (std::vector<int>{2}));
+}
+
+TEST(SocialInfluenceBuilderTest, UsesBothEdgeDirections) {
+  graph::Digraph g = MakeGraph(3, {{1, 0}, {0, 2}});
+  std::vector<double> influence = {0.2, 0.5, 0.3};
+  Hypergraph hg = BuildSocialInfluenceHypergroup(g, influence, 5);
+  // User 0's neighbourhood includes in-neighbour 1 and out-neighbour 2.
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SocialInfluenceBuilderTest, MprAndPlainPagerankVariantsRun) {
+  graph::Digraph g =
+      MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {0, 2}, {3, 4}, {4, 3}});
+  SocialInfluenceOptions with_mpr;
+  with_mpr.top_k = 2;
+  with_mpr.use_motif_pagerank = true;
+  SocialInfluenceOptions without_mpr = with_mpr;
+  without_mpr.use_motif_pagerank = false;
+  Hypergraph a = BuildSocialInfluenceHypergroup(g, with_mpr);
+  Hypergraph b = BuildSocialInfluenceHypergroup(g, without_mpr);
+  EXPECT_EQ(a.num_edges(), 5u);
+  EXPECT_EQ(b.num_edges(), 5u);
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_TRUE(b.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Attribute hypergroup (Eq. 7)
+// ---------------------------------------------------------------------------
+
+TEST(AttributeBuilderTest, GroupsUsersByValue) {
+  // attribute 0: users {0,2} share value 1, {1,3} share value 7.
+  std::vector<std::vector<int>> attrs = {{1, 7, 1, 7}};
+  Hypergraph hg = BuildAttributeHypergroup(4, attrs);
+  ASSERT_EQ(hg.num_edges(), 2u);
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(hg.EdgeVertices(1), (std::vector<int>{1, 3}));
+}
+
+TEST(AttributeBuilderTest, DropsSmallGroupsAndMissingValues) {
+  std::vector<std::vector<int>> attrs = {{1, 2, 1, -1}};
+  // Value 2 has one member (dropped at min_size=2); -1 is missing.
+  Hypergraph hg = BuildAttributeHypergroup(4, attrs, /*min_size=*/2);
+  ASSERT_EQ(hg.num_edges(), 1u);
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 2}));
+}
+
+TEST(AttributeBuilderTest, MultipleAttributeColumns) {
+  std::vector<std::vector<int>> attrs = {{0, 0, 1, 1}, {5, 6, 5, 6}};
+  Hypergraph hg = BuildAttributeHypergroup(4, attrs);
+  EXPECT_EQ(hg.num_edges(), 4u);  // 2 groups per column
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise hypergroup (Eq. 8)
+// ---------------------------------------------------------------------------
+
+TEST(PairwiseBuilderTest, TwoUniformEdges) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 0}, {2, 3}});
+  Hypergraph hg = BuildPairwiseHypergroup(g);
+  // (0,1) and (1,0) collapse into one undirected pair.
+  ASSERT_EQ(hg.num_edges(), 2u);
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    EXPECT_EQ(hg.EdgeDegree(e), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-hop hypergroup (Eq. 9)
+// ---------------------------------------------------------------------------
+
+TEST(MultiHopBuilderTest, OneHopBallsIncludeSelf) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  MultiHopOptions options;
+  options.num_hops = 1;
+  Hypergraph hg = BuildMultiHopHypergroup(g, options);
+  ASSERT_EQ(hg.num_edges(), 4u);
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(hg.EdgeVertices(1), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MultiHopBuilderTest, TwoHopsConcatenatesLevels) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  MultiHopOptions options;
+  options.num_hops = 2;
+  Hypergraph hg = BuildMultiHopHypergroup(g, options);
+  ASSERT_EQ(hg.num_edges(), 8u);  // 4 users x 2 hop levels
+  // Hop-2 ball of user 0 reaches {0,1,2}.
+  EXPECT_EQ(hg.EdgeVertices(4), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MultiHopBuilderTest, EdgeSizeCapKeepsNearest) {
+  // Star: 0 at the center of 9 spokes, plus chain 1 -> 10.
+  std::vector<graph::Edge> edges;
+  for (int v = 1; v <= 9; ++v) edges.push_back({0, v});
+  edges.push_back({1, 10});
+  graph::Digraph g = MakeGraph(11, edges);
+  MultiHopOptions options;
+  options.num_hops = 2;
+  options.max_edge_size = 5;
+  Hypergraph hg = BuildMultiHopHypergroup(g, options);
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    EXPECT_LE(hg.EdgeDegree(e), 5u);
+  }
+  // User 0's capped ball keeps 1-hop neighbours before the 2-hop node 10.
+  const std::vector<int>& ball = hg.EdgeVertices(11);  // hop-2 edge of user 0
+  EXPECT_EQ(std::count(ball.begin(), ball.end(), 10), 0);
+}
+
+TEST(MultiHopBuilderTest, IsolatedUserStillCovered) {
+  graph::Digraph g = MakeGraph(3, {{0, 1}});
+  MultiHopOptions options;
+  Hypergraph hg = BuildMultiHopHypergroup(g, options);
+  EXPECT_EQ(hg.EdgeVertices(2), (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace ahntp::hypergraph

@@ -1,0 +1,180 @@
+#include "tensor/csr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ahntp::tensor {
+namespace {
+
+/// Random sparse matrix with the given density for property tests.
+CsrMatrix RandomSparse(size_t rows, size_t cols, double density, Rng* rng) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) {
+        triplets.push_back({static_cast<int>(r), static_cast<int>(c),
+                            rng->Uniform(-2.0f, 2.0f)});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m(3, 4);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.At(1, 2), 0.0f);
+  EXPECT_TRUE(m.ToDense().AllClose(Matrix(3, 4)));
+}
+
+TEST(CsrTest, FromTripletsSumsDuplicates) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 1, 1.0f}, {0, 1, 2.5f}, {1, 0, -1.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.At(0, 1), 3.5f);
+  EXPECT_EQ(m.At(1, 0), -1.0f);
+  EXPECT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(CsrTest, FromDenseRoundTrip) {
+  Matrix dense = Matrix::FromRows({{0, 1, 0}, {2, 0, 3}});
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(sparse.nnz(), 3u);
+  EXPECT_TRUE(sparse.ToDense().AllClose(dense));
+}
+
+TEST(CsrTest, Identity) {
+  CsrMatrix i = CsrMatrix::Identity(4);
+  EXPECT_EQ(i.nnz(), 4u);
+  EXPECT_TRUE(i.ToDense().AllClose(Matrix::Identity(4)));
+}
+
+TEST(CsrTest, TransposedMatchesDense) {
+  Rng rng(1);
+  CsrMatrix m = RandomSparse(5, 8, 0.3, &rng);
+  EXPECT_TRUE(m.Transposed().ToDense().AllClose(m.ToDense().Transposed()));
+}
+
+TEST(CsrTest, ScaledAndPruned) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0f}, {1, 1, 1e-8f}});
+  EXPECT_EQ(m.Scaled(3.0f).At(0, 0), 6.0f);
+  EXPECT_EQ(m.Pruned(1e-6f).nnz(), 1u);
+}
+
+TEST(CsrTest, Binarized) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 5.0f}, {1, 0, -3.0f}});
+  CsrMatrix b = m.Binarized();
+  EXPECT_EQ(b.At(0, 0), 1.0f);
+  EXPECT_EQ(b.At(1, 0), 1.0f);
+}
+
+TEST(CsrTest, RowAndColSums) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 2, 4.0f}});
+  EXPECT_EQ(m.RowSums(), (std::vector<float>{3.0f, 4.0f}));
+  EXPECT_EQ(m.ColSums(), (std::vector<float>{1.0f, 0.0f, 6.0f}));
+}
+
+TEST(CsrTest, RowNormalizedIsStochastic) {
+  Rng rng(2);
+  CsrMatrix m = RandomSparse(6, 6, 0.4, &rng);
+  // Force positive values so row sums cannot cancel to zero.
+  for (auto& v : m.mutable_values()) v = std::fabs(v) + 0.1f;
+  CsrMatrix n = m.RowNormalized();
+  for (float s : n.RowSums()) {
+    if (s != 0.0f) {
+      EXPECT_NEAR(s, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(CsrTest, AtOnMissingEntryIsZero) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {{1, 1, 7.0f}});
+  EXPECT_EQ(m.At(1, 1), 7.0f);
+  EXPECT_EQ(m.At(0, 0), 0.0f);
+  EXPECT_EQ(m.At(2, 2), 0.0f);
+}
+
+TEST(SpMVTest, MatchesDense) {
+  Rng rng(3);
+  CsrMatrix m = RandomSparse(7, 5, 0.4, &rng);
+  std::vector<float> x(5);
+  for (auto& v : x) v = rng.Uniform(-1.0f, 1.0f);
+  std::vector<float> y = SpMV(m, x);
+  Matrix dense = m.ToDense();
+  for (size_t r = 0; r < 7; ++r) {
+    double expected = 0.0;
+    for (size_t c = 0; c < 5; ++c) expected += dense.At(r, c) * x[c];
+    EXPECT_NEAR(y[r], expected, 1e-4);
+  }
+}
+
+TEST(SpMMTest, MatchesDense) {
+  Rng rng(4);
+  CsrMatrix a = RandomSparse(6, 4, 0.5, &rng);
+  Matrix b = Matrix::Randn(4, 3, &rng);
+  EXPECT_TRUE(SpMM(a, b).AllClose(MatMul(a.ToDense(), b), 1e-4f));
+}
+
+TEST(SpMMTransposedTest, MatchesDense) {
+  Rng rng(5);
+  CsrMatrix a = RandomSparse(6, 4, 0.5, &rng);
+  Matrix b = Matrix::Randn(6, 3, &rng);
+  EXPECT_TRUE(SpMMTransposed(a, b).AllClose(
+      MatMul(a.ToDense(), b, /*transpose_a=*/true), 1e-4f));
+}
+
+class SpGemmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpGemmPropertyTest, MatchesDenseProduct) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  CsrMatrix a = RandomSparse(8, 6, 0.35, &rng);
+  CsrMatrix b = RandomSparse(6, 7, 0.35, &rng);
+  CsrMatrix c = SpGemm(a, b);
+  EXPECT_TRUE(c.ToDense().AllClose(MatMul(a.ToDense(), b.ToDense()), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpGemmPropertyTest,
+                         ::testing::Range(1, 11));
+
+class SparseMergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseMergePropertyTest, HadamardAddSubMatchDense) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  CsrMatrix a = RandomSparse(9, 9, 0.3, &rng);
+  CsrMatrix b = RandomSparse(9, 9, 0.3, &rng);
+  EXPECT_TRUE(SparseHadamard(a, b).ToDense().AllClose(
+      Hadamard(a.ToDense(), b.ToDense()), 1e-5f));
+  EXPECT_TRUE(SparseAdd(a, b).ToDense().AllClose(
+      Add(a.ToDense(), b.ToDense()), 1e-5f));
+  EXPECT_TRUE(SparseSub(a, b).ToDense().AllClose(
+      Sub(a.ToDense(), b.ToDense()), 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseMergePropertyTest,
+                         ::testing::Range(1, 11));
+
+TEST(SparseMergeTest, HadamardPatternIsIntersection) {
+  CsrMatrix a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0f}, {0, 1, 3.0f}});
+  CsrMatrix b = CsrMatrix::FromTriplets(2, 2, {{0, 1, 4.0f}, {1, 1, 5.0f}});
+  CsrMatrix h = SparseHadamard(a, b);
+  EXPECT_EQ(h.nnz(), 1u);
+  EXPECT_EQ(h.At(0, 1), 12.0f);
+}
+
+TEST(CsrDeathTest, OutOfRangeTriplet) {
+  EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{5, 0, 1.0f}}), "check failed");
+}
+
+TEST(CsrDeathTest, SpMMShapeMismatch) {
+  CsrMatrix a(2, 3);
+  Matrix b(4, 2);
+  EXPECT_DEATH(SpMM(a, b), "check failed");
+}
+
+}  // namespace
+}  // namespace ahntp::tensor

@@ -1,0 +1,231 @@
+// Randomized property tests: random autograd graphs checked against finite
+// differences, sparse-algebra identities, hypergraph invariants, and
+// failure injection for the IO paths.
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "data/io.h"
+#include "hypergraph/hypergraph.h"
+#include "tensor/csr.h"
+#include "test_util.h"
+
+namespace ahntp {
+namespace {
+
+using autograd::Variable;
+using tensor::CsrMatrix;
+using tensor::Matrix;
+
+// ---------------------------------------------------------------------------
+// Random autograd graphs vs finite differences
+// ---------------------------------------------------------------------------
+
+/// Builds a random computation from `params` using a deterministic op
+/// sequence derived from `rng`. Keeps values in well-conditioned ranges so
+/// float32 finite differences stay meaningful.
+Variable RandomExpression(const std::vector<Variable>& params, Rng* rng,
+                          int depth) {
+  Variable current = params[0];
+  for (int step = 0; step < depth; ++step) {
+    switch (rng->NextBounded(8)) {
+      case 0:
+        current = autograd::Tanh(current);
+        break;
+      case 1:
+        current = autograd::Sigmoid(current);
+        break;
+      case 2:
+        current = autograd::Scale(current, 0.7f);
+        break;
+      case 3:
+        current = autograd::AddScalar(current, 0.3f);
+        break;
+      case 4:
+        current = autograd::Add(
+            current, params[rng->NextBounded(params.size())]);
+        break;
+      case 5:
+        current = autograd::Mul(
+            current, autograd::Tanh(params[rng->NextBounded(params.size())]));
+        break;
+      case 6:
+        current = autograd::LeakyRelu(autograd::AddScalar(current, 0.15f),
+                                      0.1f);
+        break;
+      case 7:
+        current = autograd::RowL2Normalize(
+            autograd::AddScalar(current, 0.8f));
+        break;
+    }
+  }
+  return autograd::ReduceMean(autograd::Mul(current, current));
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, RandomGraphGradientsMatchFiniteDifferences) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1337);
+  std::vector<Variable> params;
+  for (int k = 0; k < 3; ++k) {
+    params.push_back(
+        autograd::Parameter(Matrix::Randn(3, 4, &rng, 0.0f, 0.6f)));
+  }
+  // The op sequence must be identical on every call: snapshot the stream.
+  uint64_t expression_seed = rng.NextU64();
+  ahntp::testing::ExpectGradientsClose(
+      [expression_seed](const std::vector<Variable>& p) {
+        Rng expression_rng(expression_seed);
+        return RandomExpression(p, &expression_rng, 6);
+      },
+      params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Sparse algebra identities
+// ---------------------------------------------------------------------------
+
+CsrMatrix RandomSquareSparse(size_t n, double density, Rng* rng) {
+  std::vector<tensor::Triplet> triplets;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      if (rng->Bernoulli(density)) {
+        triplets.push_back({static_cast<int>(r), static_cast<int>(c),
+                            rng->Uniform(-1.0f, 1.0f)});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+class SparseIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseIdentityTest, AlgebraicLaws) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 99);
+  CsrMatrix a = RandomSquareSparse(8, 0.3, &rng);
+  CsrMatrix b = RandomSquareSparse(8, 0.3, &rng);
+  CsrMatrix c = RandomSquareSparse(8, 0.3, &rng);
+  // Associativity: (AB)C == A(BC).
+  EXPECT_TRUE(tensor::SpGemm(tensor::SpGemm(a, b), c)
+                  .AllClose(tensor::SpGemm(a, tensor::SpGemm(b, c)), 1e-3f));
+  // Distributivity: A(B+C) == AB + AC.
+  EXPECT_TRUE(
+      tensor::SpGemm(a, tensor::SparseAdd(b, c))
+          .AllClose(tensor::SparseAdd(tensor::SpGemm(a, b),
+                                      tensor::SpGemm(a, c)),
+                    1e-3f));
+  // Transpose of a product: (AB)^T == B^T A^T.
+  EXPECT_TRUE(tensor::SpGemm(a, b).Transposed().AllClose(
+      tensor::SpGemm(b.Transposed(), a.Transposed()), 1e-3f));
+  // Transpose is an involution.
+  EXPECT_TRUE(a.Transposed().Transposed().AllClose(a));
+  // Hadamard commutes.
+  EXPECT_TRUE(tensor::SparseHadamard(a, b).AllClose(
+      tensor::SparseHadamard(b, a)));
+  // A - A == 0.
+  EXPECT_EQ(tensor::SparseSub(a, a).Pruned().nnz(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseIdentityTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Hypergraph invariants on random hypergraphs
+// ---------------------------------------------------------------------------
+
+class HypergraphFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypergraphFuzzTest, SpectralInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7);
+  hypergraph::Hypergraph hg(12);
+  int edges = 3 + static_cast<int>(rng.NextBounded(8));
+  for (int e = 0; e < edges; ++e) {
+    std::vector<int> members;
+    for (int v = 0; v < 12; ++v) {
+      if (rng.Bernoulli(0.3)) members.push_back(v);
+    }
+    if (members.size() >= 2) {
+      ASSERT_TRUE(hg.AddEdge(members, rng.Uniform(0.5f, 2.0f)).ok());
+    }
+  }
+  if (hg.num_edges() == 0) return;
+  ASSERT_TRUE(hg.Validate().ok());
+  // Laplacian PSD: f^T L f >= 0 for random f.
+  CsrMatrix lap = hg.Laplacian();
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix f = Matrix::Randn(12, 1, &rng);
+    Matrix lf = tensor::SpMM(lap, f);
+    double quad = 0.0;
+    for (size_t i = 0; i < 12; ++i) {
+      quad += static_cast<double>(f.At(i, 0)) * lf.At(i, 0);
+    }
+    EXPECT_GE(quad, -1e-3);
+  }
+  // Incidence is consistent with degree bookkeeping.
+  CsrMatrix h = hg.Incidence();
+  EXPECT_EQ(h.nnz(), hg.TotalIncidences());
+  std::vector<float> de = hg.EdgeDegrees();
+  std::vector<float> col_sums = h.ColSums();
+  for (size_t e = 0; e < hg.num_edges(); ++e) {
+    EXPECT_FLOAT_EQ(col_sums[e], de[e]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphFuzzTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Failure injection: IO paths
+// ---------------------------------------------------------------------------
+
+TEST(IoFailureTest, TruncatedMetaRejected) {
+  std::string dir = ::testing::TempDir() + "/ahntp_bad_dataset";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream meta(dir + "/meta.csv");
+    meta << "key,value\nname,x\nnum_users,not_a_number\n";
+  }
+  auto loaded = data::LoadDataset(dir);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IoFailureTest, MissingUsersFileRejected) {
+  std::string dir = ::testing::TempDir() + "/ahntp_bad_dataset2";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream meta(dir + "/meta.csv");
+    meta << "key,value\nname,x\nnum_users,3\nnum_items,0\n"
+            "num_item_categories,1\n";
+  }
+  auto loaded = data::LoadDataset(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IoFailureTest, WrongRowWidthRejected) {
+  CsvTable broken;
+  broken.header = {"a", "b"};
+  broken.rows = {{"1", "2", "3"}};  // too wide for users.csv parsing
+  std::string dir = ::testing::TempDir() + "/ahntp_bad_dataset3";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream meta(dir + "/meta.csv");
+    meta << "key,value\nname,x\nnum_users,1\nnum_items,0\n"
+            "num_item_categories,1\nattribute:hobby,2\n";
+  }
+  ASSERT_TRUE(WriteCsv(dir + "/users.csv", broken).ok());
+  auto loaded = data::LoadDataset(dir);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ahntp

@@ -1,0 +1,174 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/pagerank.h"
+
+namespace ahntp::graph {
+namespace {
+
+Digraph MakeGraph(size_t n, std::vector<Edge> edges) {
+  auto g = Digraph::FromEdges(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(DigraphTest, BasicConstruction) {
+  Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(DigraphTest, DropsDuplicatesAndSelfLoops) {
+  Digraph g = MakeGraph(3, {{0, 1}, {0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DigraphTest, RejectsOutOfRange) {
+  auto g = Digraph::FromEdges(2, {{0, 5}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DigraphTest, AdjacencyMatchesEdges) {
+  Digraph g = MakeGraph(3, {{0, 1}, {2, 1}});
+  const tensor::CsrMatrix& a = g.Adjacency();
+  EXPECT_EQ(a.At(0, 1), 1.0f);
+  EXPECT_EQ(a.At(2, 1), 1.0f);
+  EXPECT_EQ(a.At(1, 0), 0.0f);
+  EXPECT_EQ(a.nnz(), 2u);
+}
+
+TEST(DigraphTest, NeighborhoodBallBfsOrder) {
+  // 0 -> 1 -> 2 -> 3, plus 4 -> 0.
+  Digraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {4, 0}});
+  std::vector<int> ball1 = g.NeighborhoodBall(0, 1);
+  std::vector<int> sorted1 = ball1;
+  std::sort(sorted1.begin(), sorted1.end());
+  EXPECT_EQ(sorted1, (std::vector<int>{1, 4}));  // both directions
+  std::vector<int> ball2 = g.NeighborhoodBall(0, 2);
+  EXPECT_EQ(ball2.size(), 3u);  // 1, 4, then 2
+  EXPECT_EQ(ball2.back(), 2);   // 2-hop node comes last (BFS order)
+  std::vector<int> ball0 = g.NeighborhoodBall(0, 0);
+  EXPECT_TRUE(ball0.empty());
+}
+
+TEST(DigraphTest, Reciprocity) {
+  Digraph none = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(none.Reciprocity(), 0.0);
+  Digraph half = MakeGraph(3, {{0, 1}, {1, 0}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(half.Reciprocity(), 0.5);
+}
+
+TEST(DigraphTest, UndirectedNeighborsDeduplicated) {
+  Digraph g = MakeGraph(3, {{0, 1}, {1, 0}, {0, 2}});
+  EXPECT_EQ(g.UndirectedNeighbors(0), (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+TEST(PageRankTest, SumsToOne) {
+  Digraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {0, 4}});
+  std::vector<double> s = PageRank(g.Adjacency());
+  double total = 0.0;
+  for (double v : s) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Digraph cycle = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  std::vector<double> s = PageRank(cycle.Adjacency());
+  for (double v : s) EXPECT_NEAR(v, 0.25, 1e-6);
+}
+
+TEST(PageRankTest, HubReceivesMostMass) {
+  // Everyone points at node 0.
+  Digraph g = MakeGraph(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  std::vector<double> s = PageRank(g.Adjacency());
+  for (size_t i = 1; i < 5; ++i) EXPECT_GT(s[0], s[i]);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  // Node 1 has no out-edges: its mass must redistribute, not vanish.
+  Digraph g = MakeGraph(3, {{0, 1}, {2, 1}});
+  std::vector<double> s = PageRank(g.Adjacency());
+  double total = s[0] + s[1] + s[2];
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(PageRankTest, DampingChangesDistribution) {
+  Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 1}});
+  PageRankOptions low;
+  low.damping = 0.5;
+  PageRankOptions high;
+  high.damping = 0.95;
+  std::vector<double> s_low = PageRank(g.Adjacency(), low);
+  std::vector<double> s_high = PageRank(g.Adjacency(), high);
+  // Higher damping concentrates mass more on the cycle {1,2,3}.
+  EXPECT_LT(s_high[0], s_low[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Motif-based PageRank (Eqs. 3-5)
+// ---------------------------------------------------------------------------
+
+TEST(MotifPageRankTest, AlphaOneEqualsPlainPageRank) {
+  Digraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 3}});
+  MotifPageRankOptions options;
+  options.alpha = 1.0;
+  MotifPageRankResult mpr = MotifPageRank(g.Adjacency(), options);
+  std::vector<double> pr = PageRank(g.Adjacency().Binarized());
+  ASSERT_EQ(mpr.scores.size(), pr.size());
+  for (size_t i = 0; i < pr.size(); ++i) {
+    EXPECT_NEAR(mpr.scores[i], pr[i], 1e-6);
+  }
+}
+
+TEST(MotifPageRankTest, ScoresSumToOne) {
+  Digraph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 0}, {0, 2}, {3, 0},
+                            {4, 5}, {5, 4}, {2, 4}});
+  MotifPageRankOptions options;
+  options.alpha = 0.8;
+  options.motif = Motif::kM1;
+  MotifPageRankResult result = MotifPageRank(g.Adjacency(), options);
+  double total = 0.0;
+  for (double v : result.scores) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(MotifPageRankTest, CombinedWeightsBlendCorrectly) {
+  // Graph with an M1 cycle 0->1->2->0.
+  Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {3, 0}});
+  MotifPageRankOptions options;
+  options.alpha = 0.6;
+  options.motif = Motif::kM1;
+  MotifPageRankResult result = MotifPageRank(g.Adjacency(), options);
+  // Pairwise edge (3,0) has no motif support: weight = alpha * 1.
+  EXPECT_NEAR(result.combined_weights.At(3, 0), 0.6f, 1e-5f);
+  // Edge (0,1) is in one M1 instance: its motif adjacency entry is 1.
+  EXPECT_NEAR(result.combined_weights.At(0, 1), 0.6f + 0.4f * 1.0f, 1e-5f);
+}
+
+TEST(MotifPageRankTest, MotifParticipantsOutrankPeripherals) {
+  // Triangle 0-1-2 (cyclic) plus pendant chain 3 -> 0, 4 -> 3.
+  Digraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 3}});
+  MotifPageRankOptions options;
+  options.alpha = 0.2;  // emphasize the motif term
+  options.motif = Motif::kM1;
+  MotifPageRankResult result = MotifPageRank(g.Adjacency(), options);
+  EXPECT_GT(result.scores[0], result.scores[4]);
+  EXPECT_GT(result.scores[1], result.scores[4]);
+}
+
+}  // namespace
+}  // namespace ahntp::graph

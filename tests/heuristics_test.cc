@@ -1,0 +1,165 @@
+#include "models/heuristics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/generator.h"
+
+namespace ahntp::models {
+namespace {
+
+graph::Digraph MakeGraph(size_t n, std::vector<graph::Edge> edges) {
+  auto g = graph::Digraph::FromEdges(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(HeuristicNamesTest, RoundTrip) {
+  for (Heuristic h :
+       {Heuristic::kCommonNeighbors, Heuristic::kJaccard,
+        Heuristic::kAdamicAdar, Heuristic::kKatz, Heuristic::kPropagation}) {
+    auto parsed = ParseHeuristic(HeuristicName(h));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), h);
+  }
+  EXPECT_FALSE(ParseHeuristic("NotAHeuristic").ok());
+}
+
+TEST(CommonNeighborsTest, CountsSharedNeighbors) {
+  // 0 and 1 share neighbours 2 and 3 (via any edge direction).
+  graph::Digraph g =
+      MakeGraph(5, {{0, 2}, {1, 2}, {3, 0}, {3, 1}, {0, 4}});
+  EXPECT_DOUBLE_EQ(
+      HeuristicScore(g, Heuristic::kCommonNeighbors, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(
+      HeuristicScore(g, Heuristic::kCommonNeighbors, 2, 4), 1.0);  // share 0
+}
+
+TEST(JaccardTest, NormalizedOverlap) {
+  graph::Digraph g = MakeGraph(5, {{0, 2}, {1, 2}, {0, 3}, {1, 4}});
+  // N(0) = {2,3}, N(1) = {2,4}: intersection 1, union 3.
+  EXPECT_NEAR(HeuristicScore(g, Heuristic::kJaccard, 0, 1), 1.0 / 3.0, 1e-9);
+  // Identical neighbourhoods give 1.
+  graph::Digraph h = MakeGraph(3, {{0, 2}, {1, 2}});
+  EXPECT_DOUBLE_EQ(HeuristicScore(h, Heuristic::kJaccard, 0, 1), 1.0);
+}
+
+TEST(AdamicAdarTest, RareNeighborsWeighMore) {
+  // w=2 is shared and has low degree; w=3 is shared and is a hub.
+  graph::Digraph g = MakeGraph(8, {{0, 2}, {1, 2},                    // rare
+                                   {0, 3}, {1, 3}, {4, 3}, {5, 3},    // hub
+                                   {6, 3}, {7, 3}});
+  double rare_only = 1.0 / std::log(1.0 + 2.0);
+  double score = HeuristicScore(g, Heuristic::kAdamicAdar, 0, 1);
+  EXPECT_GT(score, rare_only);  // hub still contributes something
+  // The rare neighbour's term dominates the hub's term (hub degree 6:
+  // neighbours {0,1,4,5,6,7}).
+  double hub_term = 1.0 / std::log(1.0 + 6.0);
+  EXPECT_NEAR(score, rare_only + hub_term, 1e-6);
+}
+
+TEST(KatzTest, ShorterIndirectPathScoresHigher) {
+  // 0 -> 2 -> 1 (two hops) and 0 -> 3 -> 4 -> 5 (three hops).
+  graph::Digraph g =
+      MakeGraph(6, {{0, 2}, {2, 1}, {0, 3}, {3, 4}, {4, 5}});
+  HeuristicOptions options;
+  options.katz_beta = 0.1;
+  EXPECT_NEAR(HeuristicScore(g, Heuristic::kKatz, 0, 1, options), 0.01,
+              1e-9);
+  EXPECT_NEAR(HeuristicScore(g, Heuristic::kKatz, 0, 5, options), 0.001,
+              1e-9);
+  EXPECT_DOUBLE_EQ(HeuristicScore(g, Heuristic::kKatz, 5, 0, options), 0.0);
+}
+
+TEST(KatzTest, DirectEdgeExcluded) {
+  // Only a direct edge: the link-prediction score must be 0, but adding an
+  // alternative indirect path brings it back.
+  graph::Digraph direct_only = MakeGraph(2, {{0, 1}});
+  HeuristicOptions options;
+  options.katz_beta = 0.1;
+  EXPECT_DOUBLE_EQ(
+      HeuristicScore(direct_only, Heuristic::kKatz, 0, 1, options), 0.0);
+  graph::Digraph with_detour = MakeGraph(3, {{0, 1}, {0, 2}, {2, 1}});
+  EXPECT_NEAR(HeuristicScore(with_detour, Heuristic::kKatz, 0, 1, options),
+              0.01, 1e-9);
+}
+
+TEST(KatzTest, CountsParallelPaths) {
+  // Two length-2 paths 0 -> {1,2} -> 3.
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  HeuristicOptions options;
+  options.katz_beta = 0.1;
+  EXPECT_NEAR(HeuristicScore(g, Heuristic::kKatz, 0, 3, options), 0.02,
+              1e-9);
+}
+
+TEST(PropagationTest, DecaysWithDistance) {
+  graph::Digraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  HeuristicOptions options;
+  options.propagation_decay = 0.5;
+  options.max_path_length = 3;
+  EXPECT_DOUBLE_EQ(HeuristicScore(g, Heuristic::kPropagation, 0, 2, options),
+                   0.25);
+  EXPECT_DOUBLE_EQ(HeuristicScore(g, Heuristic::kPropagation, 0, 3, options),
+                   0.125);
+  // Unreachable within the bound or against edge direction: zero.
+  EXPECT_DOUBLE_EQ(HeuristicScore(g, Heuristic::kPropagation, 3, 0, options),
+                   0.0);
+  options.max_path_length = 2;
+  EXPECT_DOUBLE_EQ(HeuristicScore(g, Heuristic::kPropagation, 0, 3, options),
+                   0.0);
+}
+
+TEST(PropagationTest, DirectEdgeExcluded) {
+  HeuristicOptions options;
+  options.propagation_decay = 0.5;
+  // Direct edge only: score 0 (the observed edge must not explain itself).
+  graph::Digraph direct_only = MakeGraph(2, {{0, 1}});
+  EXPECT_DOUBLE_EQ(
+      HeuristicScore(direct_only, Heuristic::kPropagation, 0, 1, options),
+      0.0);
+  // Direct edge + a two-hop detour: the detour carries the score.
+  graph::Digraph with_detour = MakeGraph(3, {{0, 1}, {0, 2}, {2, 1}});
+  EXPECT_DOUBLE_EQ(
+      HeuristicScore(with_detour, Heuristic::kPropagation, 0, 1, options),
+      0.25);
+}
+
+TEST(HeuristicProbabilitiesTest, MonotoneSquashIntoUnitInterval) {
+  graph::Digraph g = MakeGraph(4, {{0, 2}, {1, 2}, {0, 3}, {1, 3}});
+  std::vector<data::TrustPair> pairs = {{0, 1, 1.0f}, {2, 3, 0.0f}};
+  auto probs =
+      HeuristicProbabilities(g, Heuristic::kCommonNeighbors, pairs);
+  ASSERT_EQ(probs.size(), 2u);
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+  // 0/1 share two neighbours; 2/3 share two neighbours too (0 and 1).
+  EXPECT_NEAR(probs[0], 2.0f / 3.0f, 1e-5f);
+}
+
+TEST(HeuristicExperimentTest, RunsThroughHarnessAndBeatsCoinFlip) {
+  data::GeneratorConfig config;
+  config.num_users = 100;
+  config.num_items = 50;
+  config.num_communities = 4;
+  config.avg_trust_out_degree = 6.0;
+  config.avg_purchases_per_user = 4.0;
+  config.seed = 3;
+  data::SocialDataset ds = data::SocialNetworkGenerator(config).Generate();
+  for (const char* name : {"CommonNeighbors", "Jaccard", "AdamicAdar",
+                           "Katz", "Propagation"}) {
+    core::ExperimentConfig experiment;
+    experiment.model = name;
+    auto result = core::RunExperiment(ds, experiment);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->test.auc, 0.55) << name;
+    EXPECT_EQ(result->model, name);
+  }
+}
+
+}  // namespace
+}  // namespace ahntp::models

@@ -1,0 +1,178 @@
+#include "hypergraph/hypergraph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ahntp::hypergraph {
+namespace {
+
+Hypergraph Small() {
+  auto hg = Hypergraph::FromEdges(5, {{0, 1, 2}, {2, 3}, {3, 4}},
+                                  {1.0f, 2.0f, 1.0f});
+  EXPECT_TRUE(hg.ok());
+  return hg.value();
+}
+
+TEST(HypergraphTest, BasicCounts) {
+  Hypergraph hg = Small();
+  EXPECT_EQ(hg.num_vertices(), 5u);
+  EXPECT_EQ(hg.num_edges(), 3u);
+  EXPECT_EQ(hg.TotalIncidences(), 7u);
+  EXPECT_EQ(hg.EdgeDegree(0), 3u);
+  EXPECT_EQ(hg.EdgeWeight(1), 2.0f);
+  EXPECT_TRUE(hg.Validate().ok());
+}
+
+TEST(HypergraphTest, AddEdgeSortsAndDeduplicates) {
+  Hypergraph hg(4);
+  ASSERT_TRUE(hg.AddEdge({3, 1, 3, 0}).ok());
+  EXPECT_EQ(hg.EdgeVertices(0), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(HypergraphTest, RejectsBadEdges) {
+  Hypergraph hg(3);
+  EXPECT_FALSE(hg.AddEdge({}).ok());
+  EXPECT_FALSE(hg.AddEdge({0, 5}).ok());
+  EXPECT_FALSE(hg.AddEdge({0}, -1.0f).ok());
+  EXPECT_EQ(hg.num_edges(), 0u);
+}
+
+TEST(HypergraphTest, IncidenceMatrix) {
+  Hypergraph hg = Small();
+  tensor::CsrMatrix h = hg.Incidence();
+  EXPECT_EQ(h.rows(), 5u);
+  EXPECT_EQ(h.cols(), 3u);
+  EXPECT_EQ(h.At(0, 0), 1.0f);
+  EXPECT_EQ(h.At(2, 0), 1.0f);
+  EXPECT_EQ(h.At(2, 1), 1.0f);
+  EXPECT_EQ(h.At(0, 1), 0.0f);
+  EXPECT_EQ(h.nnz(), 7u);
+}
+
+TEST(HypergraphTest, Degrees) {
+  Hypergraph hg = Small();
+  // Vertex 2 sits in edges 0 (w=1) and 1 (w=2): weighted degree 3.
+  std::vector<float> dv = hg.VertexDegrees();
+  EXPECT_EQ(dv[2], 3.0f);
+  EXPECT_EQ(dv[0], 1.0f);
+  std::vector<float> de = hg.EdgeDegrees();
+  EXPECT_EQ(de, (std::vector<float>{3.0f, 2.0f, 2.0f}));
+  std::vector<int> counts = hg.VertexEdgeCounts();
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[4], 1);
+}
+
+TEST(HypergraphTest, PairsEdgeMajor) {
+  Hypergraph hg = Small();
+  Hypergraph::IncidencePairs pairs = hg.Pairs();
+  ASSERT_EQ(pairs.vertex.size(), 7u);
+  ASSERT_EQ(pairs.edge.size(), 7u);
+  EXPECT_EQ(pairs.edge[0], 0);
+  EXPECT_EQ(pairs.vertex[0], 0);
+  EXPECT_EQ(pairs.edge[6], 2);
+  EXPECT_EQ(pairs.vertex[6], 4);
+}
+
+TEST(HypergraphTest, ConcatUnionsEdges) {
+  Hypergraph a = Small();
+  auto b = Hypergraph::FromEdges(5, {{0, 4}}).value();
+  Hypergraph c = Hypergraph::Concat(a, b);
+  EXPECT_EQ(c.num_edges(), 4u);
+  EXPECT_EQ(c.num_vertices(), 5u);
+  EXPECT_EQ(c.EdgeVertices(3), (std::vector<int>{0, 4}));
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(HypergraphTest, ConcatRequiresSameVertexCount) {
+  Hypergraph a(3), b(4);
+  EXPECT_DEATH(Hypergraph::Concat(a, b), "shared vertex set");
+}
+
+TEST(NormalizedAdjacencyTest, SymmetricWhenWeightsUniform) {
+  // With w_e = 1 the operator Dv^-1/2 H De^-1 H^T Dv^-1/2 is symmetric.
+  auto hg = Hypergraph::FromEdges(4, {{0, 1, 2}, {2, 3}}).value();
+  tensor::CsrMatrix a = hg.NormalizedAdjacency();
+  EXPECT_TRUE(a.AllClose(a.Transposed(), 1e-5f));
+}
+
+TEST(NormalizedAdjacencyTest, IsolatedVertexRowIsZero) {
+  auto hg = Hypergraph::FromEdges(4, {{0, 1}}).value();
+  tensor::CsrMatrix a = hg.NormalizedAdjacency();
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(a.At(2, c), 0.0f);
+    EXPECT_EQ(a.At(3, c), 0.0f);
+  }
+}
+
+TEST(NormalizedAdjacencyTest, SpectralNormAtMostOne) {
+  // The normalized operator satisfies |f^T A f| <= f^T f (eigenvalues in
+  // [-1, 1]) — the property that makes stacked hypergraph convolutions
+  // stable. Checked via random Rayleigh quotients.
+  Rng rng(5);
+  Hypergraph hg(10);
+  for (int e = 0; e < 8; ++e) {
+    std::vector<int> members;
+    for (int v = 0; v < 10; ++v) {
+      if (rng.Bernoulli(0.4)) members.push_back(v);
+    }
+    if (members.size() >= 2) {
+      ASSERT_TRUE(hg.AddEdge(members).ok());
+    }
+  }
+  tensor::CsrMatrix a = hg.NormalizedAdjacency();
+  for (int trial = 0; trial < 20; ++trial) {
+    tensor::Matrix f = tensor::Matrix::Randn(10, 1, &rng);
+    tensor::Matrix af = tensor::SpMM(a, f);
+    double quad = 0.0, norm = 0.0;
+    for (size_t i = 0; i < 10; ++i) {
+      quad += static_cast<double>(f.At(i, 0)) * af.At(i, 0);
+      norm += static_cast<double>(f.At(i, 0)) * f.At(i, 0);
+    }
+    EXPECT_LE(std::fabs(quad), norm * (1.0 + 1e-4));
+  }
+}
+
+TEST(NormalizedAdjacencyTest, MatchesManualDenseComputation) {
+  auto hg = Hypergraph::FromEdges(3, {{0, 1}, {1, 2}}, {2.0f, 1.0f}).value();
+  // Manual: H = [[1,0],[1,1],[0,1]], W=diag(2,1), De=diag(2,2),
+  // Dv = diag(2, 3, 1).
+  tensor::Matrix h = tensor::Matrix::FromRows({{1, 0}, {1, 1}, {0, 1}});
+  tensor::Matrix w_de_inv =
+      tensor::Matrix::FromRows({{1.0f, 0}, {0, 0.5f}});
+  tensor::Matrix dv_inv_sqrt = tensor::Matrix::FromRows(
+      {{1.0f / std::sqrt(2.0f), 0, 0},
+       {0, 1.0f / std::sqrt(3.0f), 0},
+       {0, 0, 1.0f}});
+  tensor::Matrix expected = tensor::MatMul(
+      tensor::MatMul(
+          tensor::MatMul(tensor::MatMul(dv_inv_sqrt, h), w_de_inv),
+          h.Transposed()),
+      dv_inv_sqrt);
+  EXPECT_TRUE(hg.NormalizedAdjacency().ToDense().AllClose(expected, 1e-5f));
+}
+
+TEST(LaplacianTest, IdentityMinusAdjacency) {
+  Hypergraph hg = Small();
+  tensor::Matrix lap = hg.Laplacian().ToDense();
+  tensor::Matrix adj = hg.NormalizedAdjacency().ToDense();
+  tensor::Matrix sum = tensor::Add(lap, adj);
+  EXPECT_TRUE(sum.AllClose(tensor::Matrix::Identity(5), 1e-5f));
+}
+
+TEST(ValidateTest, DetectsCorruptionAfterManualAssembly) {
+  auto good = Hypergraph::FromEdges(3, {{0, 1}}).value();
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(DebugStringTest, MentionsCounts) {
+  Hypergraph hg = Small();
+  std::string s = hg.DebugString();
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahntp::hypergraph

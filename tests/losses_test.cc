@@ -1,0 +1,216 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hypergraph/regularizer.h"
+#include "test_util.h"
+
+namespace ahntp::nn {
+namespace {
+
+using ahntp::testing::ExpectGradientsClose;
+using autograd::Variable;
+using tensor::Matrix;
+
+// ---------------------------------------------------------------------------
+// Binary cross-entropy (Eq. 21)
+// ---------------------------------------------------------------------------
+
+TEST(BceTest, MatchesManualComputation) {
+  Variable probs = autograd::Parameter(Matrix::FromRows({{0.9f}, {0.2f}}));
+  std::vector<float> targets = {1.0f, 0.0f};
+  Variable loss = BinaryCrossEntropy(probs, targets);
+  float expected = -0.5f * (std::log(0.9f) + std::log(0.8f));
+  EXPECT_NEAR(loss.value().At(0, 0), expected, 1e-5f);
+}
+
+TEST(BceTest, PerfectPredictionsNearZero) {
+  Variable probs =
+      autograd::Parameter(Matrix::FromRows({{0.9999f}, {0.0001f}}));
+  Variable loss = BinaryCrossEntropy(probs, {1.0f, 0.0f});
+  EXPECT_LT(loss.value().At(0, 0), 1e-3f);
+}
+
+TEST(BceTest, ExtremeValuesAreClamped) {
+  Variable probs = autograd::Parameter(Matrix::FromRows({{0.0f}, {1.0f}}));
+  Variable loss = BinaryCrossEntropy(probs, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(loss.value().At(0, 0)));
+}
+
+TEST(BceTest, GradientCheck) {
+  Rng rng(1);
+  Matrix interior = Matrix::RandUniform(5, 1, &rng, 0.2f, 0.8f);
+  std::vector<float> targets = {1, 0, 1, 1, 0};
+  ExpectGradientsClose(
+      [targets](const std::vector<Variable>& p) {
+        return BinaryCrossEntropy(p[0], targets);
+      },
+      {autograd::Parameter(interior)});
+}
+
+TEST(BceDeathTest, RejectsNonBinaryTargets) {
+  Variable probs = autograd::Parameter(Matrix::FromRows({{0.5f}}));
+  EXPECT_DEATH(BinaryCrossEntropy(probs, {0.5f}), "0 or 1");
+}
+
+// ---------------------------------------------------------------------------
+// Supervised contrastive loss (Eq. 20)
+// ---------------------------------------------------------------------------
+
+TEST(SupConTest, MatchesManualSingleAnchor) {
+  // One anchor with pairs: positive sim 0.8, negative sims 0.1 and -0.3.
+  Variable sims =
+      autograd::Parameter(Matrix::FromRows({{0.8f}, {0.1f}, {-0.3f}}));
+  std::vector<int> anchors = {0, 0, 0};
+  std::vector<bool> positive = {true, false, false};
+  float t = 0.3f;
+  Variable loss =
+      SupervisedContrastiveLoss(sims, anchors, 1, positive, t);
+  float e_pos = std::exp(0.8f / t);
+  float denom = e_pos + std::exp(0.1f / t) + std::exp(-0.3f / t);
+  EXPECT_NEAR(loss.value().At(0, 0), -std::log(e_pos / denom), 1e-4f);
+}
+
+TEST(SupConTest, AveragesOverAnchorsWithPositives) {
+  // Anchor 0 has a positive; anchor 1 has only negatives and must be
+  // excluded from the average.
+  Variable sims = autograd::Parameter(
+      Matrix::FromRows({{0.5f}, {0.0f}, {0.2f}}));
+  std::vector<int> anchors = {0, 0, 1};
+  std::vector<bool> positive = {true, false, false};
+  Variable loss = SupervisedContrastiveLoss(sims, anchors, 2, positive, 0.5f);
+  float e_pos = std::exp(0.5f / 0.5f);
+  float denom = e_pos + std::exp(0.0f);
+  EXPECT_NEAR(loss.value().At(0, 0), -std::log(e_pos / denom), 1e-4f);
+}
+
+TEST(SupConTest, PerfectSeparationGivesLowerLoss) {
+  std::vector<int> anchors = {0, 0};
+  std::vector<bool> positive = {true, false};
+  Variable good =
+      autograd::Parameter(Matrix::FromRows({{0.95f}, {-0.95f}}));
+  Variable bad = autograd::Parameter(Matrix::FromRows({{-0.95f}, {0.95f}}));
+  float loss_good =
+      SupervisedContrastiveLoss(good, anchors, 1, positive, 0.3f)
+          .value().At(0, 0);
+  float loss_bad =
+      SupervisedContrastiveLoss(bad, anchors, 1, positive, 0.3f)
+          .value().At(0, 0);
+  EXPECT_LT(loss_good, loss_bad);
+}
+
+TEST(SupConTest, TemperatureSharpens) {
+  // Lower temperature amplifies the gap between good and bad similarity.
+  std::vector<int> anchors = {0, 0};
+  std::vector<bool> positive = {true, false};
+  Variable sims = autograd::Parameter(Matrix::FromRows({{0.6f}, {0.4f}}));
+  float loss_sharp =
+      SupervisedContrastiveLoss(sims, anchors, 1, positive, 0.1f)
+          .value().At(0, 0);
+  float loss_smooth =
+      SupervisedContrastiveLoss(sims, anchors, 1, positive, 1.0f)
+          .value().At(0, 0);
+  EXPECT_LT(loss_sharp, loss_smooth);
+}
+
+TEST(SupConTest, GradientCheck) {
+  Rng rng(2);
+  Matrix sims = Matrix::RandUniform(6, 1, &rng, -0.8f, 0.8f);
+  std::vector<int> anchors = {0, 0, 0, 1, 1, 1};
+  std::vector<bool> positive = {true, false, true, false, true, false};
+  ExpectGradientsClose(
+      [&](const std::vector<Variable>& p) {
+        return SupervisedContrastiveLoss(p[0], anchors, 2, positive, 0.3f);
+      },
+      {autograd::Parameter(sims)});
+}
+
+TEST(SupConDeathTest, NeedsAPositivePair) {
+  Variable sims = autograd::Parameter(Matrix::FromRows({{0.5f}}));
+  EXPECT_DEATH(
+      SupervisedContrastiveLoss(sims, {0}, 1, {false}, 0.3f),
+      "at least one anchor");
+}
+
+// ---------------------------------------------------------------------------
+// Combined loss (Eq. 22)
+// ---------------------------------------------------------------------------
+
+TEST(CombinedLossTest, WeightsApplied) {
+  Variable l1 = autograd::Parameter(Matrix::FromRows({{2.0f}}));
+  Variable l2 = autograd::Parameter(Matrix::FromRows({{3.0f}}));
+  Variable total = CombinedLoss(l1, l2, 0.5f, 2.0f);
+  EXPECT_NEAR(total.value().At(0, 0), 0.5f * 2.0f + 2.0f * 3.0f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Hypergraph regularizer (Eqs. 23-24)
+// ---------------------------------------------------------------------------
+
+hypergraph::Hypergraph SmallHypergraph() {
+  auto hg = hypergraph::Hypergraph::FromEdges(
+      5, {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}, {1.0f, 2.0f, 1.0f, 0.5f});
+  return hg.value();
+}
+
+TEST(RegularizerTest, ExplicitLaplacianNonNegativeOnRandomF) {
+  // f^T L f >= 0: the normalized hypergraph Laplacian is PSD.
+  hypergraph::Hypergraph hg = SmallHypergraph();
+  tensor::CsrMatrix lap = hg.Laplacian();
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Variable f = autograd::Parameter(Matrix::Randn(5, 3, &rng));
+    Variable r = HypergraphRegularizer(f, lap);
+    EXPECT_GE(r.value().At(0, 0), -1e-4f);
+  }
+}
+
+TEST(RegularizerTest, FactoredFormMatchesExplicitLaplacian) {
+  hypergraph::Hypergraph hg = SmallHypergraph();
+  tensor::CsrMatrix lap = hg.Laplacian();
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Variable f = autograd::Parameter(Matrix::Randn(5, 4, &rng));
+    float explicit_value = HypergraphRegularizer(f, lap).value().At(0, 0);
+    float factored_value =
+        hypergraph::HypergraphSmoothness(f, hg).value().At(0, 0);
+    EXPECT_NEAR(explicit_value, factored_value,
+                1e-3f + 1e-3f * std::fabs(explicit_value));
+  }
+}
+
+TEST(RegularizerTest, ConstantSignalOnConnectedEdgeIsSmooth) {
+  // A hypergraph where all vertices share one edge: constant f should give
+  // (near) zero smoothness penalty.
+  auto hg = hypergraph::Hypergraph::FromEdges(4, {{0, 1, 2, 3}}).value();
+  Variable f = autograd::Parameter(Matrix(4, 2, 1.0f));
+  Variable r = hypergraph::HypergraphSmoothness(f, hg);
+  EXPECT_NEAR(r.value().At(0, 0), 0.0f, 1e-4f);
+}
+
+TEST(RegularizerTest, GradientCheckFactored) {
+  hypergraph::Hypergraph hg = SmallHypergraph();
+  Rng rng(5);
+  ExpectGradientsClose(
+      [&hg](const std::vector<Variable>& p) {
+        return hypergraph::HypergraphSmoothness(p[0], hg);
+      },
+      {autograd::Parameter(Matrix::Randn(5, 2, &rng))});
+}
+
+TEST(RegularizerTest, GradientCheckExplicit) {
+  hypergraph::Hypergraph hg = SmallHypergraph();
+  tensor::CsrMatrix lap = hg.Laplacian();
+  Rng rng(6);
+  ExpectGradientsClose(
+      [&lap](const std::vector<Variable>& p) {
+        return HypergraphRegularizer(p[0], lap);
+      },
+      {autograd::Parameter(Matrix::Randn(5, 2, &rng))});
+}
+
+}  // namespace
+}  // namespace ahntp::nn

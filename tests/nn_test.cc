@@ -1,0 +1,183 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "test_util.h"
+
+namespace ahntp::nn {
+namespace {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(1);
+  Matrix w = XavierUniform(100, 50, &rng);
+  float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(w.MaxAbs(), bound);
+  EXPECT_NEAR(w.Mean(), 0.0f, 0.01f);
+}
+
+TEST(InitTest, KaimingNormalVariance) {
+  Rng rng(2);
+  Matrix w = KaimingNormal(200, 100, &rng);
+  double sq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  EXPECT_NEAR(sq / w.size(), 2.0 / 200.0, 2e-3);
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(3);
+  Linear layer(4, 3, &rng);
+  Variable x = autograd::Constant(Matrix::Randn(5, 4, &rng));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  Linear no_bias(4, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  Variable x = autograd::Constant(Matrix::Randn(4, 3, &rng));
+  Variable loss = autograd::ReduceSum(layer.Forward(x));
+  loss.Backward();
+  EXPECT_GT(layer.weight().grad().MaxAbs(), 0.0f);
+  EXPECT_GT(layer.bias().grad().MaxAbs(), 0.0f);
+}
+
+TEST(MlpTest, LayerCountAndShapes) {
+  Rng rng(5);
+  Mlp mlp({10, 8, 6, 4}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.in_features(), 10u);
+  EXPECT_EQ(mlp.out_features(), 4u);
+  Variable x = autograd::Constant(Matrix::Randn(2, 10, &rng));
+  Variable y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 4u);
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(MlpTest, OutputActivationApplied) {
+  Rng rng(6);
+  Mlp mlp({5, 4}, &rng, Activation::kRelu, Activation::kSigmoid);
+  Variable x = autograd::Constant(Matrix::Randn(3, 5, &rng, 0.0f, 3.0f));
+  Variable y = mlp.Forward(x);
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_GT(y.value().data()[i], 0.0f);
+    EXPECT_LT(y.value().data()[i], 1.0f);
+  }
+}
+
+TEST(MlpTest, DropoutOnlyInTraining) {
+  Rng rng(7);
+  Mlp mlp({6, 6, 6}, &rng, Activation::kNone, Activation::kNone,
+          /*dropout=*/0.9f);
+  Variable x = autograd::Constant(Matrix(2, 6, 1.0f));
+  mlp.SetTraining(false);
+  Matrix eval1 = mlp.Forward(x).value();
+  Matrix eval2 = mlp.Forward(x).value();
+  EXPECT_TRUE(eval1.AllClose(eval2));  // eval is deterministic
+  mlp.SetTraining(true);
+  Matrix train1 = mlp.Forward(x).value();
+  EXPECT_FALSE(train1.AllClose(eval1, 1e-6f));  // dropout perturbs
+}
+
+TEST(ModuleTest, NumParametersCountsScalars) {
+  Rng rng(8);
+  Linear layer(3, 2, &rng);
+  EXPECT_EQ(layer.NumParameters(), 3u * 2u + 2u);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(9);
+  Linear layer(2, 2, &rng);
+  Variable x = autograd::Constant(Matrix::Randn(2, 2, &rng));
+  autograd::ReduceSum(layer.Forward(x)).Backward();
+  EXPECT_GT(layer.weight().grad().MaxAbs(), 0.0f);
+  layer.ZeroGrad();
+  EXPECT_EQ(layer.weight().grad().MaxAbs(), 0.0f);
+}
+
+// --------------------------------------------------------------------------
+// Optimizers: minimize f(w) = ||w - target||^2, a convex sanity problem.
+// --------------------------------------------------------------------------
+
+float RunOptimization(Optimizer* opt, Variable w, const Matrix& target,
+                      int steps) {
+  float final_loss = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Variable diff =
+        autograd::Sub(w, autograd::Constant(target));
+    Variable loss = autograd::ReduceSum(autograd::Mul(diff, diff));
+    loss.Backward();
+    opt->Step();
+    final_loss = loss.value().At(0, 0);
+  }
+  return final_loss;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(10);
+  Variable w = autograd::Parameter(Matrix::Randn(3, 3, &rng));
+  Matrix target = Matrix::Randn(3, 3, &rng);
+  Sgd sgd({w}, 0.1f);
+  float loss = RunOptimization(&sgd, w, target, 100);
+  EXPECT_LT(loss, 1e-6f);
+  EXPECT_TRUE(w.value().AllClose(target, 1e-3f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(11);
+  Variable w = autograd::Parameter(Matrix::Randn(3, 3, &rng));
+  Matrix target = Matrix::Randn(3, 3, &rng);
+  Adam adam({w}, 0.05f);
+  float loss = RunOptimization(&adam, w, target, 300);
+  EXPECT_LT(loss, 1e-4f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  // With zero data gradient, decay alone should pull weights toward zero.
+  Variable w = autograd::Parameter(Matrix(2, 2, 1.0f));
+  Adam adam({w}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 50; ++i) {
+    adam.ZeroGrad();
+    // Touch the tape so gradients exist (all zeros).
+    autograd::ReduceSum(autograd::Scale(w, 0.0f)).Backward();
+    adam.Step();
+  }
+  EXPECT_LT(w.value().MaxAbs(), 1.0f);
+}
+
+TEST(SgdTest, WeightDecayMatchesClosedForm) {
+  Variable w = autograd::Parameter(Matrix(1, 1, 1.0f));
+  Sgd sgd({w}, 0.5f, /*weight_decay=*/0.2f);
+  sgd.ZeroGrad();
+  autograd::ReduceSum(autograd::Scale(w, 0.0f)).Backward();
+  sgd.Step();
+  // w <- w - lr * decay * w = 1 - 0.5*0.2 = 0.9
+  EXPECT_NEAR(w.value().At(0, 0), 0.9f, 1e-6f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Variable w = autograd::Parameter(Matrix(1, 1, 1.0f));
+  Adam adam({w});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.ZeroGrad();
+  autograd::ReduceSum(w).Backward();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+}  // namespace
+}  // namespace ahntp::nn

@@ -1,0 +1,55 @@
+#ifndef AHNTP_TESTS_TEST_UTIL_H_
+#define AHNTP_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+
+namespace ahntp::testing {
+
+/// Checks the analytic gradients of `build` against central finite
+/// differences. `build` must construct a fresh scalar (1x1) expression from
+/// the given parameters on each call (define-by-run semantics).
+///
+/// Works in float32, so tolerances are loose: the check asserts
+/// |analytic - numeric| <= abs_tol + rel_tol * |numeric|.
+inline void ExpectGradientsClose(
+    const std::function<autograd::Variable(
+        const std::vector<autograd::Variable>&)>& build,
+    std::vector<autograd::Variable> params, float epsilon = 5e-3f,
+    float abs_tol = 5e-3f, float rel_tol = 5e-2f) {
+  ASSERT_FALSE(params.empty());
+  // Analytic gradients.
+  for (auto& p : params) p.ZeroGrad();
+  autograd::Variable loss = build(params);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  loss.Backward();
+  std::vector<tensor::Matrix> analytic;
+  for (auto& p : params) analytic.push_back(p.grad());
+
+  // Numeric gradients, entry by entry.
+  for (size_t k = 0; k < params.size(); ++k) {
+    tensor::Matrix& value = params[k].mutable_value();
+    for (size_t i = 0; i < value.size(); ++i) {
+      float original = value.data()[i];
+      value.data()[i] = original + epsilon;
+      float plus = build(params).value().At(0, 0);
+      value.data()[i] = original - epsilon;
+      float minus = build(params).value().At(0, 0);
+      value.data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * epsilon);
+      float got = analytic[k].data()[i];
+      EXPECT_NEAR(got, numeric, abs_tol + rel_tol * std::fabs(numeric))
+          << "param " << k << " entry " << i;
+    }
+  }
+}
+
+}  // namespace ahntp::testing
+
+#endif  // AHNTP_TESTS_TEST_UTIL_H_
