@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/adaptive_conv.h"
 #include "data/features.h"
@@ -17,6 +18,14 @@
 namespace {
 
 using namespace ahntp;
+
+/// Scoped thread-count override: benchmarks tagged ->Arg(t) compare the
+/// execution substrate at 1/2/4/8 workers against the serial baseline.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int threads) { SetNumThreads(threads); }
+  ~ThreadScope() { SetNumThreads(0); }
+};
 
 /// Fixed medium network shared by the graph-level benchmarks.
 const data::SocialDataset& Dataset() {
@@ -45,6 +54,67 @@ tensor::CsrMatrix RandomSparse(size_t n, double density, uint64_t seed) {
   }
   return tensor::CsrMatrix::FromTriplets(n, n, std::move(triplets));
 }
+
+// ---------------------------------------------------------------------------
+// Execution substrate: serial vs pooled kernels across thread counts.
+// The Arg is the worker count handed to SetNumThreads; Arg(1) is the fully
+// serial path, so the speedup at Arg(t) reads directly off the report.
+// ---------------------------------------------------------------------------
+
+void BM_MatMulThreads(benchmark::State& state) {
+  ThreadScope scope(static_cast<int>(state.range(1)));
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  tensor::Matrix a = tensor::Matrix::Randn(n, n, &rng);
+  tensor::Matrix b = tensor::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * static_cast<int64_t>(n) *
+                          static_cast<int64_t>(n) * 2);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->ArgsProduct({{256, 512, 1024}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpMMThreads(benchmark::State& state) {
+  ThreadScope scope(static_cast<int>(state.range(1)));
+  size_t n = static_cast<size_t>(state.range(0));
+  tensor::CsrMatrix a = RandomSparse(n, 0.01, 1);
+  Rng rng(2);
+  tensor::Matrix x = tensor::Matrix::Randn(n, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SpMM(a, x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.nnz()) * 64);
+}
+BENCHMARK(BM_SpMMThreads)
+    ->ArgsProduct({{2000, 4000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpGemmThreads(benchmark::State& state) {
+  ThreadScope scope(static_cast<int>(state.range(1)));
+  size_t n = static_cast<size_t>(state.range(0));
+  tensor::CsrMatrix a = RandomSparse(n, 0.01, 3);
+  tensor::CsrMatrix b = RandomSparse(n, 0.01, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SpGemm(a, b));
+  }
+}
+BENCHMARK(BM_SpGemmThreads)
+    ->ArgsProduct({{2000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankThreads(benchmark::State& state) {
+  ThreadScope scope(static_cast<int>(state.range(0)));
+  const graph::Digraph& g = Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::PageRank(g.Adjacency()));
+  }
+}
+BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // ---------------------------------------------------------------------------
 // Sparse kernels

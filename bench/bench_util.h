@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "core/experiment.h"
 #include "data/generator.h"
 
@@ -30,9 +31,13 @@ struct BenchOptions {
   int num_seeds = 1;
   bool include_epinions = true;
   bool include_ciao = true;
+  /// Resolved execution-substrate worker count (set from --threads /
+  /// AHNTP_THREADS by FromFlags; recorded in every bench's JSON meta line).
+  int threads = 1;
 
   static BenchOptions FromFlags(const FlagParser& flags) {
     BenchOptions options;
+    options.threads = ApplyRuntimeFlags(flags);
     options.scale = flags.GetDouble("scale", options.scale);
     options.epochs = static_cast<int>(flags.GetInt("epochs", options.epochs));
     options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
@@ -125,13 +130,22 @@ inline core::ExperimentResult MustRunAveraged(
   return aggregate;
 }
 
-/// Prints the standard bench banner.
+/// Prints the standard bench banner plus a machine-readable meta line
+/// (`BENCH_META {...}` JSON) recording the run configuration — including
+/// the execution-substrate thread count — so downstream tooling can
+/// attribute results to a configuration.
 inline void PrintBanner(const char* experiment_id, const char* description,
                         const BenchOptions& options) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment_id, description);
   std::printf(
-      "scale=%.3f of Table III sizes, dims=", options.scale);
+      "BENCH_META {\"bench\": \"%s\", \"threads\": %d, \"scale\": %.4f, "
+      "\"epochs\": %d, \"seed\": %lu, \"seeds\": %d}\n",
+      experiment_id, options.threads, options.scale, options.epochs,
+      static_cast<unsigned long>(options.seed), options.num_seeds);
+  std::printf(
+      "scale=%.3f of Table III sizes, threads=%d, dims=", options.scale,
+      options.threads);
   for (size_t i = 0; i < options.dims.size(); ++i) {
     std::printf(i == 0 ? "%zu" : "-%zu", options.dims[i]);
   }

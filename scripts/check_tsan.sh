@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the test suite with a sanitizer and runs the concurrency-sensitive
+# tests. Usage:
+#   scripts/check_tsan.sh [thread|address]   (default: thread)
+#
+# TSan is the gate for the execution substrate (common/parallel.*): the
+# parallel tests plus the kernel suites that now dispatch to the pool must
+# come back clean before changes to the pool or the parallel kernels land.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-thread}"
+case "$mode" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+build_dir="build-${mode}san"
+cmake -B "$build_dir" -S . -DAHNTP_SANITIZE="$mode" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" --target \
+      parallel_test matrix_test csr_test graph_test core_test
+
+# Oversubscribe on purpose: more workers than cores shakes out ordering
+# bugs that a matched count can hide.
+export AHNTP_THREADS="${AHNTP_THREADS:-8}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+status=0
+for t in parallel_test matrix_test csr_test graph_test core_test; do
+  echo "########## $t (AHNTP_SANITIZE=$mode, AHNTP_THREADS=$AHNTP_THREADS) ##########"
+  "$build_dir/tests/$t" || status=$?
+done
+exit "$status"

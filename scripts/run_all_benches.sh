@@ -2,7 +2,13 @@
 # Runs every table/figure reproduction binary and the micro-benchmarks,
 # teeing the combined output. Usage:
 #   scripts/run_all_benches.sh [output-file] [-- extra flags for the
-#   table/figure binaries, e.g. --scale=0.125 --seeds=3]
+#   table/figure binaries, e.g. --scale=0.125 --seeds=3 --threads=8]
+#
+# Thread plumbing: AHNTP_THREADS (default: all cores) configures the
+# execution substrate for every binary; table/figure binaries additionally
+# accept --threads=N, and each records the resolved count in its
+# BENCH_META JSON line. google-benchmark binaries emit JSON per run via
+# --benchmark_out, with the thread count embedded in the file name.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -10,13 +16,21 @@ out="${1:-bench_output.txt}"
 shift || true
 [ "${1:-}" = "--" ] && shift
 
+# Default the substrate's worker count explicitly so it is recorded even
+# when the caller sets nothing.
+export AHNTP_THREADS="${AHNTP_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+
 {
+  echo "BENCH_META {\"suite\": \"run_all_benches\", \"threads\": ${AHNTP_THREADS}}"
   for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "########## $b ##########"
     case "$b" in
-      *micro*) "$b" ;;          # google-benchmark binaries reject our flags
-      *) "$b" "$@" ;;
+      *micro*)  # google-benchmark binaries reject our flags; JSON sidecar
+        "$b" --benchmark_out="${b##*/}.threads${AHNTP_THREADS}.json" \
+             --benchmark_out_format=json
+        ;;
+      *) "$b" --threads="${AHNTP_THREADS}" "$@" ;;
     esac
   done
 } 2>&1 | tee "$out"

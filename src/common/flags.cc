@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace ahntp {
@@ -105,6 +106,12 @@ std::vector<std::string> FlagParser::GetStringList(
     if (!trimmed.empty()) out.push_back(trimmed);
   }
   return out;
+}
+
+int ApplyRuntimeFlags(const FlagParser& flags) {
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (threads > 0) SetNumThreads(threads);
+  return NumThreads();
 }
 
 }  // namespace ahntp

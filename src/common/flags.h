@@ -48,6 +48,12 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Applies the process-wide runtime flags shared by every binary:
+/// `--threads=N` configures the execution substrate's worker count
+/// (0 or absent keeps the AHNTP_THREADS / hardware default). Returns the
+/// resolved worker count so callers can record it in their output.
+int ApplyRuntimeFlags(const FlagParser& flags);
+
 }  // namespace ahntp
 
 #endif  // AHNTP_COMMON_FLAGS_H_

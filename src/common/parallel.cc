@@ -1,0 +1,204 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace ahntp {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Work-stealing-free fixed pool: workers pull closures off one shared
+/// queue. Batches are represented by a shared countdown so several
+/// non-worker threads can submit concurrently without interleaving bugs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+    auto state = std::make_shared<BatchState>();
+    state->total = num_tasks;
+    state->fn = &fn;
+    // One runner per worker (capped by task count); each runner drains the
+    // shared index counter, so idle workers pick up slack automatically.
+    const size_t runners =
+        std::min(num_tasks, static_cast<size_t>(workers_.size()));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < runners; ++i) {
+        queue_.push_back([state] { DrainBatch(state.get()); });
+      }
+    }
+    cv_.notify_all();
+    // The caller participates too: if all workers are busy with another
+    // batch, the batch still completes on this thread.
+    DrainBatch(state.get());
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done_cv.wait(lock, [&] {
+        return state->completed.load(std::memory_order_acquire) ==
+               state->total;
+      });
+    }
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  struct BatchState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    size_t total = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first failure; guarded by mu
+  };
+
+  static void DrainBatch(BatchState* state) {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) break;
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      const size_t done =
+          state->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == state->total) {
+        // Lock pairs with the waiter's predicate check so the notify cannot
+        // slip between its test and its sleep.
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+int EnvOrHardwareThreads() {
+  if (const char* env = std::getenv("AHNTP_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_pool_mu;
+int g_requested_threads = 0;  // <= 0: resolve from env/hardware
+std::unique_ptr<ThreadPool> g_pool;
+
+int ResolvedThreadsLocked() {
+  return g_requested_threads > 0 ? g_requested_threads
+                                 : EnvOrHardwareThreads();
+}
+
+/// Returns the pool, creating it on first use; nullptr when configured for
+/// single-threaded execution.
+ThreadPool* GetPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int threads = ResolvedThreadsLocked();
+  if (threads <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool->size() != threads) {
+    g_pool.reset();  // join the old pool before spawning the new one
+    g_pool = std::make_unique<ThreadPool>(threads);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return ResolvedThreadsLocked();
+}
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = n;
+  g_pool.reset();  // lazily rebuilt at the new size on next use
+}
+
+bool InParallelWorker() { return t_in_worker; }
+
+namespace internal {
+
+void RunTasks(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  ThreadPool* pool =
+      (num_tasks > 1 && !t_in_worker) ? GetPool() : nullptr;
+  if (pool == nullptr) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  pool->Run(num_tasks, fn);
+}
+
+}  // namespace internal
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t g = std::max<size_t>(grain, 1);
+  const size_t range = end - begin;
+  if (range <= g) {
+    fn(begin, end);
+    return;
+  }
+  // Covering chunks of exactly `g` keeps the decomposition independent of
+  // the thread count; the shared-counter pool balances uneven chunk costs.
+  const size_t num_chunks = (range + g - 1) / g;
+  internal::RunTasks(num_chunks, [&](size_t c) {
+    const size_t b = begin + c * g;
+    const size_t e = std::min(end, b + g);
+    fn(b, e);
+  });
+}
+
+}  // namespace ahntp

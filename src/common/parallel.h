@@ -1,0 +1,100 @@
+#ifndef AHNTP_COMMON_PARALLEL_H_
+#define AHNTP_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ahntp {
+
+/// Shared execution substrate: one lazily-initialized global thread pool
+/// that every hot kernel (dense MatMul, CSR SpMM/SpMV/SpGEMM, motif
+/// algebra, PageRank, hypergroup builders, repeated-run fan-out) dispatches
+/// to instead of growing ad-hoc threading.
+///
+/// Determinism contract (see DESIGN.md "Execution substrate"): results are
+/// bit-identical regardless of the configured thread count. ParallelFor
+/// callers only write disjoint output ranges; ParallelReduce decomposes the
+/// range into chunks whose boundaries depend only on (begin, end, grain) —
+/// never on the thread count — and combines the per-chunk partials in
+/// ascending chunk order on the calling thread. `--threads=1` (or
+/// AHNTP_THREADS=1) recovers fully serial execution without changing any
+/// result.
+///
+/// Nested parallelism: a ParallelFor/ParallelReduce issued from inside a
+/// pool worker runs inline on that worker (serially). This both avoids
+/// deadlock (workers never block on other workers) and gives coarse-grained
+/// callers like RunRepeatedExperiment exclusive use of the pool.
+
+/// Number of workers the pool will use (>= 1). Resolution order: the last
+/// SetNumThreads() call, else the AHNTP_THREADS environment variable, else
+/// std::thread::hardware_concurrency().
+int NumThreads();
+
+/// Sets the worker count; n <= 0 restores the environment/hardware default.
+/// Joins and discards any existing pool, so it must not be called while
+/// parallel work is in flight (configure once at startup or between phases).
+void SetNumThreads(int n);
+
+/// True when called from a pool worker thread (nested region).
+bool InParallelWorker();
+
+namespace internal {
+
+/// Runs fn(task_index) for task_index in [0, num_tasks) across the pool and
+/// the calling thread; blocks until all tasks finish. The first exception
+/// thrown by any task is rethrown on the calling thread (remaining tasks
+/// still run to completion so the batch tears down cleanly). Runs serially
+/// inline when num_tasks <= 1, the pool has one thread, or the caller is
+/// itself a pool worker.
+void RunTasks(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+}  // namespace internal
+
+/// Calls fn(chunk_begin, chunk_end) over disjoint chunks covering
+/// [begin, end). `grain` is the minimum chunk width: ranges at most `grain`
+/// wide run serially on the caller, and no chunk is ever smaller than
+/// `grain` except the final remainder. fn must only write state owned by
+/// its chunk (e.g. output rows in [chunk_begin, chunk_end)).
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Deterministic parallel reduction: partials[c] = map(chunk_c_begin,
+/// chunk_c_end) computed in parallel over fixed-width chunks of exactly
+/// `grain` (last chunk may be short), then folded as
+/// combine(...combine(combine(identity, partials[0]), partials[1])...) in
+/// ascending chunk order on the calling thread. Chunk boundaries depend
+/// only on (begin, end, grain), so the result is bit-identical for any
+/// thread count. A range at most `grain` wide reduces serially via a single
+/// map call, making small inputs byte-for-byte identical to pre-pool code.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 const MapFn& map, const CombineFn& combine) {
+  if (begin >= end) return identity;
+  const size_t g = std::max<size_t>(grain, 1);
+  const size_t range = end - begin;
+  if (range <= g) return combine(identity, map(begin, end));
+  const size_t num_chunks = (range + g - 1) / g;
+  std::vector<T> partials(num_chunks, identity);
+  internal::RunTasks(num_chunks, [&](size_t c) {
+    const size_t b = begin + c * g;
+    const size_t e = std::min(end, b + g);
+    partials[c] = map(b, e);
+  });
+  T acc = identity;
+  for (const T& partial : partials) acc = combine(acc, partial);
+  return acc;
+}
+
+/// Grain helper: given the approximate scalar-op cost of one iteration,
+/// returns a grain sized so each chunk carries at least `min_chunk_cost`
+/// operations (default ~32k, comfortably above task-dispatch overhead).
+inline size_t GrainForCost(size_t per_item_cost,
+                           size_t min_chunk_cost = size_t{1} << 15) {
+  return std::max<size_t>(1, min_chunk_cost / std::max<size_t>(per_item_cost, 1));
+}
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_PARALLEL_H_

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "hypergraph/builders.h"
 #include "models/heuristics.h"
@@ -77,15 +78,24 @@ Result<ExperimentResult> RunExperiment(const data::SocialDataset& dataset,
 
   hypergraph::Hypergraph baseline_hg(0);
   if (ModelNeedsHypergraph(config.model)) {
-    hypergraph::Hypergraph attr = hypergraph::BuildAttributeHypergroup(
-        dataset.num_users, dataset.attributes);
-    hypergraph::Hypergraph pairwise =
-        hypergraph::BuildPairwiseHypergroup(train_graph);
+    // The three hypergroups read only the (frozen) dataset and training
+    // graph, so they build concurrently; each task writes its own slot.
+    hypergraph::Hypergraph attr(0), pairwise(0), multihop(0);
     hypergraph::MultiHopOptions hop;
     hop.num_hops = config.baseline_multi_hop;
     hop.max_edge_size = config.baseline_multi_hop_max_edge_size;
-    hypergraph::Hypergraph multihop =
-        hypergraph::BuildMultiHopHypergroup(train_graph, hop);
+    ParallelFor(0, 3, 1, [&](size_t t0, size_t t1) {
+      for (size_t t = t0; t < t1; ++t) {
+        if (t == 0) {
+          attr = hypergraph::BuildAttributeHypergroup(dataset.num_users,
+                                                      dataset.attributes);
+        } else if (t == 1) {
+          pairwise = hypergraph::BuildPairwiseHypergroup(train_graph);
+        } else {
+          multihop = hypergraph::BuildMultiHopHypergroup(train_graph, hop);
+        }
+      }
+    });
     baseline_hg = hypergraph::Hypergraph::Concat(
         hypergraph::Hypergraph::Concat(attr, pairwise), multihop);
     inputs.hypergraph = &baseline_hg;

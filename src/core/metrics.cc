@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace ahntp::core {
@@ -22,20 +23,39 @@ BinaryMetrics EvaluateBinary(const std::vector<float>& probabilities,
   AHNTP_CHECK_GT(probabilities.size(), 0u);
   BinaryMetrics m;
   m.num_samples = probabilities.size();
-  size_t tp = 0, fp = 0, tn = 0, fn = 0;
-  for (size_t i = 0; i < probabilities.size(); ++i) {
-    bool predicted = probabilities[i] >= threshold;
-    bool actual = labels[i] >= 0.5f;
-    if (predicted && actual) {
-      ++tp;
-    } else if (predicted && !actual) {
-      ++fp;
-    } else if (!predicted && !actual) {
-      ++tn;
-    } else {
-      ++fn;
-    }
-  }
+  // Confusion counts are integer sums, so the parallel reduction is exact
+  // at any thread count.
+  struct Confusion {
+    size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  };
+  Confusion counts = ParallelReduce<Confusion>(
+      0, probabilities.size(), size_t{1} << 15, Confusion{},
+      [&](size_t lo, size_t hi) {
+        Confusion c;
+        for (size_t i = lo; i < hi; ++i) {
+          bool predicted = probabilities[i] >= threshold;
+          bool actual = labels[i] >= 0.5f;
+          if (predicted && actual) {
+            ++c.tp;
+          } else if (predicted && !actual) {
+            ++c.fp;
+          } else if (!predicted && !actual) {
+            ++c.tn;
+          } else {
+            ++c.fn;
+          }
+        }
+        return c;
+      },
+      [](Confusion a, const Confusion& b) {
+        a.tp += b.tp;
+        a.fp += b.fp;
+        a.tn += b.tn;
+        a.fn += b.fn;
+        return a;
+      });
+  const size_t tp = counts.tp, fp = counts.fp, tn = counts.tn,
+               fn = counts.fn;
   m.accuracy = static_cast<double>(tp + tn) /
                static_cast<double>(m.num_samples);
   m.precision = (tp + fp) > 0

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace ahntp::core {
@@ -43,16 +44,29 @@ Result<RepeatedResult> RunRepeatedExperiment(const data::SocialDataset& dataset,
   RepeatedResult aggregate;
   aggregate.model = config.model;
   aggregate.num_runs = num_runs;
-  std::vector<double> accs, f1s, aucs;
   uint64_t base_model_seed = config.model_seed;
   uint64_t base_split_seed = config.split.seed;
-  for (int run = 0; run < num_runs; ++run) {
-    config.model_seed = base_model_seed + static_cast<uint64_t>(run);
-    if (vary_split_seed) {
-      config.split.seed = base_split_seed + static_cast<uint64_t>(run);
+  // Fan the independent runs out across the pool: every run gets its own
+  // config/seed and trains a private model against the shared read-only
+  // dataset. Kernels inside a run then execute inline on that run's worker
+  // (nested-parallelism policy in common/parallel.h). Runs are aggregated
+  // by run index below, so the summary is the same at any thread count.
+  std::vector<Result<ExperimentResult>> runs(
+      static_cast<size_t>(num_runs), Status::Internal("run never executed"));
+  ParallelFor(0, static_cast<size_t>(num_runs), 1, [&](size_t r0, size_t r1) {
+    for (size_t run = r0; run < r1; ++run) {
+      ExperimentConfig run_config = config;
+      run_config.model_seed = base_model_seed + run;
+      if (vary_split_seed) {
+        run_config.split.seed = base_split_seed + run;
+      }
+      runs[run] = RunExperiment(dataset, run_config);
     }
-    AHNTP_ASSIGN_OR_RETURN(ExperimentResult result,
-                           RunExperiment(dataset, config));
+  });
+  std::vector<double> accs, f1s, aucs;
+  for (size_t run = 0; run < runs.size(); ++run) {
+    AHNTP_RETURN_IF_ERROR(runs[run].status());
+    ExperimentResult result = std::move(runs[run]).value();
     accs.push_back(result.test.accuracy);
     f1s.push_back(result.test.f1);
     aucs.push_back(result.test.auc);

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "hypergraph/regularizer.h"
@@ -194,9 +195,13 @@ BinaryMetrics Trainer::Evaluate(models::TrustPredictor* model,
                                 const std::vector<data::TrustPair>& pairs,
                                 float threshold) const {
   AHNTP_CHECK(model != nullptr);
+  // The forward pass inside PredictProbabilities dispatches its MatMul /
+  // SpMM work to the pool; the metric pass below is batch-parallel too.
   std::vector<float> probs = model->PredictProbabilities(pairs);
   std::vector<float> labels(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) labels[i] = pairs[i].label;
+  ParallelFor(0, pairs.size(), size_t{1} << 15, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) labels[i] = pairs[i].label;
+  });
   return EvaluateBinary(probs, labels, threshold);
 }
 

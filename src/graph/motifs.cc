@@ -1,6 +1,7 @@
 #include "graph/motifs.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ahntp::graph {
 
@@ -68,10 +69,13 @@ CsrMatrix MotifAdjacency(const CsrMatrix& adjacency, Motif motif) {
 
 std::array<CsrMatrix, 7> AllMotifAdjacencies(const CsrMatrix& adjacency) {
   std::array<CsrMatrix, 7> out;
-  for (int k = 0; k < 7; ++k) {
-    out[static_cast<size_t>(k)] =
-        MotifAdjacency(adjacency, static_cast<Motif>(k + 1));
-  }
+  // The seven motif matrices are independent; fan them out one per task
+  // (grain 1). Each slot is written by exactly one task.
+  ParallelFor(0, 7, 1, [&](size_t k0, size_t k1) {
+    for (size_t k = k0; k < k1; ++k) {
+      out[k] = MotifAdjacency(adjacency, static_cast<Motif>(k + 1));
+    }
+  });
   return out;
 }
 
@@ -118,20 +122,36 @@ int ClassifyTriple(const Digraph& g, int a, int b, int c) {
 CsrMatrix MotifAdjacencyByEnumeration(const Digraph& graph, Motif motif) {
   const int n = static_cast<int>(graph.num_nodes());
   const int want = static_cast<int>(motif);
-  std::vector<tensor::Triplet> triplets;
-  for (int a = 0; a < n; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      for (int c = b + 1; c < n; ++c) {
-        if (ClassifyTriple(graph, a, b, c) != want) continue;
-        const int nodes[3] = {a, b, c};
-        for (int i = 0; i < 3; ++i) {
-          for (int j = 0; j < 3; ++j) {
-            if (i != j) triplets.push_back({nodes[i], nodes[j], 1.0f});
+  // Parallel over the outer node: chunk c collects its triplets privately
+  // and the chunks are spliced in ascending order afterwards, reproducing
+  // the exact serial triplet sequence.
+  const size_t num_a = n < 0 ? 0 : static_cast<size_t>(n);
+  const size_t grain = GrainForCost(num_a * num_a / 2 + 1);
+  std::vector<tensor::Triplet> triplets = ParallelReduce<
+      std::vector<tensor::Triplet>>(
+      0, num_a, grain, {},
+      [&](size_t a0, size_t a1) {
+        std::vector<tensor::Triplet> local;
+        for (int a = static_cast<int>(a0); a < static_cast<int>(a1); ++a) {
+          for (int b = a + 1; b < n; ++b) {
+            for (int c = b + 1; c < n; ++c) {
+              if (ClassifyTriple(graph, a, b, c) != want) continue;
+              const int nodes[3] = {a, b, c};
+              for (int i = 0; i < 3; ++i) {
+                for (int j = 0; j < 3; ++j) {
+                  if (i != j) local.push_back({nodes[i], nodes[j], 1.0f});
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+        return local;
+      },
+      [](std::vector<tensor::Triplet> acc,
+         const std::vector<tensor::Triplet>& local) {
+        acc.insert(acc.end(), local.begin(), local.end());
+        return acc;
+      });
   return CsrMatrix::FromTriplets(graph.num_nodes(), graph.num_nodes(),
                                  std::move(triplets));
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ahntp::graph {
 
@@ -22,22 +23,40 @@ std::vector<double> PowerIterate(const CsrMatrix& row_normalized_transpose,
   AHNTP_CHECK(d > 0.0 && d < 1.0);
   std::vector<double> s(n, 1.0 / static_cast<double>(n));
   std::vector<float> s_f(n);
+  // Fixed reduction grain: chunk boundaries (and therefore double-sum
+  // association order) stay identical at every thread count.
+  constexpr size_t kGrain = size_t{1} << 14;
+  const auto sum_doubles = [](double x, double y) { return x + y; };
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    for (size_t i = 0; i < n; ++i) s_f[i] = static_cast<float>(s[i]);
+    ParallelFor(0, n, kGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) s_f[i] = static_cast<float>(s[i]);
+    });
     // Dangling columns contribute their mass uniformly.
-    double dangling_mass = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (dangling[i]) dangling_mass += s[i];
-    }
+    double dangling_mass = ParallelReduce<double>(
+        0, n, kGrain, 0.0,
+        [&](size_t lo, size_t hi) {
+          double partial = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            if (dangling[i]) partial += s[i];
+          }
+          return partial;
+        },
+        sum_doubles);
     std::vector<float> propagated = tensor::SpMV(row_normalized_transpose, s_f);
     double base = (1.0 - d) / static_cast<double>(n) +
                   d * dangling_mass / static_cast<double>(n);
-    double delta = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double next = d * static_cast<double>(propagated[i]) + base;
-      delta += std::fabs(next - s[i]);
-      s[i] = next;
-    }
+    double delta = ParallelReduce<double>(
+        0, n, kGrain, 0.0,
+        [&](size_t lo, size_t hi) {
+          double partial = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            double next = d * static_cast<double>(propagated[i]) + base;
+            partial += std::fabs(next - s[i]);
+            s[i] = next;
+          }
+          return partial;
+        },
+        sum_doubles);
     if (delta < options.tolerance) break;
   }
   // Normalize away accumulated float round-off.

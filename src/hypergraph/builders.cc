@@ -6,8 +6,17 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ahntp::hypergraph {
+
+namespace {
+
+/// Grain for the per-vertex builder loops (neighbor sort / BFS ball per
+/// item, so a few hundred vertices per chunk amortize dispatch).
+constexpr size_t kVertexGrain = 256;
+
+}  // namespace
 
 Hypergraph BuildSocialInfluenceHypergroup(
     const graph::Digraph& graph, const std::vector<double>& influence,
@@ -15,19 +24,30 @@ Hypergraph BuildSocialInfluenceHypergroup(
   AHNTP_CHECK_EQ(influence.size(), graph.num_nodes());
   AHNTP_CHECK_GT(top_k, 0);
   Hypergraph hg(graph.num_nodes());
-  for (size_t u = 0; u < graph.num_nodes(); ++u) {
-    std::vector<int> neighbors = graph.UndirectedNeighbors(static_cast<int>(u));
-    // Highest-influence neighbours first; ties broken by id for determinism.
-    std::stable_sort(neighbors.begin(), neighbors.end(),
-                     [&influence](int a, int b) {
-                       return influence[static_cast<size_t>(a)] >
-                              influence[static_cast<size_t>(b)];
-                     });
-    if (neighbors.size() > static_cast<size_t>(top_k)) {
-      neighbors.resize(static_cast<size_t>(top_k));
+  // Member selection (gather + sort) is the hot part and is independent per
+  // vertex; edges are then inserted serially in vertex order so the edge
+  // ids match the serial build exactly.
+  std::vector<std::vector<int>> members(graph.num_nodes());
+  ParallelFor(0, graph.num_nodes(), kVertexGrain, [&](size_t u0, size_t u1) {
+    for (size_t u = u0; u < u1; ++u) {
+      std::vector<int> neighbors =
+          graph.UndirectedNeighbors(static_cast<int>(u));
+      // Highest-influence neighbours first; ties broken by id for
+      // determinism.
+      std::stable_sort(neighbors.begin(), neighbors.end(),
+                       [&influence](int a, int b) {
+                         return influence[static_cast<size_t>(a)] >
+                                influence[static_cast<size_t>(b)];
+                       });
+      if (neighbors.size() > static_cast<size_t>(top_k)) {
+        neighbors.resize(static_cast<size_t>(top_k));
+      }
+      neighbors.push_back(static_cast<int>(u));
+      members[u] = std::move(neighbors);
     }
-    neighbors.push_back(static_cast<int>(u));
-    AHNTP_CHECK_OK(hg.AddEdge(std::move(neighbors)));
+  });
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    AHNTP_CHECK_OK(hg.AddEdge(std::move(members[u])));
   }
   return hg;
 }
@@ -47,15 +67,23 @@ Hypergraph BuildAttributeHypergroup(
     size_t num_users, const std::vector<std::vector<int>>& attributes,
     size_t min_size) {
   Hypergraph hg(num_users);
-  for (const auto& column : attributes) {
-    AHNTP_CHECK_EQ(column.size(), num_users)
-        << "every attribute column must cover all users";
-    std::map<int, std::vector<int>> groups;
-    for (size_t u = 0; u < num_users; ++u) {
-      if (column[u] >= 0) {
-        groups[column[u]].push_back(static_cast<int>(u));
+  // Group each attribute column in parallel (columns are independent), then
+  // insert edges serially in column order / ascending attribute value, the
+  // same order the serial build produced.
+  std::vector<std::map<int, std::vector<int>>> grouped(attributes.size());
+  ParallelFor(0, attributes.size(), 1, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      const auto& column = attributes[c];
+      AHNTP_CHECK_EQ(column.size(), num_users)
+          << "every attribute column must cover all users";
+      for (size_t u = 0; u < num_users; ++u) {
+        if (column[u] >= 0) {
+          grouped[c][column[u]].push_back(static_cast<int>(u));
+        }
       }
     }
+  });
+  for (auto& groups : grouped) {
     for (auto& [value, members] : groups) {
       if (members.size() >= min_size) {
         AHNTP_CHECK_OK(hg.AddEdge(std::move(members)));
@@ -83,20 +111,30 @@ Hypergraph BuildMultiHopHypergroup(const graph::Digraph& graph,
   AHNTP_CHECK_GE(options.num_hops, 1);
   Hypergraph hg(graph.num_nodes());
   for (int hop = 1; hop <= options.num_hops; ++hop) {
-    for (size_t u = 0; u < graph.num_nodes(); ++u) {
-      // NeighborhoodBall returns BFS order, so the size cap keeps the
-      // nearest neighbours.
-      std::vector<int> members;
-      members.push_back(static_cast<int>(u));
-      std::vector<int> ball = graph.NeighborhoodBall(static_cast<int>(u), hop);
-      for (int v : ball) {
-        if (options.max_edge_size > 0 &&
-            members.size() >= options.max_edge_size) {
-          break;
+    // The BFS balls are independent per vertex; compute them in parallel
+    // and append edges serially in vertex order (edge ids as in the serial
+    // build).
+    std::vector<std::vector<int>> per_vertex(graph.num_nodes());
+    ParallelFor(0, graph.num_nodes(), kVertexGrain, [&](size_t u0, size_t u1) {
+      for (size_t u = u0; u < u1; ++u) {
+        // NeighborhoodBall returns BFS order, so the size cap keeps the
+        // nearest neighbours.
+        std::vector<int> members;
+        members.push_back(static_cast<int>(u));
+        std::vector<int> ball =
+            graph.NeighborhoodBall(static_cast<int>(u), hop);
+        for (int v : ball) {
+          if (options.max_edge_size > 0 &&
+              members.size() >= options.max_edge_size) {
+            break;
+          }
+          members.push_back(v);
         }
-        members.push_back(v);
+        per_vertex[u] = std::move(members);
       }
-      AHNTP_CHECK_OK(hg.AddEdge(std::move(members)));
+    });
+    for (size_t u = 0; u < graph.num_nodes(); ++u) {
+      AHNTP_CHECK_OK(hg.AddEdge(std::move(per_vertex[u])));
     }
   }
   return hg;

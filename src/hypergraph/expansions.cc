@@ -2,22 +2,34 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace ahntp::hypergraph {
 
 tensor::CsrMatrix CliqueExpansion(const Hypergraph& hg) {
-  std::vector<tensor::Triplet> triplets;
+  // An edge of size k contributes k*(k-1) ordered pairs at a precomputed
+  // offset, so the expansion parallelizes over edges while emitting the
+  // exact serial triplet sequence.
+  std::vector<size_t> offsets(hg.num_edges() + 1, 0);
   for (size_t e = 0; e < hg.num_edges(); ++e) {
-    const std::vector<int>& members = hg.EdgeVertices(e);
-    float w = hg.EdgeWeight(e);
-    for (size_t i = 0; i < members.size(); ++i) {
-      for (size_t j = i + 1; j < members.size(); ++j) {
-        triplets.push_back({members[i], members[j], w});
-        triplets.push_back({members[j], members[i], w});
+    const size_t k = hg.EdgeVertices(e).size();
+    offsets[e + 1] = offsets[e] + k * (k - 1);
+  }
+  std::vector<tensor::Triplet> triplets(offsets.back());
+  ParallelFor(0, hg.num_edges(), 256, [&](size_t e0, size_t e1) {
+    for (size_t e = e0; e < e1; ++e) {
+      const std::vector<int>& members = hg.EdgeVertices(e);
+      float w = hg.EdgeWeight(e);
+      size_t at = offsets[e];
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          triplets[at++] = {members[i], members[j], w};
+          triplets[at++] = {members[j], members[i], w};
+        }
       }
     }
-  }
+  });
   return tensor::CsrMatrix::FromTriplets(hg.num_vertices(), hg.num_vertices(),
                                          std::move(triplets));
 }

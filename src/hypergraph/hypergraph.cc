@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace ahntp::hypergraph {
@@ -107,19 +108,28 @@ CsrMatrix Hypergraph::NormalizedAdjacency() const {
   for (size_t v = 0; v < num_vertices_; ++v) {
     if (dv[v] > 0.0f) inv_sqrt_dv[v] = 1.0f / std::sqrt(dv[v]);
   }
-  std::vector<Triplet> left;   // Dv^{-1/2} H
-  std::vector<Triplet> right;  // Dv^{-1/2} H W De^{-1}, transposed below
-  left.reserve(TotalIncidences());
-  right.reserve(TotalIncidences());
+  // Each edge's incidence entries land at a precomputed offset, so the fill
+  // is parallel over edges yet produces the serial triplet order.
+  std::vector<size_t> offsets(edges_.size() + 1, 0);
   for (size_t e = 0; e < edges_.size(); ++e) {
-    float edge_scale =
-        weights_[e] / static_cast<float>(std::max<size_t>(edges_[e].size(), 1));
-    for (int v : edges_[e]) {
-      float s = inv_sqrt_dv[static_cast<size_t>(v)];
-      left.push_back({v, static_cast<int>(e), s});
-      right.push_back({static_cast<int>(e), v, s * edge_scale});
-    }
+    offsets[e + 1] = offsets[e] + edges_[e].size();
   }
+  std::vector<Triplet> left(offsets.back());   // Dv^{-1/2} H
+  std::vector<Triplet> right(offsets.back());  // Dv^{-1/2} H W De^{-1},
+                                               // transposed below
+  ParallelFor(0, edges_.size(), 512, [&](size_t e0, size_t e1) {
+    for (size_t e = e0; e < e1; ++e) {
+      float edge_scale = weights_[e] / static_cast<float>(
+                                           std::max<size_t>(edges_[e].size(), 1));
+      size_t at = offsets[e];
+      for (int v : edges_[e]) {
+        float s = inv_sqrt_dv[static_cast<size_t>(v)];
+        left[at] = {v, static_cast<int>(e), s};
+        right[at] = {static_cast<int>(e), v, s * edge_scale};
+        ++at;
+      }
+    }
+  });
   CsrMatrix l = CsrMatrix::FromTriplets(num_vertices_, edges_.size(),
                                         std::move(left));
   CsrMatrix r = CsrMatrix::FromTriplets(edges_.size(), num_vertices_,

@@ -4,7 +4,23 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace ahntp::tensor {
+
+namespace {
+
+/// Sparse kernels go parallel only past this many stored entries; below it
+/// the rows fit comfortably in one task's worth of work.
+constexpr size_t kSparseParallelNnz = size_t{1} << 14;
+
+/// Average flops per stored entry for grain sizing of row-parallel loops.
+size_t RowGrain(const CsrMatrix& a, size_t dense_cols) {
+  const size_t nnz_per_row = a.rows() == 0 ? 1 : a.nnz() / a.rows() + 1;
+  return GrainForCost(nnz_per_row * std::max<size_t>(dense_cols, 1));
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
                                   std::vector<Triplet> triplets) {
@@ -40,7 +56,13 @@ CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
 }
 
 CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float tolerance) {
+  // Count first so the triplet buffer is allocated exactly once.
+  size_t count = 0;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (std::fabs(dense.data()[i]) > tolerance) ++count;
+  }
   std::vector<Triplet> triplets;
+  triplets.reserve(count);
   for (size_t r = 0; r < dense.rows(); ++r) {
     for (size_t c = 0; c < dense.cols(); ++c) {
       float v = dense.At(r, c);
@@ -50,6 +72,33 @@ CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float tolerance) {
     }
   }
   return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::FromSortedRows(
+    size_t rows, size_t cols, const std::vector<std::vector<int>>& row_cols,
+    const std::vector<std::vector<float>>& row_vals) {
+  AHNTP_CHECK_EQ(row_cols.size(), rows);
+  AHNTP_CHECK_EQ(row_vals.size(), rows);
+  CsrMatrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    AHNTP_CHECK_EQ(row_cols[r].size(), row_vals[r].size());
+    out.row_ptr_[r + 1] =
+        out.row_ptr_[r] + static_cast<int>(row_cols[r].size());
+  }
+  const size_t total = static_cast<size_t>(out.row_ptr_[rows]);
+  out.col_idx_.resize(total);
+  out.values_.resize(total);
+  ParallelFor(0, rows, GrainForCost(total / std::max<size_t>(rows, 1) + 1),
+              [&](size_t r0, size_t r1) {
+                for (size_t r = r0; r < r1; ++r) {
+                  const size_t base = static_cast<size_t>(out.row_ptr_[r]);
+                  std::copy(row_cols[r].begin(), row_cols[r].end(),
+                            out.col_idx_.begin() + static_cast<long>(base));
+                  std::copy(row_vals[r].begin(), row_vals[r].end(),
+                            out.values_.begin() + static_cast<long>(base));
+                }
+              });
+  return out;
 }
 
 CsrMatrix CsrMatrix::Identity(size_t n) {
@@ -196,13 +245,16 @@ std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x) {
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
-  for (size_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      acc += static_cast<double>(values[i]) * x[static_cast<size_t>(col_idx[i])];
+  ParallelFor(0, a.rows(), RowGrain(a, 1), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      double acc = 0.0;
+      for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        acc +=
+            static_cast<double>(values[i]) * x[static_cast<size_t>(col_idx[i])];
+      }
+      y[r] = static_cast<float>(acc);
     }
-    y[r] = static_cast<float>(acc);
-  }
+  });
   return y;
 }
 
@@ -213,19 +265,31 @@ Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
   const size_t n = b.cols();
-  for (size_t r = 0; r < a.rows(); ++r) {
-    float* orow = out.RowPtr(r);
-    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      float av = values[i];
-      const float* brow = b.RowPtr(static_cast<size_t>(col_idx[i]));
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  ParallelFor(0, a.rows(), RowGrain(a, n), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out.RowPtr(r);
+      for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        float av = values[i];
+        const float* brow = b.RowPtr(static_cast<size_t>(col_idx[i]));
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
   AHNTP_CHECK_EQ(a.rows(), b.rows());
+  // The direct form scatters into out.row(col_idx[i]) and cannot be
+  // row-parallelized. Past the serial threshold we take the nnz-preserving
+  // Transposed() fast path and run the gather-form kernel row-parallel.
+  // Transposed() emits each output row's entries in ascending original-row
+  // order — the same order the scatter loop adds them — so both paths are
+  // bit-identical.
+  if (a.nnz() * b.cols() >= kSparseParallelNnz && NumThreads() > 1 &&
+      !InParallelWorker()) {
+    return SpMM(a.Transposed(), b);
+  }
   Matrix out(a.cols(), b.cols());
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
@@ -244,34 +308,51 @@ Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
 
 CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b) {
   AHNTP_CHECK_EQ(a.cols(), b.rows());
-  // Gustavson's algorithm with a dense accumulator sized to b.cols().
-  std::vector<Triplet> triplets;
-  std::vector<float> accumulator(b.cols(), 0.0f);
-  std::vector<int> touched;
+  // Gustavson's algorithm, row-parallel: every chunk owns a private dense
+  // accumulator and emits finished rows into its slot of `row_cols` /
+  // `row_vals`; the final CSR assembly walks rows in order, so the result
+  // does not depend on how rows were distributed over threads.
   const auto& a_row_ptr = a.row_ptr();
   const auto& a_col_idx = a.col_idx();
   const auto& a_values = a.values();
   const auto& b_row_ptr = b.row_ptr();
   const auto& b_col_idx = b.col_idx();
   const auto& b_values = b.values();
-  for (size_t r = 0; r < a.rows(); ++r) {
-    touched.clear();
-    for (int i = a_row_ptr[r]; i < a_row_ptr[r + 1]; ++i) {
-      float av = a_values[i];
-      size_t mid = static_cast<size_t>(a_col_idx[i]);
-      for (int j = b_row_ptr[mid]; j < b_row_ptr[mid + 1]; ++j) {
-        size_t c = static_cast<size_t>(b_col_idx[j]);
-        if (accumulator[c] == 0.0f) touched.push_back(static_cast<int>(c));
-        accumulator[c] += av * b_values[j];
+  std::vector<std::vector<int>> row_cols(a.rows());
+  std::vector<std::vector<float>> row_vals(a.rows());
+  // Grain by flops: each a-entry expands a b-row.
+  const size_t flops_per_row =
+      (a.rows() == 0 ? 1 : a.nnz() / a.rows() + 1) *
+      (b.rows() == 0 ? 1 : b.nnz() / b.rows() + 1);
+  ParallelFor(0, a.rows(), GrainForCost(flops_per_row),
+              [&](size_t r0, size_t r1) {
+    std::vector<float> accumulator(b.cols(), 0.0f);
+    std::vector<int> touched;
+    for (size_t r = r0; r < r1; ++r) {
+      touched.clear();
+      for (int i = a_row_ptr[r]; i < a_row_ptr[r + 1]; ++i) {
+        float av = a_values[i];
+        size_t mid = static_cast<size_t>(a_col_idx[i]);
+        for (int j = b_row_ptr[mid]; j < b_row_ptr[mid + 1]; ++j) {
+          size_t c = static_cast<size_t>(b_col_idx[j]);
+          if (accumulator[c] == 0.0f) touched.push_back(static_cast<int>(c));
+          accumulator[c] += av * b_values[j];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      row_cols[r].reserve(touched.size());
+      row_vals[r].reserve(touched.size());
+      for (int c : touched) {
+        float v = accumulator[static_cast<size_t>(c)];
+        accumulator[static_cast<size_t>(c)] = 0.0f;
+        if (v != 0.0f) {
+          row_cols[r].push_back(c);
+          row_vals[r].push_back(v);
+        }
       }
     }
-    for (int c : touched) {
-      float v = accumulator[static_cast<size_t>(c)];
-      accumulator[static_cast<size_t>(c)] = 0.0f;
-      if (v != 0.0f) triplets.push_back({static_cast<int>(r), c, v});
-    }
-  }
-  return CsrMatrix::FromTriplets(a.rows(), b.cols(), std::move(triplets));
+  });
+  return CsrMatrix::FromSortedRows(a.rows(), b.cols(), row_cols, row_vals);
 }
 
 namespace {

@@ -35,6 +35,13 @@ class CsrMatrix {
   /// Builds from a dense matrix, dropping entries with |v| <= tolerance.
   static CsrMatrix FromDense(const Matrix& dense, float tolerance = 0.0f);
 
+  /// Builds from per-row column/value arrays whose columns are already
+  /// sorted and unique. Exact-size allocation, no sort, copy is
+  /// row-parallel — the assembly path for the parallel SpGEMM.
+  static CsrMatrix FromSortedRows(size_t rows, size_t cols,
+                                  const std::vector<std::vector<int>>& row_cols,
+                                  const std::vector<std::vector<float>>& row_vals);
+
   /// Identity matrix of size n.
   static CsrMatrix Identity(size_t n);
 
@@ -59,7 +66,10 @@ class CsrMatrix {
   /// Dense copy (small matrices / tests only).
   Matrix ToDense() const;
 
-  /// Transpose (CSR -> CSR, O(nnz)).
+  /// Transpose (CSR -> CSR, O(nnz) counting sort, nnz-preserving). Each
+  /// output row's entries appear in ascending original-row order, which is
+  /// what lets SpMMTransposed switch to the gather form without changing
+  /// float accumulation order.
   CsrMatrix Transposed() const;
 
   /// Multiplies all stored values by `scalar`.
@@ -101,7 +111,9 @@ std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x);
 /// out = A * B where A is sparse and B dense. Shapes: (m x k) * (k x n).
 Matrix SpMM(const CsrMatrix& a, const Matrix& b);
 
-/// out = A^T * B without materializing the transpose.
+/// out = A^T * B. Small inputs use the scatter form without materializing
+/// the transpose; large inputs materialize A^T and run row-parallel (both
+/// forms are bit-identical, see the implementation note).
 Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b);
 
 /// Sparse-sparse product (m x k) * (k x n) -> (m x n).

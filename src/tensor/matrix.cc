@@ -3,7 +3,26 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace ahntp::tensor {
+
+namespace {
+
+/// Elementwise loops shorter than this stay serial: below ~32k floats the
+/// task-dispatch overhead exceeds the loop body.
+constexpr size_t kElementwiseGrain = size_t{1} << 15;
+
+/// Fixed reduction grain. Chunk boundaries must not depend on the thread
+/// count (determinism contract in common/parallel.h), so this is a
+/// constant, not a function of NumThreads().
+constexpr size_t kReduceGrain = size_t{1} << 15;
+
+/// Panel height for the blocked MatMul k-loop: 64 rows of B are streamed
+/// repeatedly while they are still cache-resident.
+constexpr size_t kMatMulKBlock = 64;
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -59,24 +78,42 @@ void Matrix::Reshape(size_t rows, size_t cols) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) a[i] += b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) a[i] -= b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator*=(float scalar) {
-  for (auto& v : data_) v *= scalar;
+  float* a = data_.data();
+  ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) a[i] *= scalar;
+  });
   return *this;
 }
 
 float Matrix::Sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* a = data_.data();
+  double acc = ParallelReduce<double>(
+      0, data_.size(), kReduceGrain, 0.0,
+      [=](size_t lo, size_t hi) {
+        double partial = 0.0;
+        for (size_t i = lo; i < hi; ++i) partial += a[i];
+        return partial;
+      },
+      [](double x, double y) { return x + y; });
   return static_cast<float>(acc);
 }
 
@@ -86,14 +123,29 @@ float Matrix::Mean() const {
 }
 
 float Matrix::MaxAbs() const {
-  float best = 0.0f;
-  for (float v : data_) best = std::max(best, std::fabs(v));
-  return best;
+  const float* a = data_.data();
+  return ParallelReduce<float>(
+      0, data_.size(), kReduceGrain, 0.0f,
+      [=](size_t lo, size_t hi) {
+        float best = 0.0f;
+        for (size_t i = lo; i < hi; ++i) best = std::max(best, std::fabs(a[i]));
+        return best;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 float Matrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* a = data_.data();
+  double acc = ParallelReduce<double>(
+      0, data_.size(), kReduceGrain, 0.0,
+      [=](size_t lo, size_t hi) {
+        double partial = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          partial += static_cast<double>(a[i]) * a[i];
+        }
+        return partial;
+      },
+      [](double x, double y) { return x + y; });
   return static_cast<float>(std::sqrt(acc));
 }
 
@@ -106,9 +158,14 @@ Matrix Matrix::RowCopy(size_t r) const {
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
-  }
+  // Parallel over output rows: each chunk writes a disjoint row band of the
+  // transpose (strided reads, contiguous writes).
+  ParallelFor(0, cols_, GrainForCost(rows_), [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      float* orow = out.RowPtr(c);
+      for (size_t r = 0; r < rows_; ++r) orow[r] = At(r, c);
+    }
+  });
   return out;
 }
 
@@ -148,9 +205,12 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out(a.rows(), a.cols());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] * b.data()[i];
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   return out;
 }
 
@@ -160,6 +220,54 @@ Matrix Scale(const Matrix& a, float scalar) {
   return out;
 }
 
+namespace {
+
+/// Blocked i-k-j kernel for out[r0, r1) = a * b: the k loop is tiled so a
+/// ~kMatMulKBlock-row panel of b is reused across every row of the band
+/// while it is cache-hot. Per output element the additions still occur in
+/// ascending-k order, so the result is bit-identical to the untiled i-k-j
+/// loop and independent of the row partitioning (= thread count).
+void MatMulRowBandNN(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+                     size_t r1) {
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t p0 = 0; p0 < k; p0 += kMatMulKBlock) {
+    const size_t p1 = std::min(k, p0 + kMatMulKBlock);
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* orow = out->RowPtr(i);
+      for (size_t p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.RowPtr(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// out[r0, r1) rows of a * b^T: each output element is an independent dot
+/// product of two contiguous rows.
+void MatMulRowBandNT(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+                     size_t r1) {
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* orow = out->RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * brow[p];
+      }
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
               bool transpose_b) {
   const size_t m = transpose_a ? a.cols() : a.rows();
@@ -167,47 +275,22 @@ Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
   const size_t k2 = transpose_b ? b.cols() : b.rows();
   const size_t n = transpose_b ? b.rows() : b.cols();
   AHNTP_CHECK_EQ(k, k2);
+  if (transpose_a) {
+    // The a^T variants would scatter across output rows if parallelized
+    // directly; materializing a^T (itself row-parallel) reduces them to the
+    // row-parallel kernels below at O(m*k) extra traffic.
+    return MatMul(a.Transposed(), b, /*transpose_a=*/false, transpose_b);
+  }
   Matrix out(m, n);
-  if (!transpose_a && !transpose_b) {
-    // ikj loop order keeps the inner loop streaming over contiguous rows.
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = a.RowPtr(i);
-      float* orow = out.RowPtr(i);
-      for (size_t p = 0; p < k; ++p) {
-        float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.RowPtr(p);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else if (transpose_a && !transpose_b) {
-    // out[i][j] += a[p][i] * b[p][j]
-    for (size_t p = 0; p < k; ++p) {
-      const float* arow = a.RowPtr(p);
-      const float* brow = b.RowPtr(p);
-      for (size_t i = 0; i < m; ++i) {
-        float av = arow[i];
-        if (av == 0.0f) continue;
-        float* orow = out.RowPtr(i);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else if (!transpose_a && transpose_b) {
-    // out[i][j] = dot(a.row(i), b.row(j))
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = a.RowPtr(i);
-      float* orow = out.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = b.RowPtr(j);
-        double acc = 0.0;
-        for (size_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-        orow[j] = static_cast<float>(acc);
-      }
-    }
+  const size_t grain = GrainForCost(k * std::max<size_t>(n, 1));
+  if (!transpose_b) {
+    ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
+      MatMulRowBandNN(a, b, &out, r0, r1);
+    });
   } else {
-    // Rare path; materialize a^T and recurse once.
-    return MatMul(a.Transposed(), b, /*transpose_a=*/false,
-                  /*transpose_b=*/true);
+    ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
+      MatMulRowBandNT(a, b, &out, r0, r1);
+    });
   }
   return out;
 }
@@ -216,44 +299,59 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   AHNTP_CHECK_EQ(row.rows(), 1u);
   AHNTP_CHECK_EQ(row.cols(), a.cols());
   Matrix out = a;
-  for (size_t r = 0; r < a.rows(); ++r) {
-    float* orow = out.RowPtr(r);
-    const float* brow = row.RowPtr(0);
-    for (size_t c = 0; c < a.cols(); ++c) orow[c] += brow[c];
-  }
+  const float* brow = row.RowPtr(0);
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&out, brow, cols = a.cols()](size_t r0, size_t r1) {
+                for (size_t r = r0; r < r1; ++r) {
+                  float* orow = out.RowPtr(r);
+                  for (size_t c = 0; c < cols; ++c) orow[c] += brow[c];
+                }
+              });
   return out;
 }
 
 Matrix RowSums(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = a.RowPtr(r);
-    for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
-    out.At(r, 0) = static_cast<float>(acc);
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](size_t r0, size_t r1) {
+                for (size_t r = r0; r < r1; ++r) {
+                  double acc = 0.0;
+                  const float* row = a.RowPtr(r);
+                  for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
+                  out.At(r, 0) = static_cast<float>(acc);
+                }
+              });
   return out;
 }
 
 Matrix ColSums(const Matrix& a) {
   Matrix out(1, a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.RowPtr(r);
-    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
-  }
+  // Parallel over column bands: each band's accumulators are private to its
+  // chunk and every column still sums rows in ascending order.
+  ParallelFor(0, a.cols(), GrainForCost(a.rows()),
+              [&](size_t c0, size_t c1) {
+                for (size_t r = 0; r < a.rows(); ++r) {
+                  const float* row = a.RowPtr(r);
+                  float* orow = out.RowPtr(0);
+                  for (size_t c = c0; c < c1; ++c) orow[c] += row[c];
+                }
+              });
   return out;
 }
 
 Matrix RowNorms(const Matrix& a, float epsilon) {
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = a.RowPtr(r);
-    for (size_t c = 0; c < a.cols(); ++c) {
-      acc += static_cast<double>(row[c]) * row[c];
-    }
-    out.At(r, 0) = static_cast<float>(std::sqrt(acc + epsilon));
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](size_t r0, size_t r1) {
+                for (size_t r = r0; r < r1; ++r) {
+                  double acc = 0.0;
+                  const float* row = a.RowPtr(r);
+                  for (size_t c = 0; c < a.cols(); ++c) {
+                    acc += static_cast<double>(row[c]) * row[c];
+                  }
+                  out.At(r, 0) = static_cast<float>(std::sqrt(acc + epsilon));
+                }
+              });
   return out;
 }
 
@@ -266,15 +364,17 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
     cols += part->cols();
   }
   Matrix out(rows, cols);
-  for (size_t r = 0; r < rows; ++r) {
-    float* orow = out.RowPtr(r);
-    size_t offset = 0;
-    for (const Matrix* part : parts) {
-      const float* prow = part->RowPtr(r);
-      for (size_t c = 0; c < part->cols(); ++c) orow[offset + c] = prow[c];
-      offset += part->cols();
+  ParallelFor(0, rows, GrainForCost(cols), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out.RowPtr(r);
+      size_t offset = 0;
+      for (const Matrix* part : parts) {
+        const float* prow = part->RowPtr(r);
+        for (size_t c = 0; c < part->cols(); ++c) orow[offset + c] = prow[c];
+        offset += part->cols();
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -304,10 +404,15 @@ Matrix GatherRows(const Matrix& a, const std::vector<int>& indices) {
   for (size_t i = 0; i < indices.size(); ++i) {
     AHNTP_CHECK(indices[i] >= 0 &&
                 static_cast<size_t>(indices[i]) < a.rows());
-    const float* src = a.RowPtr(static_cast<size_t>(indices[i]));
-    float* dst = out.RowPtr(i);
-    for (size_t c = 0; c < a.cols(); ++c) dst[c] = src[c];
   }
+  ParallelFor(0, indices.size(), GrainForCost(a.cols()),
+              [&](size_t i0, size_t i1) {
+                for (size_t i = i0; i < i1; ++i) {
+                  const float* src = a.RowPtr(static_cast<size_t>(indices[i]));
+                  float* dst = out.RowPtr(i);
+                  for (size_t c = 0; c < a.cols(); ++c) dst[c] = src[c];
+                }
+              });
   return out;
 }
 
