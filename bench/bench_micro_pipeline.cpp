@@ -88,7 +88,7 @@ void BM_AhntpTrainEpoch(benchmark::State& state) {
   core::Trainer trainer(config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        trainer.Fit(&predictor, fixture.split.train_pairs));
+        trainer.Fit(&predictor, fixture.split.train_pairs).value());
   }
   state.SetLabel(std::to_string(fixture.split.train_pairs.size()) +
                  " train pairs");

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
                                &rng);
   core::TrainerConfig tc;
   tc.epochs = 10;
-  core::Trainer(tc).Fit(&model, split.train_pairs);
+  AHNTP_CHECK(core::Trainer(tc).Fit(&model, split.train_pairs).ok());
 
   const std::string checkpoint = "/tmp/ahntp_quickstart.ckpt";
   AHNTP_CHECK_OK(nn::SaveModule(model, checkpoint));

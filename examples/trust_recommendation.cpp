@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   core::Trainer trainer(trainer_config);
   std::printf("training AHNTP on %zu users (%d epochs)...\n",
               dataset.num_users, epochs);
-  trainer.Fit(&predictor, split.train_pairs);
+  AHNTP_CHECK(trainer.Fit(&predictor, split.train_pairs).ok());
   core::BinaryMetrics test = trainer.Evaluate(&predictor, split.test_pairs);
   std::printf("test metrics: %s\n\n", test.ToString().c_str());
 

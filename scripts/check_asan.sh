@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the test suite with ASan+UBSan (AHNTP_SANITIZE=address) and runs
+# the fault-tolerance-sensitive tests. Usage:
+#   scripts/check_asan.sh [extra test binaries...]
+#
+# ASan/UBSan is the gate for the robustness layer (common/fault.*,
+# common/fileio.*, nn/serialization.*, the divergence guard, and the sweep
+# state machinery): corruption handling parses attacker-shaped bytes, so
+# the parsers must come back clean under sanitizers before changes land.
+set -eu
+cd "$(dirname "$0")/.."
+
+tests=(fault_test fuzz_test nn_test data_test core_test common_test "$@")
+
+build_dir="build-addresssan"
+cmake -B "$build_dir" -S . -DAHNTP_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" --target \
+      "${tests[@]}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+status=0
+for t in "${tests[@]}"; do
+  echo "########## $t (AHNTP_SANITIZE=address) ##########"
+  "$build_dir/tests/$t" || status=$?
+done
+exit "$status"

@@ -1,10 +1,28 @@
 #include "common/csv.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace ahntp {
+
+namespace {
+
+std::string SerializeCsv(const CsvTable& table, char sep) {
+  std::string sep_str(1, sep);
+  std::ostringstream out;
+  if (!table.header.empty()) {
+    out << StrJoin(table.header, sep_str) << "\n";
+  }
+  for (const auto& row : table.rows) {
+    out << StrJoin(row, sep_str) << "\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace
 
 Result<CsvTable> ReadCsv(const std::string& path, char sep, bool has_header) {
   std::ifstream in(path);
@@ -40,6 +58,11 @@ Status WriteCsv(const std::string& path, const CsvTable& table, char sep) {
   out.flush();
   if (!out) return Status::IoError("write error on " + path);
   return Status::Ok();
+}
+
+Status WriteCsvAtomic(const std::string& path, const CsvTable& table,
+                      char sep) {
+  return WriteFileAtomic(path, SerializeCsv(table, sep));
 }
 
 }  // namespace ahntp

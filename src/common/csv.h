@@ -24,6 +24,12 @@ Result<CsvTable> ReadCsv(const std::string& path, char sep = ',',
 Status WriteCsv(const std::string& path, const CsvTable& table,
                 char sep = ',');
 
+/// Like WriteCsv, but via temp-file + fsync + atomic rename
+/// (common/fileio.h), so a failure or crash mid-write never leaves a
+/// truncated table at `path`.
+Status WriteCsvAtomic(const std::string& path, const CsvTable& table,
+                      char sep = ',');
+
 }  // namespace ahntp
 
 #endif  // AHNTP_COMMON_CSV_H_

@@ -1,0 +1,98 @@
+#include "common/fileio.h"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ahntp {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Flushes `path`'s data to stable storage. Best-effort on platforms
+/// without fsync; an fsync failure is reported so callers do not report a
+/// durable write that is not.
+bool SyncFile(const std::string& path) {
+#ifdef __unix__
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError("write error on " + tmp);
+    }
+  }
+  std::error_code ec;
+  if (!SyncFile(tmp)) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("fsync failed on " + tmp);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* contents) {
+  if (contents == nullptr) return Status::InvalidArgument("contents is null");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read error on " + path);
+  *contents = std::move(buffer).str();
+  return Status::Ok();
+}
+
+}  // namespace ahntp

@@ -1,0 +1,30 @@
+#ifndef AHNTP_COMMON_FILEIO_H_
+#define AHNTP_COMMON_FILEIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ahntp {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `size` bytes. Chainable:
+/// pass the previous return value as `crc` to extend a running checksum.
+/// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+/// Atomically replaces `path` with `contents`: writes to `path + ".tmp"`,
+/// verifies the stream after every write (short writes / disk full surface
+/// as IoError, never as a silently truncated file), fsyncs, then renames
+/// over the target. On any failure the temp file is removed and `path` is
+/// left untouched — readers never observe a partially written file.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Reads the whole file into `contents`. IoError when the file cannot be
+/// opened or read.
+Status ReadFileToString(const std::string& path, std::string* contents);
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_FILEIO_H_

@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 
@@ -111,6 +112,13 @@ std::vector<std::string> FlagParser::GetStringList(
 int ApplyRuntimeFlags(const FlagParser& flags) {
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   if (threads > 0) SetNumThreads(threads);
+  if (flags.Has("fault_seed")) {
+    fault::SetSeed(static_cast<uint64_t>(flags.GetInt("fault_seed", 0)));
+  }
+  if (flags.Has("fault_spec")) {
+    Status status = fault::EnableFromSpec(flags.GetString("fault_spec", ""));
+    AHNTP_CHECK(status.ok()) << "bad --fault_spec: " << status.ToString();
+  }
   return NumThreads();
 }
 

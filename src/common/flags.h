@@ -50,8 +50,12 @@ class FlagParser {
 
 /// Applies the process-wide runtime flags shared by every binary:
 /// `--threads=N` configures the execution substrate's worker count
-/// (0 or absent keeps the AHNTP_THREADS / hardware default). Returns the
-/// resolved worker count so callers can record it in their output.
+/// (0 or absent keeps the AHNTP_THREADS / hardware default), and
+/// `--fault_spec=` / `--fault_seed=` install a deterministic
+/// fault-injection spec (see common/fault.h; AHNTP_FAULTS is the env
+/// equivalent). Returns the resolved worker count so callers can record it
+/// in their output. A malformed fault spec aborts via CHECK (operator
+/// error, same contract as malformed typed flags).
 int ApplyRuntimeFlags(const FlagParser& flags);
 
 }  // namespace ahntp

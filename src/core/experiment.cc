@@ -131,7 +131,8 @@ Result<ExperimentResult> RunExperiment(const data::SocialDataset& dataset,
   }
 
   Trainer trainer(trainer_config);
-  TrainResult train_result = trainer.Fit(&predictor, fit_pairs, val_pairs);
+  AHNTP_ASSIGN_OR_RETURN(TrainResult train_result,
+                         trainer.Fit(&predictor, fit_pairs, val_pairs));
 
   ExperimentResult result;
   result.model = config.model;

@@ -1,12 +1,16 @@
 #include "core/trainer.h"
 
+#include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "hypergraph/regularizer.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
@@ -66,11 +70,79 @@ void RestoreParameters(std::vector<Variable>* params,
 
 }  // namespace
 
-TrainResult Trainer::Fit(models::TrustPredictor* model,
-                         const std::vector<data::TrustPair>& train_pairs,
-                         const std::vector<data::TrustPair>& validation_pairs) {
+Status ValidateTrainerConfig(const TrainerConfig& config) {
+  if (config.epochs <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("epochs must be positive, got %d", config.epochs));
+  }
+  if (!(config.learning_rate > 0.0f) ||
+      !std::isfinite(config.learning_rate)) {
+    return Status::InvalidArgument(
+        StrFormat("learning_rate must be positive and finite, got %g",
+                  static_cast<double>(config.learning_rate)));
+  }
+  if (config.weight_decay < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("weight_decay must be >= 0, got %g",
+                  static_cast<double>(config.weight_decay)));
+  }
+  if (config.lambda1 < 0.0f || config.lambda2 < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("lambda1/lambda2 must be >= 0, got %g/%g",
+                  static_cast<double>(config.lambda1),
+                  static_cast<double>(config.lambda2)));
+  }
+  if (config.use_contrastive && !(config.temperature > 0.0f)) {
+    return Status::InvalidArgument(
+        StrFormat("temperature must be positive, got %g",
+                  static_cast<double>(config.temperature)));
+  }
+  if (config.aux_loss_weight < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("aux_loss_weight must be >= 0, got %g",
+                  static_cast<double>(config.aux_loss_weight)));
+  }
+  if (config.regularizer_weight < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("regularizer_weight must be >= 0, got %g",
+                  static_cast<double>(config.regularizer_weight)));
+  }
+  if (config.clip_gradient_norm < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("clip_gradient_norm must be >= 0, got %g",
+                  static_cast<double>(config.clip_gradient_norm)));
+  }
+  if (config.patience < 0) {
+    return Status::InvalidArgument(
+        StrFormat("patience must be >= 0, got %d", config.patience));
+  }
+  if (config.patience > 0 && config.eval_every <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("eval_every must be positive when patience > 0, got %d",
+                  config.eval_every));
+  }
+  if (config.divergence_guard && config.divergence_factor <= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("divergence_factor must be > 1, got %g",
+                  config.divergence_factor));
+  }
+  if (config.max_divergence_rollbacks < 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_divergence_rollbacks must be >= 0, got %d",
+                  config.max_divergence_rollbacks));
+  }
+  return Status::Ok();
+}
+
+Result<TrainResult> Trainer::Fit(
+    models::TrustPredictor* model,
+    const std::vector<data::TrustPair>& train_pairs,
+    const std::vector<data::TrustPair>& validation_pairs) {
   AHNTP_CHECK(model != nullptr);
-  AHNTP_CHECK(!train_pairs.empty());
+  AHNTP_RETURN_IF_ERROR(ValidateTrainerConfig(config_));
+  if (train_pairs.empty()) {
+    return Status::InvalidArgument("Fit() needs at least one training pair");
+  }
   Stopwatch timer;
   const bool early_stopping =
       config_.patience > 0 && !validation_pairs.empty();
@@ -88,14 +160,27 @@ TrainResult Trainer::Fit(models::TrustPredictor* model,
 
   TrainResult result;
   model->SetTraining(true);
+  // Divergence guard state: the parameters as of the last healthy epoch,
+  // that epoch's loss as the explosion baseline, and the cumulative
+  // learning-rate backoff (folded into every subsequent epoch so an
+  // LrSchedule cannot undo it).
+  const bool guard = config_.divergence_guard;
+  std::vector<tensor::Matrix> good_snapshot;
+  double good_loss = std::numeric_limits<double>::quiet_NaN();
+  float lr_scale = 1.0f;
+  int rollbacks = 0;
+  if (guard) good_snapshot = SnapshotParameters(params);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    if (config_.lr_schedule != nullptr) {
-      optimizer.set_learning_rate(config_.lr_schedule->Rate(epoch));
-    }
+    const float base_lr = config_.lr_schedule != nullptr
+                              ? config_.lr_schedule->Rate(epoch)
+                              : config_.learning_rate;
+    optimizer.set_learning_rate(base_lr * lr_scale);
     rng.Shuffle(&pairs);
     double epoch_loss = 0.0;
     double epoch_contrastive = 0.0;
     double epoch_bce = 0.0;
+    double epoch_grad_norm = 0.0;
+    bool nonfinite_grad = false;
     size_t num_batches = 0;
     for (size_t start = 0; start < pairs.size(); start += batch_size) {
       size_t end = std::min(start + batch_size, pairs.size());
@@ -134,8 +219,23 @@ TrainResult Trainer::Fit(models::TrustPredictor* model,
 
       optimizer.ZeroGrad();
       loss.Backward();
+      if (fault::Enabled() && !params.empty() &&
+          fault::ShouldInject("trainer.nan_grad")) {
+        params[0].mutable_grad().data()[0] =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+      float batch_grad_norm = 0.0f;
       if (config_.clip_gradient_norm > 0.0f) {
-        nn::ClipGradientNorm(optimizer.params(), config_.clip_gradient_norm);
+        batch_grad_norm = nn::ClipGradientNorm(optimizer.params(),
+                                               config_.clip_gradient_norm);
+      } else if (guard) {
+        batch_grad_norm = nn::GlobalGradientNorm(optimizer.params());
+      }
+      if (std::isfinite(batch_grad_norm)) {
+        epoch_grad_norm =
+            std::max(epoch_grad_norm, static_cast<double>(batch_grad_norm));
+      } else {
+        nonfinite_grad = true;
       }
       optimizer.Step();
 
@@ -150,7 +250,55 @@ TrainResult Trainer::Fit(models::TrustPredictor* model,
     stats.contrastive_loss =
         epoch_contrastive / static_cast<double>(num_batches);
     stats.bce_loss = epoch_bce / static_cast<double>(num_batches);
+    stats.grad_norm = nonfinite_grad
+                          ? std::numeric_limits<double>::quiet_NaN()
+                          : epoch_grad_norm;
+    // Divergence check: a non-finite loss/gradient or a loss explosion
+    // relative to the last healthy epoch invalidates this epoch's update.
+    bool healthy = std::isfinite(stats.loss) && !nonfinite_grad;
+    if (healthy && guard && std::isfinite(good_loss) &&
+        stats.loss >
+            config_.divergence_factor * std::max(std::abs(good_loss), 1e-6)) {
+      healthy = false;
+    }
+    if (guard && !healthy) {
+      stats.rolled_back = true;
+      result.history.push_back(stats);
+      ++result.num_rollbacks;
+      ++rollbacks;
+      RestoreParameters(&params, good_snapshot);
+      // Stale Adam moments would re-inject the poisoned step after the
+      // rollback, so optimizer state restarts clean at the reduced rate.
+      optimizer.Reset();
+      lr_scale *= 0.5f;
+      const char* cause = std::isfinite(stats.loss) && !nonfinite_grad
+                              ? "loss explosion"
+                              : "non-finite loss/gradient";
+      result.events.push_back(StrFormat(
+          "epoch %d: %s (loss=%g), rolled back to last healthy parameters, "
+          "lr scale -> %g",
+          epoch, cause, stats.loss, static_cast<double>(lr_scale)));
+      if (config_.verbose) {
+        AHNTP_LOG(Warning) << result.events.back();
+      }
+      if (rollbacks >= config_.max_divergence_rollbacks) {
+        result.divergence_halt = true;
+        result.events.push_back(StrFormat(
+            "epoch %d: divergence rollback budget (%d) exhausted, stopping "
+            "with last healthy parameters",
+            epoch, config_.max_divergence_rollbacks));
+        if (config_.verbose) {
+          AHNTP_LOG(Warning) << result.events.back();
+        }
+        break;
+      }
+      continue;
+    }
     result.history.push_back(stats);
+    if (guard) {
+      good_snapshot = SnapshotParameters(params);
+      good_loss = stats.loss;
+    }
     if (config_.verbose &&
         (epoch % std::max(config_.log_every, 1) == 0 ||
          epoch + 1 == config_.epochs)) {
@@ -177,16 +325,24 @@ TrainResult Trainer::Fit(models::TrustPredictor* model,
       }
     }
   }
+  // final_loss / best_epoch report the last *kept* epoch; rolled-back
+  // epochs stay in the history for diagnosis but never contributed
+  // parameters.
+  const EpochStats* last_kept = nullptr;
+  for (auto it = result.history.rbegin(); it != result.history.rend(); ++it) {
+    if (!it->rolled_back) {
+      last_kept = &*it;
+      break;
+    }
+  }
   if (early_stopping && !best_snapshot.empty()) {
     RestoreParameters(&params, best_snapshot);
     result.best_epoch = best_epoch;
     result.best_validation_auc = best_val_auc;
   } else {
-    result.best_epoch =
-        result.history.empty() ? 0 : result.history.back().epoch;
+    result.best_epoch = last_kept == nullptr ? 0 : last_kept->epoch;
   }
-  result.final_loss =
-      result.history.empty() ? 0.0 : result.history.back().loss;
+  result.final_loss = last_kept == nullptr ? 0.0 : last_kept->loss;
   result.train_seconds = timer.ElapsedSeconds();
   return result;
 }

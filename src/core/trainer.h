@@ -1,8 +1,10 @@
 #ifndef AHNTP_CORE_TRAINER_H_
 #define AHNTP_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/metrics.h"
 #include "data/split.h"
 #include "models/trust_predictor.h"
@@ -55,7 +57,25 @@ struct TrainerConfig {
   /// no validation pairs.
   int patience = 6;
   int eval_every = 5;
+
+  /// Divergence guard (DESIGN.md §10). When enabled, every epoch's mean
+  /// loss and max gradient norm are checked; on a non-finite value or a
+  /// loss explosion (loss > divergence_factor x the last healthy epoch's
+  /// loss) the guard rolls parameters back to the last healthy epoch,
+  /// resets the optimizer moments, halves the learning rate, and keeps
+  /// training. After max_divergence_rollbacks rollbacks training stops
+  /// early with the best state so far instead of returning garbage. The
+  /// guard leaves healthy runs bit-identical: it only reads losses and
+  /// gradients unless it actually fires.
+  bool divergence_guard = true;
+  double divergence_factor = 1e3;
+  int max_divergence_rollbacks = 3;
 };
+
+/// Validates a TrainerConfig; InvalidArgument naming the offending field.
+/// Called at Fit() entry so a bad sweep cell fails fast and loud instead
+/// of silently training garbage.
+Status ValidateTrainerConfig(const TrainerConfig& config);
 
 /// Per-epoch training record.
 struct EpochStats {
@@ -63,6 +83,12 @@ struct EpochStats {
   double loss = 0.0;
   double contrastive_loss = 0.0;
   double bce_loss = 0.0;
+  /// Max gradient norm seen across the epoch's batches (0 when the guard
+  /// and clipping are both off — nothing computed it).
+  double grad_norm = 0.0;
+  /// True when the divergence guard rejected this epoch and rolled the
+  /// parameters back; its loss never becomes the comparison baseline.
+  bool rolled_back = false;
 };
 
 struct TrainResult {
@@ -73,6 +99,12 @@ struct TrainResult {
   int best_epoch = 0;
   /// Best validation AUC seen (0 when no validation set was supplied).
   double best_validation_auc = 0.0;
+  /// Divergence-guard outcome: rollbacks performed, whether training was
+  /// halted by the rollback budget, and a human-readable event log
+  /// ("epoch 12: non-finite loss, rolled back, lr -> 5e-4").
+  int num_rollbacks = 0;
+  bool divergence_halt = false;
+  std::vector<std::string> events;
 };
 
 /// Mini-batch trainer for any TrustPredictor.
@@ -83,10 +115,14 @@ class Trainer {
   /// Trains in place; deterministic given config.seed and the model's
   /// initialization. When `validation_pairs` is non-empty and
   /// config.patience > 0, applies early stopping on validation AUC and
-  /// restores the best parameters before returning.
-  TrainResult Fit(models::TrustPredictor* model,
-                  const std::vector<data::TrustPair>& train_pairs,
-                  const std::vector<data::TrustPair>& validation_pairs = {});
+  /// restores the best parameters before returning. InvalidArgument on a
+  /// config that fails ValidateTrainerConfig or on empty train_pairs.
+  /// Fault-injection site: "trainer.nan_grad" poisons one batch gradient
+  /// to exercise the divergence guard (common/fault.h).
+  Result<TrainResult> Fit(
+      models::TrustPredictor* model,
+      const std::vector<data::TrustPair>& train_pairs,
+      const std::vector<data::TrustPair>& validation_pairs = {});
 
   /// Evaluates accuracy/F1/AUC on labelled pairs (eval mode) at the given
   /// decision threshold.

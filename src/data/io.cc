@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace ahntp::data {
@@ -12,6 +13,7 @@ namespace fs = std::filesystem;
 Status SaveDataset(const SocialDataset& dataset,
                    const std::string& directory) {
   AHNTP_RETURN_IF_ERROR(dataset.Validate());
+  AHNTP_RETURN_IF_ERROR(fault::MaybeIoError("dataset.save"));
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) return Status::IoError("cannot create " + directory);
@@ -29,7 +31,7 @@ Status SaveDataset(const SocialDataset& dataset,
           {"attribute:" + dataset.attribute_names[a],
            std::to_string(dataset.attribute_cardinalities[a])});
     }
-    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/meta.csv", meta));
+    AHNTP_RETURN_IF_ERROR(WriteCsvAtomic(directory + "/meta.csv", meta));
   }
   {
     CsvTable users;
@@ -48,7 +50,7 @@ Status SaveDataset(const SocialDataset& dataset,
                         : std::to_string(dataset.communities[u]));
       users.rows.push_back(std::move(row));
     }
-    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/users.csv", users));
+    AHNTP_RETURN_IF_ERROR(WriteCsvAtomic(directory + "/users.csv", users));
   }
   {
     CsvTable items;
@@ -57,7 +59,7 @@ Status SaveDataset(const SocialDataset& dataset,
       items.rows.push_back(
           {std::to_string(i), std::to_string(dataset.item_categories[i])});
     }
-    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/items.csv", items));
+    AHNTP_RETURN_IF_ERROR(WriteCsvAtomic(directory + "/items.csv", items));
   }
   {
     CsvTable purchases;
@@ -66,7 +68,8 @@ Status SaveDataset(const SocialDataset& dataset,
       purchases.rows.push_back({std::to_string(p.user), std::to_string(p.item),
                                 StrFormat("%.1f", p.rating)});
     }
-    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/purchases.csv", purchases));
+    AHNTP_RETURN_IF_ERROR(
+        WriteCsvAtomic(directory + "/purchases.csv", purchases));
   }
   {
     CsvTable trust;
@@ -82,7 +85,7 @@ Status SaveDataset(const SocialDataset& dataset,
       }
       trust.rows.push_back(std::move(row));
     }
-    AHNTP_RETURN_IF_ERROR(WriteCsv(directory + "/trust.csv", trust));
+    AHNTP_RETURN_IF_ERROR(WriteCsvAtomic(directory + "/trust.csv", trust));
   }
   return Status::Ok();
 }

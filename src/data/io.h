@@ -11,7 +11,10 @@ namespace ahntp::data {
 /// Persists a dataset as CSV files under `directory` (created if missing):
 /// meta.csv, users.csv, items.csv, purchases.csv, trust.csv. The format is
 /// the library's interchange format; a real Epinions/Ciao dump converted to
-/// these files is a drop-in replacement for the synthetic generator.
+/// these files is a drop-in replacement for the synthetic generator. Each
+/// file is written atomically (temp + fsync + rename) with stream-failure
+/// checks, so an interrupted save never leaves a truncated table behind.
+/// Fault-injection site: "dataset.save" (common/fault.h).
 Status SaveDataset(const SocialDataset& dataset, const std::string& directory);
 
 /// Loads a dataset saved by SaveDataset. Validates on load.

@@ -59,8 +59,13 @@ void Adam::Step() {
   }
 }
 
-float ClipGradientNorm(const std::vector<autograd::Variable>& params,
-                       float max_norm) {
+void Adam::Reset() {
+  step_count_ = 0;
+  for (auto& m : m_) m.Fill(0.0f);
+  for (auto& v : v_) v.Fill(0.0f);
+}
+
+float GlobalGradientNorm(const std::vector<autograd::Variable>& params) {
   double total = 0.0;
   for (const auto& p : params) {
     const tensor::Matrix& g = p.grad();
@@ -68,7 +73,12 @@ float ClipGradientNorm(const std::vector<autograd::Variable>& params,
       total += static_cast<double>(g.data()[i]) * g.data()[i];
     }
   }
-  float norm = static_cast<float>(std::sqrt(total));
+  return static_cast<float>(std::sqrt(total));
+}
+
+float ClipGradientNorm(const std::vector<autograd::Variable>& params,
+                       float max_norm) {
+  float norm = GlobalGradientNorm(params);
   if (norm > max_norm && norm > 0.0f) {
     float scale = max_norm / norm;
     for (const auto& p : params) {

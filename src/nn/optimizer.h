@@ -22,6 +22,11 @@ class Optimizer {
   virtual void set_learning_rate(float rate) = 0;
   virtual float learning_rate() const = 0;
 
+  /// Discards accumulated optimizer state (Adam moments, step count).
+  /// Used by the trainer's divergence guard: after rolling parameters back
+  /// past a non-finite step, stale moments would re-inject the poison.
+  virtual void Reset() {}
+
   /// Zeroes parameter gradients (call between steps).
   void ZeroGrad() {
     for (auto& p : params_) p.ZeroGrad();
@@ -59,6 +64,7 @@ class Adam : public Optimizer {
   void Step() override;
   void set_learning_rate(float rate) override { learning_rate_ = rate; }
   float learning_rate() const override { return learning_rate_; }
+  void Reset() override;
 
   int64_t step_count() const { return step_count_; }
 
@@ -72,6 +78,10 @@ class Adam : public Optimizer {
   std::vector<tensor::Matrix> m_;
   std::vector<tensor::Matrix> v_;
 };
+
+/// Global L2 norm of all parameter gradients. NaN/Inf gradients propagate
+/// into the result, which is what the trainer's divergence guard keys on.
+float GlobalGradientNorm(const std::vector<autograd::Variable>& params);
 
 /// Rescales all gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm. No-op (still returns the norm) when already

@@ -2,63 +2,71 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
+#include "common/fault.h"
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace ahntp::nn {
 
 namespace {
-constexpr char kMagic[8] = {'A', 'H', 'N', 'T', 'P', 'C', 'K', '1'};
-}  // namespace
 
-Status SaveParameters(const std::vector<autograd::Variable>& params,
-                      const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
-  uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    uint64_t rows = p.value().rows();
-    uint64_t cols = p.value().cols();
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p.value().data()),
-              static_cast<std::streamsize>(p.value().size() * sizeof(float)));
+constexpr char kMagicV1[8] = {'A', 'H', 'N', 'T', 'P', 'C', 'K', '1'};
+constexpr char kMagicV2[8] = {'A', 'H', 'N', 'T', 'P', 'C', 'K', '2'};
+constexpr size_t kMagicSize = sizeof(kMagicV2);
+constexpr size_t kFooterSize = sizeof(uint32_t);
+
+/// Sequential reader over an in-memory checkpoint image; every read is
+/// bounds-checked so truncated files surface as Corruption, never as an
+/// out-of-bounds access.
+class ByteCursor {
+ public:
+  ByteCursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool Read(void* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
   }
-  out.flush();
-  if (!out) return Status::IoError("write error on " + path);
-  return Status::Ok();
+
+  bool ReadU64(uint64_t* out) { return Read(out, sizeof(*out)); }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
 }
 
-Status LoadParameters(std::vector<autograd::Variable>* params,
-                      const std::string& path) {
-  if (params == nullptr) return Status::InvalidArgument("params is null");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad checkpoint magic in " + path);
-  }
+/// Parses the body shared by both versions (count, then per-parameter
+/// shape + float32 payload) into staged matrices; the module is only
+/// touched after the whole image validates.
+Status ParseBody(ByteCursor* cursor,
+                 const std::vector<autograd::Variable>& params,
+                 std::vector<tensor::Matrix>* staged,
+                 const std::string& path) {
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) return Status::Corruption("truncated checkpoint header");
-  if (count != params->size()) {
+  if (!cursor->ReadU64(&count)) {
+    return Status::Corruption("truncated checkpoint header in " + path);
+  }
+  if (count != params.size()) {
     return Status::InvalidArgument(
         StrFormat("checkpoint has %llu parameters, module has %zu",
-                  static_cast<unsigned long long>(count), params->size()));
+                  static_cast<unsigned long long>(count), params.size()));
   }
-  // Stage all payloads first so a failure leaves the module untouched.
-  std::vector<tensor::Matrix> staged;
-  staged.reserve(count);
+  staged->reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t rows = 0, cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!in) return Status::Corruption("truncated checkpoint shape");
-    const auto& expected = (*params)[i].value();
+    if (!cursor->ReadU64(&rows) || !cursor->ReadU64(&cols)) {
+      return Status::Corruption("truncated checkpoint shape in " + path);
+    }
+    const auto& expected = params[i].value();
     if (rows != expected.rows() || cols != expected.cols()) {
       return Status::InvalidArgument(StrFormat(
           "parameter %llu shape mismatch: checkpoint %llux%llu vs module "
@@ -69,12 +77,82 @@ Status LoadParameters(std::vector<autograd::Variable>* params,
           expected.cols()));
     }
     tensor::Matrix m(rows, cols);
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-    if (!in) return Status::Corruption("truncated checkpoint payload");
-    staged.push_back(std::move(m));
+    if (!cursor->Read(m.data(), m.size() * sizeof(float))) {
+      return Status::Corruption("truncated checkpoint payload in " + path);
+    }
+    staged->push_back(std::move(m));
   }
-  for (uint64_t i = 0; i < count; ++i) {
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<autograd::Variable>& params,
+                      const std::string& path) {
+  AHNTP_RETURN_IF_ERROR(fault::MaybeIoError("checkpoint.save"));
+  // Serialize the v2 image in memory: magic, body, CRC32-of-body footer.
+  std::string image;
+  size_t payload = 0;
+  for (const auto& p : params) payload += p.value().size() * sizeof(float);
+  image.reserve(kMagicSize + sizeof(uint64_t) +
+                params.size() * 2 * sizeof(uint64_t) + payload + kFooterSize);
+  AppendRaw(&image, kMagicV2, kMagicSize);
+  uint64_t count = params.size();
+  AppendRaw(&image, &count, sizeof(count));
+  for (const auto& p : params) {
+    uint64_t rows = p.value().rows();
+    uint64_t cols = p.value().cols();
+    AppendRaw(&image, &rows, sizeof(rows));
+    AppendRaw(&image, &cols, sizeof(cols));
+    AppendRaw(&image, p.value().data(), p.value().size() * sizeof(float));
+  }
+  uint32_t crc =
+      Crc32(image.data() + kMagicSize, image.size() - kMagicSize);
+  AppendRaw(&image, &crc, sizeof(crc));
+  // Temp file + fsync + rename: a crash or failure mid-save leaves any
+  // previous checkpoint at `path` intact.
+  return WriteFileAtomic(path, image);
+}
+
+Status LoadParameters(std::vector<autograd::Variable>* params,
+                      const std::string& path) {
+  if (params == nullptr) return Status::InvalidArgument("params is null");
+  std::string image;
+  AHNTP_RETURN_IF_ERROR(ReadFileToString(path, &image));
+  if (image.size() < kMagicSize) {
+    return Status::Corruption("truncated checkpoint header in " + path);
+  }
+  const bool v2 = std::memcmp(image.data(), kMagicV2, kMagicSize) == 0;
+  const bool v1 = std::memcmp(image.data(), kMagicV1, kMagicSize) == 0;
+  if (!v1 && !v2) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  size_t body_size = image.size() - kMagicSize;
+  if (v2) {
+    // v2 appends a CRC32 of the body; verify before trusting any field.
+    if (body_size < kFooterSize) {
+      return Status::Corruption("truncated checkpoint footer in " + path);
+    }
+    body_size -= kFooterSize;
+    uint32_t stored = 0;
+    std::memcpy(&stored, image.data() + kMagicSize + body_size,
+                sizeof(stored));
+    uint32_t actual = Crc32(image.data() + kMagicSize, body_size);
+    if (stored != actual) {
+      return Status::Corruption(
+          StrFormat("checkpoint CRC mismatch in %s (stored %08x, computed "
+                    "%08x)",
+                    path.c_str(), stored, actual));
+    }
+  }
+  ByteCursor cursor(image.data() + kMagicSize, body_size);
+  std::vector<tensor::Matrix> staged;
+  AHNTP_RETURN_IF_ERROR(ParseBody(&cursor, *params, &staged, path));
+  if (!cursor.AtEnd()) {
+    return Status::Corruption("trailing bytes after checkpoint payload in " +
+                              path);
+  }
+  for (size_t i = 0; i < staged.size(); ++i) {
     (*params)[i].mutable_value() = std::move(staged[i]);
   }
   return Status::Ok();

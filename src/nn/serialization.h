@@ -10,16 +10,21 @@
 
 namespace ahntp::nn {
 
-/// Saves parameter values to a binary checkpoint ("AHNTPCK1" magic, then
-/// count + per-parameter shape + float32 payload, little-endian). Parameter
-/// *order* is the identity key: load into a module built with the same
-/// architecture/configuration.
+/// Saves parameter values to a v2 binary checkpoint: "AHNTPCK2" magic,
+/// then count + per-parameter shape + float32 payload (little-endian),
+/// then a CRC32 footer over everything after the magic. The file is
+/// written to a temp path, fsynced, and atomically renamed over `path`, so
+/// a crash or I/O failure mid-save never corrupts an existing checkpoint.
+/// Parameter *order* is the identity key: load into a module built with
+/// the same architecture/configuration.
+/// Fault-injection site: "checkpoint.save" (common/fault.h).
 Status SaveParameters(const std::vector<autograd::Variable>& params,
                       const std::string& path);
 
-/// Loads a checkpoint into existing parameters. Fails with InvalidArgument
-/// on count/shape mismatch and Corruption on a malformed file; parameters
-/// are untouched on failure.
+/// Loads a v2 or legacy v1 ("AHNTPCK1", no checksum) checkpoint into
+/// existing parameters. Fails with InvalidArgument on count/shape mismatch
+/// and Corruption on a malformed, truncated, or (v2) bit-flipped file;
+/// parameters are untouched on failure.
 Status LoadParameters(std::vector<autograd::Variable>* params,
                       const std::string& path);
 

@@ -388,7 +388,8 @@ TEST(TrainerTest, LossDecreases) {
   config.epochs = 15;
   config.learning_rate = 5e-3f;
   Trainer trainer(config);
-  TrainResult result = trainer.Fit(&predictor, fixture.split().train_pairs);
+  TrainResult result =
+      trainer.Fit(&predictor, fixture.split().train_pairs).value();
   ASSERT_EQ(result.history.size(), 15u);
   EXPECT_LT(result.history.back().loss, result.history.front().loss);
   EXPECT_GT(result.train_seconds, 0.0);
@@ -404,7 +405,8 @@ TEST(TrainerTest, ContrastiveTermReportedOnlyWhenEnabled) {
   config.epochs = 2;
   config.use_contrastive = false;
   Trainer trainer(config);
-  TrainResult result = trainer.Fit(&predictor, fixture.split().train_pairs);
+  TrainResult result =
+      trainer.Fit(&predictor, fixture.split().train_pairs).value();
   EXPECT_EQ(result.history.back().contrastive_loss, 0.0);
 }
 
@@ -418,7 +420,8 @@ TEST(TrainerTest, MiniBatchesMatchFullBatchEpochStructure) {
   config.epochs = 3;
   config.batch_size = 32;
   Trainer trainer(config);
-  TrainResult result = trainer.Fit(&predictor, fixture.split().train_pairs);
+  TrainResult result =
+      trainer.Fit(&predictor, fixture.split().train_pairs).value();
   EXPECT_EQ(result.history.size(), 3u);
 }
 
@@ -439,7 +442,7 @@ TEST(TrainerTest, EarlyStoppingStopsAndRestores) {
       fixture.split().train_pairs.begin() + 40);
   std::vector<data::TrustPair> fit(fixture.split().train_pairs.begin() + 40,
                                    fixture.split().train_pairs.end());
-  TrainResult result = trainer.Fit(&predictor, fit, val);
+  TrainResult result = trainer.Fit(&predictor, fit, val).value();
   // It must either converge early or run to the cap; either way the best
   // epoch is recorded and validation AUC is meaningful.
   EXPECT_GE(result.best_validation_auc, 0.4);
@@ -457,7 +460,8 @@ TEST(TrainerTest, NoValidationMeansNoEarlyStop) {
   config.epochs = 7;
   config.patience = 1;
   Trainer trainer(config);
-  TrainResult result = trainer.Fit(&predictor, fixture.split().train_pairs);
+  TrainResult result =
+      trainer.Fit(&predictor, fixture.split().train_pairs).value();
   EXPECT_EQ(result.history.size(), 7u);  // ran to the cap
   EXPECT_EQ(result.best_validation_auc, 0.0);
 }
@@ -475,7 +479,8 @@ TEST(TrainerTest, RegularizerPathRuns) {
   config.regularizer_weight = 0.01f;
   config.regularizer_hypergraph = &ahntp->combined_hypergraph();
   Trainer trainer(config);
-  TrainResult result = trainer.Fit(&predictor, fixture.split().train_pairs);
+  TrainResult result =
+      trainer.Fit(&predictor, fixture.split().train_pairs).value();
   EXPECT_EQ(result.history.size(), 2u);
   EXPECT_TRUE(std::isfinite(result.final_loss));
 }

@@ -10,9 +10,12 @@
 
 #include "autograd/ops.h"
 #include "common/csv.h"
+#include "common/fileio.h"
 #include "common/rng.h"
+#include "data/generator.h"
 #include "data/io.h"
 #include "hypergraph/hypergraph.h"
+#include "nn/serialization.h"
 #include "tensor/csr.h"
 #include "test_util.h"
 
@@ -209,6 +212,132 @@ TEST(IoFailureTest, MissingUsersFileRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
   std::filesystem::remove_all(dir);
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption fuzzing: random bit flips and truncations must
+// never be accepted (v2 carries a CRC32) and must leave the destination
+// parameters untouched.
+// ---------------------------------------------------------------------------
+
+class CheckpointFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointFuzzTest, RandomBitFlipAlwaysRejected) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  std::vector<Variable> saved;
+  saved.push_back(autograd::Parameter(Matrix::Randn(4, 3, &rng)));
+  saved.push_back(autograd::Parameter(Matrix::Randn(2, 5, &rng)));
+  std::string path = ::testing::TempDir() + "/ahntp_fuzz_ckpt_" +
+                     std::to_string(GetParam()) + ".ckpt";
+  ASSERT_TRUE(nn::SaveParameters(saved, path).ok());
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(path, &image).ok());
+
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string corrupted = image;
+    size_t byte = rng.NextBounded(corrupted.size());
+    corrupted[byte] =
+        static_cast<char>(corrupted[byte] ^ (1u << rng.NextBounded(8)));
+    ASSERT_TRUE(WriteFileAtomic(path, corrupted).ok());
+    std::vector<Variable> params;
+    Rng fill(99);
+    params.push_back(autograd::Parameter(Matrix::Randn(4, 3, &fill)));
+    params.push_back(autograd::Parameter(Matrix::Randn(2, 5, &fill)));
+    Rng fill2(99);
+    Matrix before0 = Matrix::Randn(4, 3, &fill2);
+    Matrix before1 = Matrix::Randn(2, 5, &fill2);
+    Status status = nn::LoadParameters(&params, path);
+    EXPECT_FALSE(status.ok())
+        << "accepted a checkpoint with bit flipped in byte " << byte;
+    EXPECT_TRUE(params[0].value().AllClose(before0, 0.0f));
+    EXPECT_TRUE(params[1].value().AllClose(before1, 0.0f));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_P(CheckpointFuzzTest, RandomTruncationAlwaysRejected) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 53);
+  std::vector<Variable> saved;
+  saved.push_back(autograd::Parameter(Matrix::Randn(3, 3, &rng)));
+  std::string path = ::testing::TempDir() + "/ahntp_fuzz_trunc_" +
+                     std::to_string(GetParam()) + ".ckpt";
+  ASSERT_TRUE(nn::SaveParameters(saved, path).ok());
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(path, &image).ok());
+
+  for (int trial = 0; trial < 16; ++trial) {
+    size_t keep = rng.NextBounded(image.size());  // always strictly shorter
+    ASSERT_TRUE(WriteFileAtomic(path, image.substr(0, keep)).ok());
+    std::vector<Variable> params;
+    Rng fill(7);
+    params.push_back(autograd::Parameter(Matrix::Randn(3, 3, &fill)));
+    EXPECT_FALSE(nn::LoadParameters(&params, path).ok())
+        << "accepted a checkpoint truncated to " << keep << " bytes";
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Dataset CSV corruption: random byte mutations in any of the saved CSV
+// files must never crash LoadDataset — it either loads or returns an
+// error.
+// ---------------------------------------------------------------------------
+
+class DatasetFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetFuzzTest, CorruptedCsvFieldsNeverCrashLoader) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101);
+  data::GeneratorConfig config;
+  config.num_users = 15;
+  config.num_items = 10;
+  config.num_communities = 2;
+  config.seed = 3;
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(config).Generate();
+  std::string dir = ::testing::TempDir() + "/ahntp_fuzz_ds_" +
+                    std::to_string(GetParam());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(data::SaveDataset(dataset, dir).ok());
+
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files.push_back(entry.path().string());
+  }
+  ASSERT_FALSE(files.empty());
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string& victim = files[rng.NextBounded(files.size())];
+    std::string original;
+    ASSERT_TRUE(ReadFileToString(victim, &original).ok());
+    if (original.empty()) continue;
+    std::string corrupted = original;
+    // Mutate a few bytes: printable garbage, NULs, or deletions.
+    for (int m = 0; m < 3; ++m) {
+      size_t pos = rng.NextBounded(corrupted.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          corrupted[pos] = static_cast<char>('!' + rng.NextBounded(90));
+          break;
+        case 1:
+          corrupted[pos] = '\0';
+          break;
+        case 2:
+          corrupted.erase(pos, 1);
+          break;
+      }
+      if (corrupted.empty()) break;
+    }
+    ASSERT_TRUE(WriteFileAtomic(victim, corrupted).ok());
+    auto loaded = data::LoadDataset(dir);  // must not crash
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->Validate().ok());
+    }
+    ASSERT_TRUE(WriteFileAtomic(victim, original).ok());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetFuzzTest, ::testing::Range(1, 5));
 
 TEST(IoFailureTest, WrongRowWidthRejected) {
   CsvTable broken;
