@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/strings.h"
 #include "core/experiment.h"
 #include "data/generator.h"
 
@@ -38,6 +40,10 @@ struct BenchOptions {
   static BenchOptions FromFlags(const FlagParser& flags) {
     BenchOptions options;
     options.threads = ApplyRuntimeFlags(flags);
+    // Bare --metrics turns the registry on without naming a path; PrintBanner
+    // then defaults the snapshot to BENCH_<id>.metrics.json next to the
+    // bench's other JSON output.
+    if (flags.GetBool("metrics", false)) metrics::Enable();
     options.scale = flags.GetDouble("scale", options.scale);
     options.epochs = static_cast<int>(flags.GetInt("epochs", options.epochs));
     options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
@@ -136,8 +142,19 @@ inline core::ExperimentResult MustRunAveraged(
 /// attribute results to a configuration.
 inline void PrintBanner(const char* experiment_id, const char* description,
                         const BenchOptions& options) {
+  // When the metrics registry is on but no snapshot path was named
+  // (--metrics without --metrics_out), default it to a sidecar named after
+  // the bench, matching the BENCH_*.json convention; the snapshot is then
+  // written by the registry's process-exit hook.
+  if (metrics::Enabled() && metrics::OutputPath().empty()) {
+    metrics::SetOutputPath(
+        StrFormat("BENCH_%s.metrics.json", experiment_id));
+  }
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment_id, description);
+  if (metrics::Enabled()) {
+    std::printf("metrics snapshot -> %s\n", metrics::OutputPath().c_str());
+  }
   std::printf(
       "BENCH_META {\"bench\": \"%s\", \"threads\": %d, \"scale\": %.4f, "
       "\"epochs\": %d, \"seed\": %lu, \"seeds\": %d}\n",

@@ -2,6 +2,10 @@
 // predict trust for a few user pairs.
 //
 //   ./build/examples/quickstart [--scale 0.05] [--epochs 30]
+//
+// Also honors the shared runtime flags (--threads, --metrics_out,
+// --trace_out, --fault_spec; see common/flags.h), which makes it the
+// smallest end-to-end pipeline for exercising the observability layer.
 
 #include <cstdio>
 
@@ -17,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace ahntp;
   FlagParser flags;
   AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  ApplyRuntimeFlags(flags);
   const double scale = flags.GetDouble("scale", 0.05);
   const int epochs = static_cast<int>(flags.GetInt("epochs", 30));
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full pre-land gate: tier-1 ctest suite, then the focused sanitizer
+# and observability checks. Usage:
+#   scripts/check_all.sh
+#
+# Stops at the first failing stage (each stage's own script reports the
+# details); a clean exit means every gate passed.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "================ tier-1: build + ctest ================"
+cmake -B build -S .
+cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
+(cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)")
+
+echo "================ observability ================"
+scripts/check_observability.sh
+
+echo "================ ASan/UBSan ================"
+scripts/check_asan.sh
+
+echo "================ TSan ================"
+scripts/check_tsan.sh
+
+echo "all checks passed"

@@ -2,8 +2,10 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace ahntp {
 
@@ -118,6 +120,16 @@ int ApplyRuntimeFlags(const FlagParser& flags) {
   if (flags.Has("fault_spec")) {
     Status status = fault::EnableFromSpec(flags.GetString("fault_spec", ""));
     AHNTP_CHECK(status.ok()) << "bad --fault_spec: " << status.ToString();
+  }
+  if (flags.Has("metrics_out")) {
+    const std::string path = flags.GetString("metrics_out", "");
+    AHNTP_CHECK(!path.empty()) << "--metrics_out needs a path";
+    metrics::SetOutputPath(path);
+  }
+  if (flags.Has("trace_out")) {
+    const std::string path = flags.GetString("trace_out", "");
+    AHNTP_CHECK(!path.empty()) << "--trace_out needs a path";
+    trace::SetOutputPath(path);
   }
   return NumThreads();
 }

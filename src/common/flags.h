@@ -50,12 +50,17 @@ class FlagParser {
 
 /// Applies the process-wide runtime flags shared by every binary:
 /// `--threads=N` configures the execution substrate's worker count
-/// (0 or absent keeps the AHNTP_THREADS / hardware default), and
+/// (0 or absent keeps the AHNTP_THREADS / hardware default),
 /// `--fault_spec=` / `--fault_seed=` install a deterministic
 /// fault-injection spec (see common/fault.h; AHNTP_FAULTS is the env
-/// equivalent). Returns the resolved worker count so callers can record it
-/// in their output. A malformed fault spec aborts via CHECK (operator
-/// error, same contract as malformed typed flags).
+/// equivalent), and `--metrics_out=<path>` / `--trace_out=<path>` enable
+/// the observability layer with a process-exit snapshot / trace export
+/// (see common/metrics.h, common/trace.h; AHNTP_METRICS / AHNTP_TRACE are
+/// the env equivalents; a `--trace_out` path ending in ".csv" exports the
+/// flat CSV instead of Chrome JSON). Returns the resolved worker count so
+/// callers can record it in their output. A malformed fault spec or an
+/// empty observability path aborts via CHECK (operator error, same
+/// contract as malformed typed flags).
 int ApplyRuntimeFlags(const FlagParser& flags);
 
 }  // namespace ahntp

@@ -1,0 +1,395 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ahntp::metrics {
+
+/// Slot budget per shard. Counters take one slot; histograms take
+/// kHistogramBuckets + 2 (buckets, count, nano-unit sum). 1024 slots fit
+/// ~14 histograms plus hundreds of counters — far beyond current usage —
+/// and a fixed capacity lets shards be plain arrays with no grow/reader
+/// races.
+constexpr size_t kMaxSlots = 1024;
+
+struct Shard {
+  std::atomic<int64_t> slots[kMaxSlots];
+  Shard() {
+    for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+  }
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Entry {
+  Kind kind;
+  size_t index;  // shard slot (counter/histogram) or gauge table index
+};
+
+/// Internal registry singleton; named at namespace scope so the metric
+/// classes can befriend it from the header.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      AHNTP_CHECK(next_slot_ + 1 <= kMaxSlots)
+          << "metrics registry slot budget exhausted";
+      it = entries_.emplace(name, Entry{Kind::kCounter, next_slot_}).first;
+      next_slot_ += 1;
+      counters_.push_back(new Counter(it->second.index));
+      counter_of_[name] = counters_.back();
+    }
+    AHNTP_CHECK(it->second.kind == Kind::kCounter)
+        << "metric '" << name << "' already registered with another kind";
+    return *counter_of_[name];
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      it = entries_.emplace(name, Entry{Kind::kGauge, gauges_.size()}).first;
+      gauges_.push_back(new std::atomic<double>(0.0));
+      gauge_handles_.push_back(new Gauge(it->second.index));
+      gauge_of_[name] = gauge_handles_.back();
+    }
+    AHNTP_CHECK(it->second.kind == Kind::kGauge)
+        << "metric '" << name << "' already registered with another kind";
+    return *gauge_of_[name];
+  }
+
+  Histogram& GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      const size_t width = kHistogramBuckets + 2;
+      AHNTP_CHECK(next_slot_ + width <= kMaxSlots)
+          << "metrics registry slot budget exhausted";
+      it = entries_.emplace(name, Entry{Kind::kHistogram, next_slot_}).first;
+      next_slot_ += width;
+      histograms_.push_back(new Histogram(it->second.index));
+      histogram_of_[name] = histograms_.back();
+    }
+    AHNTP_CHECK(it->second.kind == Kind::kHistogram)
+        << "metric '" << name << "' already registered with another kind";
+    return *histogram_of_[name];
+  }
+
+  /// The calling thread's shard, registered on first touch. Shards are
+  /// intentionally leaked when threads exit (bounded by thread count);
+  /// their tallies keep contributing to every later fold, exactly like a
+  /// still-live thread's would.
+  Shard* LocalShard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      shard = new Shard();
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(shard);
+    }
+    return shard;
+  }
+
+  int64_t FoldSlot(size_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return FoldSlotLocked(slot);
+  }
+
+  double GaugeValue(size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[index]->load(std::memory_order_relaxed);
+  }
+
+  void SetGauge(size_t index, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[index]->store(value, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shard* shard : shards_) {
+      for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+    }
+    for (auto* gauge : gauges_) gauge->store(0.0, std::memory_order_relaxed);
+  }
+
+  Snapshot Collect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snapshot;
+    for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
+      switch (entry.kind) {
+        case Kind::kCounter:
+          snapshot.counters.push_back({name, FoldSlotLocked(entry.index)});
+          break;
+        case Kind::kGauge:
+          snapshot.gauges.push_back(
+              {name, gauges_[entry.index]->load(std::memory_order_relaxed)});
+          break;
+        case Kind::kHistogram: {
+          HistogramSample sample;
+          sample.name = name;
+          sample.buckets.resize(kHistogramBuckets);
+          for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            sample.buckets[b] = FoldSlotLocked(entry.index + b);
+          }
+          sample.count = FoldSlotLocked(entry.index + kHistogramBuckets);
+          sample.sum = static_cast<double>(
+                           FoldSlotLocked(entry.index + kHistogramBuckets + 1)) *
+                       1e-9;
+          snapshot.histograms.push_back(std::move(sample));
+          break;
+        }
+      }
+    }
+    return snapshot;
+  }
+
+ private:
+  int64_t FoldSlotLocked(size_t slot) {
+    int64_t total = 0;
+    for (const Shard* shard : shards_) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, Counter*> counter_of_;
+  std::map<std::string, Gauge*> gauge_of_;
+  std::map<std::string, Histogram*> histogram_of_;
+  std::vector<Counter*> counters_;
+  std::vector<Histogram*> histograms_;
+  std::vector<Gauge*> gauge_handles_;
+  std::vector<std::atomic<double>*> gauges_;
+  std::vector<Shard*> shards_;
+  size_t next_slot_ = 0;
+};
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_output_mu;
+std::string& OutputPathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void WriteSnapshotAtExit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_output_mu);
+    path = OutputPathStorage();
+  }
+  if (path.empty()) return;
+  Status status = WriteSnapshotJson(path);
+  if (!status.ok()) {
+    AHNTP_LOG(Warning) << "metrics snapshot write failed: "
+                       << status.ToString();
+  }
+}
+
+/// Applies AHNTP_METRICS (a snapshot path) once, before the first query,
+/// so binaries that never parse flags still honour the env.
+void ApplyEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("AHNTP_METRICS");
+    if (env != nullptr && env[0] != '\0') SetOutputPath(env);
+  });
+}
+
+/// JSON string escaping for metric names (ASCII control chars, quote,
+/// backslash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() {
+  ApplyEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Enable() { g_enabled.store(true, std::memory_order_release); }
+
+void Disable() {
+  g_enabled.store(false, std::memory_order_release);
+  Registry::Get().Reset();
+}
+
+void Reset() { Registry::Get().Reset(); }
+
+void SetOutputPath(const std::string& path) {
+  static std::once_flag atexit_once;
+  {
+    std::lock_guard<std::mutex> lock(g_output_mu);
+    OutputPathStorage() = path;
+  }
+  std::call_once(atexit_once, [] { std::atexit(WriteSnapshotAtExit); });
+  Enable();
+}
+
+std::string OutputPath() {
+  std::lock_guard<std::mutex> lock(g_output_mu);
+  return OutputPathStorage();
+}
+
+void Counter::Add(int64_t delta) {
+  if (!Enabled()) return;
+  Registry::Get().LocalShard()->slots[slot_].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const { return Registry::Get().FoldSlot(slot_); }
+
+void Gauge::Set(double value) {
+  if (!Enabled()) return;
+  Registry::Get().SetGauge(index_, value);
+}
+
+double Gauge::Value() const { return Registry::Get().GaugeValue(index_); }
+
+size_t HistogramBucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN observations
+  const int exp = std::ilogb(value);
+  const long idx = static_cast<long>(exp) + 33;
+  return static_cast<size_t>(
+      std::clamp<long>(idx, 1, static_cast<long>(kHistogramBuckets) - 1));
+}
+
+double HistogramBucketLowerBound(size_t i) {
+  if (i == 0) return -std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) - 33);
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  Shard* shard = Registry::Get().LocalShard();
+  shard->slots[slot_ + HistogramBucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard->slots[slot_ + kHistogramBuckets].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  const double nano = value * 1e9;
+  int64_t nano_units = 0;
+  if (std::isfinite(nano)) {
+    nano_units = static_cast<int64_t>(std::llround(
+        std::clamp(nano, -9.0e18, 9.0e18)));
+  }
+  shard->slots[slot_ + kHistogramBuckets + 1].fetch_add(
+      nano_units, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Count() const {
+  return Registry::Get().FoldSlot(slot_ + kHistogramBuckets);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(
+             Registry::Get().FoldSlot(slot_ + kHistogramBuckets + 1)) *
+         1e-9;
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  AHNTP_CHECK(i < kHistogramBuckets);
+  return Registry::Get().FoldSlot(slot_ + i);
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Get().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Get().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  return Registry::Get().GetHistogram(name);
+}
+
+int64_t Snapshot::CounterValue(const std::string& name,
+                               int64_t missing) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return missing;
+}
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                     JsonEscape(counters[i].name).c_str(),
+                     static_cast<long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                     JsonEscape(gauges[i].name).c_str(), gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += StrFormat("%s\n    \"%s\": {\"count\": %lld, \"sum\": %.17g, "
+                     "\"buckets\": {",
+                     i == 0 ? "" : ",", JsonEscape(h.name).c_str(),
+                     static_cast<long long>(h.count), h.sum);
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      out += StrFormat("%s\"%zu\": %lld", first ? "" : ", ", b,
+                       static_cast<long long>(h.buckets[b]));
+      first = false;
+    }
+    out += "}}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Snapshot Collect() { return Registry::Get().Collect(); }
+
+Status WriteSnapshotJson(const std::string& path) {
+  return WriteFileAtomic(path, Collect().ToJson());
+}
+
+}  // namespace ahntp::metrics

@@ -1,0 +1,178 @@
+#ifndef AHNTP_COMMON_METRICS_H_
+#define AHNTP_COMMON_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ahntp::metrics {
+
+/// Process-wide metrics registry: named counters, gauges, and histograms
+/// that hot paths update and tools snapshot (DESIGN.md §11).
+///
+/// Fast path: with metrics disabled — the default — every instrumented
+/// site costs a single relaxed atomic load (the same pattern as
+/// common/fault.h). When enabled, counter and histogram updates go to a
+/// per-thread shard (no lock, no cross-thread cache-line contention);
+/// Collect() folds the shards into one snapshot.
+///
+/// Determinism contract: counters and histogram bucket/observation counts
+/// are plain integer sums over shards, so a snapshot's counter values are
+/// bit-identical at any `--threads=N` as long as the instrumented code
+/// itself is deterministic (which the parallel substrate guarantees —
+/// see common/parallel.h). Gauges are last-write-wins and should only be
+/// set from serial phases (e.g. the trainer's epoch loop); histogram
+/// *sums* and wall-time observations are timing-dependent and excluded
+/// from the determinism contract.
+///
+/// Enablement: EnableFromFlagsOrEnv order is SetOutputPath() /
+/// `--metrics_out=<path>` first, else the AHNTP_METRICS environment
+/// variable (a path; applied once, like AHNTP_FAULTS). When an output
+/// path is installed, the snapshot is written as JSON on process exit via
+/// the atomic writer in common/fileio.h.
+
+/// True when the registry is recording. The fast path for instrumented
+/// code: a single relaxed atomic load (after a one-time env check).
+bool Enabled();
+
+/// Starts recording (idempotent). Does not clear previous values.
+void Enable();
+
+/// Stops recording and clears every recorded value. Registered metric
+/// handles stay valid and start from zero if recording resumes.
+void Disable();
+
+/// Clears every recorded value without changing the enabled state.
+void Reset();
+
+/// Installs `path` as the process-exit snapshot destination and enables
+/// recording. The snapshot is written atomically (temp + rename) at exit;
+/// a write failure logs a warning rather than aborting teardown.
+void SetOutputPath(const std::string& path);
+
+/// Currently installed output path ("" when none).
+std::string OutputPath();
+
+/// Monotonically increasing integer metric ("tensor.spmm.calls").
+class Counter {
+ public:
+  /// Adds `delta` (no-op while disabled). Lock-free: touches only the
+  /// calling thread's shard.
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+
+  /// Current value folded across all shards.
+  int64_t Value() const;
+
+ private:
+  friend class Registry;
+  explicit Counter(size_t slot) : slot_(slot) {}
+  size_t slot_;
+};
+
+/// Last-write-wins double metric ("trainer.loss"). Set from serial code
+/// for deterministic snapshots.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(size_t index) : index_(index) {}
+  size_t index_;
+};
+
+/// Number of log-spaced histogram buckets. Bucket 0 catches v <= 0;
+/// bucket i >= 1 covers [2^(i-33), 2^(i-32)), so the range spans 2^-32
+/// (~0.23 ns when observing seconds) to 2^30 (~34 years), with the last
+/// bucket absorbing the overflow.
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// Bucket index for an observed value (exposed for tests).
+size_t HistogramBucketIndex(double value);
+
+/// Inclusive lower bound of bucket `i` (-inf for bucket 0).
+double HistogramBucketLowerBound(size_t i);
+
+/// Fixed log-spaced-bucket histogram ("trainer.epoch_seconds"). Bucket
+/// and observation counts are integers (deterministic); the sum is kept
+/// in nano-units (value * 1e9, rounded) so folding is order-independent.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  int64_t Count() const;
+  /// Sum of observed values (reconstructed from the nano-unit total).
+  double Sum() const;
+  int64_t BucketCount(size_t i) const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(size_t slot) : slot_(slot) {}
+  size_t slot_;
+};
+
+/// Looks up or registers a metric. References stay valid for the process
+/// lifetime; registering the same name twice returns the same metric.
+/// Registering one name with two different kinds aborts via CHECK.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+/// One folded snapshot of the registry, sorted by name within each kind.
+struct CounterSample {
+  std::string name;
+  int64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  std::vector<int64_t> buckets;  // kHistogramBuckets entries
+};
+
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by name; `missing` when never registered.
+  int64_t CounterValue(const std::string& name, int64_t missing = -1) const;
+
+  /// JSON rendering: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"count": n, "sum": s, "buckets": {...}}}}.
+  /// One key per line, keys sorted — diffable and greppable. Histogram
+  /// buckets with zero count are omitted.
+  std::string ToJson() const;
+};
+
+/// Folds all shards into a snapshot. Concurrent updates may or may not be
+/// included; call from quiescent points for exact values.
+Snapshot Collect();
+
+/// Collect() + WriteFileAtomic of Snapshot::ToJson().
+Status WriteSnapshotJson(const std::string& path);
+
+}  // namespace ahntp::metrics
+
+/// Counter update macro for hot call sites: when metrics are disabled this
+/// is a single relaxed atomic load; the registry lookup runs once per site
+/// (function-local static) on the first enabled pass.
+#define AHNTP_METRIC_COUNT(name, delta)                             \
+  do {                                                              \
+    if (ahntp::metrics::Enabled()) {                                \
+      static ahntp::metrics::Counter& ahntp_metric_counter_ =       \
+          ahntp::metrics::GetCounter(name);                         \
+      ahntp_metric_counter_.Add(delta);                             \
+    }                                                               \
+  } while (0)
+
+#endif  // AHNTP_COMMON_METRICS_H_

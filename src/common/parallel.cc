@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace ahntp {
 
@@ -175,6 +176,17 @@ void RunTasks(size_t num_tasks, const std::function<void(size_t)>& fn) {
       (num_tasks > 1 && !t_in_worker) ? GetPool() : nullptr;
   if (pool == nullptr) {
     for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  // Forward the submitting thread's span context so spans opened inside
+  // tasks nest under the span that issued this batch (common/trace.h).
+  // With tracing disabled CurrentSpanId() is 0 and fn runs unwrapped.
+  const uint64_t parent_span = trace::CurrentSpanId();
+  if (parent_span != 0) {
+    pool->Run(num_tasks, [&fn, parent_span](size_t i) {
+      trace::ScopedParent scope(parent_span);
+      fn(i);
+    });
     return;
   }
   pool->Run(num_tasks, fn);

@@ -1,0 +1,270 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ahntp::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+thread_local uint64_t t_current_span = 0;
+
+/// Stable, small per-thread index for export (Chrome "tid"). Assigned on
+/// a thread's first completed span.
+uint32_t LocalThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Completed-span ring buffer. Pushes are mutex-serialized: tracing is an
+/// opt-in diagnostic mode, and span completion is orders of magnitude
+/// rarer than the work inside a span. The disabled path never gets here.
+class Ring {
+ public:
+  static Ring& Get() {
+    static Ring* ring = new Ring();
+    return *ring;
+  }
+
+  void Configure(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    events_.clear();
+    events_.reserve(std::min(capacity_, size_t{1} << 16));
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  void Push(SpanEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(event));
+      return;
+    }
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  std::vector<SpanEvent> Snapshot(uint64_t* dropped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dropped != nullptr) *dropped = dropped_;
+    std::vector<SpanEvent> out;
+    out.reserve(events_.size());
+    // head_ is the oldest slot once the buffer has wrapped.
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  size_t capacity_ = size_t{1} << 16;
+  size_t head_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::mutex g_output_mu;
+std::string& OutputPathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void WriteTraceAtExit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_output_mu);
+    path = OutputPathStorage();
+  }
+  if (path.empty()) return;
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  Status status = csv ? WriteCsv(path) : WriteChromeJson(path);
+  if (!status.ok()) {
+    AHNTP_LOG(Warning) << "trace export failed: " << status.ToString();
+  }
+}
+
+/// Applies AHNTP_TRACE (an export path) once, before the first query.
+void ApplyEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("AHNTP_TRACE");
+    if (env != nullptr && env[0] != '\0') SetOutputPath(env);
+  });
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Earliest start across events; exported timestamps are relative to it
+/// so traces from different runs align at t=0.
+int64_t EpochNanos(const std::vector<SpanEvent>& events) {
+  int64_t epoch = 0;
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (first || e.start_ns < epoch) epoch = e.start_ns;
+    first = false;
+  }
+  return epoch;
+}
+
+}  // namespace
+
+bool Enabled() {
+  ApplyEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Enable(size_t capacity) {
+  Ring::Get().Configure(capacity);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  g_enabled.store(false, std::memory_order_release);
+  Ring::Get().Clear();
+}
+
+void Clear() { Ring::Get().Clear(); }
+
+void SetOutputPath(const std::string& path) {
+  static std::once_flag atexit_once;
+  {
+    std::lock_guard<std::mutex> lock(g_output_mu);
+    OutputPathStorage() = path;
+  }
+  std::call_once(atexit_once, [] { std::atexit(WriteTraceAtExit); });
+  if (!g_enabled.load(std::memory_order_relaxed)) Enable();
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  id_ = NextSpanId();
+  parent_id_ = t_current_span;
+  t_current_span = id_;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  SpanEvent event;
+  event.name = name_;
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.start_ns = start_ns_;
+  event.duration_ns = NowNanos() - start_ns_;
+  event.thread_index = LocalThreadIndex();
+  t_current_span = parent_id_;
+  // Spans that outlive a Disable() are dropped (the ring was cleared and
+  // recording stopped); re-enabling mid-span records it normally.
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    Ring::Get().Push(std::move(event));
+  }
+}
+
+uint64_t CurrentSpanId() { return t_current_span; }
+
+ScopedParent::ScopedParent(uint64_t parent_id) : saved_(t_current_span) {
+  t_current_span = parent_id;
+}
+
+ScopedParent::~ScopedParent() { t_current_span = saved_; }
+
+std::vector<SpanEvent> Snapshot(uint64_t* dropped) {
+  return Ring::Get().Snapshot(dropped);
+}
+
+std::string ToChromeJson() {
+  std::vector<SpanEvent> events = Snapshot();
+  const int64_t epoch = EpochNanos(events);
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out += StrFormat(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"ahntp\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+        "\"args\": {\"id\": %llu, \"parent\": %llu}}",
+        i == 0 ? "" : ",", JsonEscape(e.name).c_str(),
+        static_cast<double>(e.start_ns - epoch) * 1e-3,
+        static_cast<double>(e.duration_ns) * 1e-3, e.thread_index,
+        static_cast<unsigned long long>(e.id),
+        static_cast<unsigned long long>(e.parent_id));
+  }
+  out += events.empty() ? "], " : "\n], ";
+  out += "\"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string ToCsv() {
+  std::vector<SpanEvent> events = Snapshot();
+  const int64_t epoch = EpochNanos(events);
+  std::string out = "name,id,parent_id,thread,start_us,duration_us\n";
+  for (const SpanEvent& e : events) {
+    out += StrFormat("%s,%llu,%llu,%u,%.3f,%.3f\n", e.name.c_str(),
+                     static_cast<unsigned long long>(e.id),
+                     static_cast<unsigned long long>(e.parent_id),
+                     e.thread_index,
+                     static_cast<double>(e.start_ns - epoch) * 1e-3,
+                     static_cast<double>(e.duration_ns) * 1e-3);
+  }
+  return out;
+}
+
+Status WriteChromeJson(const std::string& path) {
+  return WriteFileAtomic(path, ToChromeJson());
+}
+
+Status WriteCsv(const std::string& path) {
+  return WriteFileAtomic(path, ToCsv());
+}
+
+}  // namespace ahntp::trace

@@ -1,0 +1,120 @@
+#ifndef AHNTP_COMMON_TRACE_H_
+#define AHNTP_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ahntp::trace {
+
+/// Scoped-span tracer for the training/inference stack (DESIGN.md §11).
+///
+/// Phases mark themselves with an RAII TraceSpan; completed spans land in
+/// a fixed-capacity ring buffer (oldest events overwritten) and export to
+/// Chrome `chrome://tracing` / Perfetto `trace_event` JSON or a flat CSV,
+/// both written atomically via common/fileio.h.
+///
+/// Clock: std::chrono::steady_clock (monotonic), timestamps relative to
+/// the first event at export time.
+///
+/// Nesting: each thread tracks its current span; a span opened while
+/// another is live becomes its child. The parallel substrate forwards the
+/// submitting thread's current span to pool workers (common/parallel.cc),
+/// so spans opened inside ParallelFor tasks parent correctly across
+/// threads.
+///
+/// Overhead: with tracing disabled — the default — constructing a
+/// TraceSpan costs a single relaxed atomic load (the common/fault.h
+/// pattern). Enablement: Enable() / SetOutputPath() / `--trace_out=` /
+/// the AHNTP_TRACE environment variable (a path; applied once).
+
+/// True when spans are being recorded (single relaxed atomic load after a
+/// one-time env check).
+bool Enabled();
+
+/// Starts recording into a ring buffer of `capacity` completed spans
+/// (idempotent; re-enabling with a different capacity clears the buffer).
+void Enable(size_t capacity = size_t{1} << 16);
+
+/// Stops recording and clears the buffer.
+void Disable();
+
+/// Clears recorded spans without changing the enabled state.
+void Clear();
+
+/// Installs `path` as the process-exit export destination and enables
+/// tracing. Paths ending in ".csv" export the flat CSV; anything else
+/// exports Chrome trace JSON. Export failures log a warning.
+void SetOutputPath(const std::string& path);
+
+/// One completed span.
+struct SpanEvent {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  int64_t start_ns = 0;    // steady_clock, process-relative
+  int64_t duration_ns = 0;
+  uint32_t thread_index = 0;  // stable small per-thread index
+};
+
+/// RAII span: records [construction, destruction) under `name`. `name`
+/// must outlive the span (string literals in practice — it is copied only
+/// at completion). Move-free by design; allocate on the stack.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// This span's id (0 when tracing was disabled at construction).
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+/// Id of the innermost live span on this thread (0 when none / disabled).
+/// Used by the parallel substrate to forward span context to workers.
+uint64_t CurrentSpanId();
+
+/// Overrides this thread's current-span id for a scope; restores the
+/// previous value on destruction. The parallel substrate wraps each
+/// pool task in one of these so worker-side spans nest under the span
+/// that issued the ParallelFor.
+class ScopedParent {
+ public:
+  explicit ScopedParent(uint64_t parent_id);
+  ~ScopedParent();
+
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// Completed spans, oldest first. `dropped` (optional out) reports how
+/// many events the ring buffer overwrote.
+std::vector<SpanEvent> Snapshot(uint64_t* dropped = nullptr);
+
+/// Chrome trace_event JSON ("X" complete events, microsecond timestamps,
+/// span/parent ids in args). Loadable in chrome://tracing and Perfetto.
+std::string ToChromeJson();
+
+/// Flat CSV: name,id,parent_id,thread,start_us,duration_us.
+std::string ToCsv();
+
+Status WriteChromeJson(const std::string& path);
+Status WriteCsv(const std::string& path);
+
+}  // namespace ahntp::trace
+
+#endif  // AHNTP_COMMON_TRACE_H_

@@ -1,7 +1,9 @@
 #include "core/experiment.h"
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "hypergraph/builders.h"
 #include "models/heuristics.h"
 
@@ -46,6 +48,8 @@ ExperimentResult RunHeuristicExperiment(const data::SocialDataset& dataset,
 
 Result<ExperimentResult> RunExperiment(const data::SocialDataset& dataset,
                                        const ExperimentConfig& config) {
+  trace::TraceSpan span("experiment.run");
+  AHNTP_METRIC_COUNT("experiment.runs", 1);
   if (auto heuristic = models::ParseHeuristic(config.model);
       heuristic.ok()) {
     if (config.temporal_split && dataset.trust_edge_times.empty()) {

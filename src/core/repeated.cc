@@ -11,8 +11,10 @@
 #include "common/fault.h"
 #include "common/fileio.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace ahntp::core {
 
@@ -244,6 +246,7 @@ Result<RepeatedResult> RunRepeatedExperiment(const data::SocialDataset& dataset,
   ParallelFor(0, static_cast<size_t>(num_runs), 1, [&](size_t r0, size_t r1) {
     for (size_t run = r0; run < r1; ++run) {
       if (done[run]) continue;  // recovered via --resume
+      trace::TraceSpan run_span("sweep.run");
       ExperimentConfig run_config = config;
       run_config.model_seed = base_model_seed + run;
       if (vary_split_seed) {
@@ -266,6 +269,7 @@ Result<RepeatedResult> RunRepeatedExperiment(const data::SocialDataset& dataset,
   for (size_t run = 0; run < runs.size(); ++run) {
     if (!runs[run].ok()) {
       ++aggregate.num_failed;
+      AHNTP_METRIC_COUNT("experiment.run_failures", 1);
       aggregate.failures.push_back(StrFormat(
           "run %zu: %s", run, runs[run].status().ToString().c_str()));
       if (first_error.ok()) first_error = runs[run].status();
@@ -278,6 +282,12 @@ Result<RepeatedResult> RunRepeatedExperiment(const data::SocialDataset& dataset,
     aggregate.total_train_seconds += result.train_seconds;
     aggregate.last = std::move(result);
     ++aggregate.num_runs;
+  }
+  if (metrics::Enabled() && fault::Enabled()) {
+    // Snapshot of the fault registry at sweep end: lets a telemetry consumer
+    // correlate run failures with how many injections actually fired.
+    metrics::GetGauge("fault.injections")
+        .Set(static_cast<double>(fault::InjectionCount()));
   }
   if (aggregate.num_runs == 0) {
     // Nothing succeeded: degrading further would hide total failure.

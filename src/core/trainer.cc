@@ -7,10 +7,12 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "hypergraph/regularizer.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
@@ -143,6 +145,7 @@ Result<TrainResult> Trainer::Fit(
   if (train_pairs.empty()) {
     return Status::InvalidArgument("Fit() needs at least one training pair");
   }
+  trace::TraceSpan fit_span("trainer.fit");
   Stopwatch timer;
   const bool early_stopping =
       config_.patience > 0 && !validation_pairs.empty();
@@ -171,6 +174,9 @@ Result<TrainResult> Trainer::Fit(
   int rollbacks = 0;
   if (guard) good_snapshot = SnapshotParameters(params);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    trace::TraceSpan epoch_span("trainer.epoch");
+    Stopwatch epoch_timer;
+    AHNTP_METRIC_COUNT("trainer.epochs", 1);
     const float base_lr = config_.lr_schedule != nullptr
                               ? config_.lr_schedule->Rate(epoch)
                               : config_.learning_rate;
@@ -243,6 +249,7 @@ Result<TrainResult> Trainer::Fit(
       epoch_contrastive += contrastive_value;
       epoch_bce += bce.value().At(0, 0);
       ++num_batches;
+      AHNTP_METRIC_COUNT("trainer.batches", 1);
     }
     EpochStats stats;
     stats.epoch = epoch;
@@ -253,6 +260,14 @@ Result<TrainResult> Trainer::Fit(
     stats.grad_norm = nonfinite_grad
                           ? std::numeric_limits<double>::quiet_NaN()
                           : epoch_grad_norm;
+    if (metrics::Enabled()) {
+      metrics::GetGauge("trainer.loss").Set(stats.loss);
+      metrics::GetGauge("trainer.grad_norm").Set(stats.grad_norm);
+      metrics::GetGauge("trainer.lr").Set(
+          static_cast<double>(base_lr * lr_scale));
+      metrics::GetHistogram("trainer.epoch_seconds")
+          .Observe(epoch_timer.ElapsedSeconds());
+    }
     // Divergence check: a non-finite loss/gradient or a loss explosion
     // relative to the last healthy epoch invalidates this epoch's update.
     bool healthy = std::isfinite(stats.loss) && !nonfinite_grad;
@@ -266,6 +281,10 @@ Result<TrainResult> Trainer::Fit(
       result.history.push_back(stats);
       ++result.num_rollbacks;
       ++rollbacks;
+      AHNTP_METRIC_COUNT("trainer.rollbacks", 1);
+      if (metrics::Enabled()) {
+        metrics::GetGauge("trainer.rollback_count").Set(rollbacks);
+      }
       RestoreParameters(&params, good_snapshot);
       // Stale Adam moments would re-inject the poisoned step after the
       // rollback, so optimizer state restarts clean at the reduced rate.

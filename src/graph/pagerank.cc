@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace ahntp::graph {
 
@@ -28,6 +30,7 @@ std::vector<double> PowerIterate(const CsrMatrix& row_normalized_transpose,
   constexpr size_t kGrain = size_t{1} << 14;
   const auto sum_doubles = [](double x, double y) { return x + y; };
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    AHNTP_METRIC_COUNT("graph.pagerank.iterations", 1);
     ParallelFor(0, n, kGrain, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) s_f[i] = static_cast<float>(s[i]);
     });
@@ -91,12 +94,15 @@ Transition BuildTransition(const CsrMatrix& adjacency) {
 
 std::vector<double> PageRank(const CsrMatrix& adjacency,
                              const PageRankOptions& options) {
+  trace::TraceSpan span("graph.pagerank");
+  AHNTP_METRIC_COUNT("graph.pagerank.calls", 1);
   Transition t = BuildTransition(adjacency);
   return PowerIterate(t.operator_matrix, t.dangling, options);
 }
 
 MotifPageRankResult MotifPageRank(const CsrMatrix& adjacency,
                                   const MotifPageRankOptions& options) {
+  trace::TraceSpan span("graph.motif_pagerank");
   AHNTP_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
   MotifPageRankResult result;
   result.motif_adjacency = MotifAdjacency(adjacency, options.motif);

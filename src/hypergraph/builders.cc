@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace ahntp::hypergraph {
 
@@ -16,11 +18,18 @@ namespace {
 /// item, so a few hundred vertices per chunk amortize dispatch).
 constexpr size_t kVertexGrain = 256;
 
+/// Counts the edges a builder just produced.
+void CountEdgesBuilt(const Hypergraph& hg) {
+  AHNTP_METRIC_COUNT("hypergraph.edges_built",
+                     static_cast<int64_t>(hg.num_edges()));
+}
+
 }  // namespace
 
 Hypergraph BuildSocialInfluenceHypergroup(
     const graph::Digraph& graph, const std::vector<double>& influence,
     int top_k) {
+  trace::TraceSpan span("hypergraph.build.social_influence");
   AHNTP_CHECK_EQ(influence.size(), graph.num_nodes());
   AHNTP_CHECK_GT(top_k, 0);
   Hypergraph hg(graph.num_nodes());
@@ -49,6 +58,7 @@ Hypergraph BuildSocialInfluenceHypergroup(
   for (size_t u = 0; u < graph.num_nodes(); ++u) {
     AHNTP_CHECK_OK(hg.AddEdge(std::move(members[u])));
   }
+  CountEdgesBuilt(hg);
   return hg;
 }
 
@@ -66,6 +76,7 @@ Hypergraph BuildSocialInfluenceHypergroup(
 Hypergraph BuildAttributeHypergroup(
     size_t num_users, const std::vector<std::vector<int>>& attributes,
     size_t min_size) {
+  trace::TraceSpan span("hypergraph.build.attribute");
   Hypergraph hg(num_users);
   // Group each attribute column in parallel (columns are independent), then
   // insert edges serially in column order / ascending attribute value, the
@@ -90,10 +101,12 @@ Hypergraph BuildAttributeHypergroup(
       }
     }
   }
+  CountEdgesBuilt(hg);
   return hg;
 }
 
 Hypergraph BuildPairwiseHypergroup(const graph::Digraph& graph) {
+  trace::TraceSpan span("hypergraph.build.pairwise");
   Hypergraph hg(graph.num_nodes());
   std::set<std::pair<int, int>> seen;
   for (const graph::Edge& e : graph.edges()) {
@@ -103,11 +116,13 @@ Hypergraph BuildPairwiseHypergroup(const graph::Digraph& graph) {
       AHNTP_CHECK_OK(hg.AddEdge({lo, hi}));
     }
   }
+  CountEdgesBuilt(hg);
   return hg;
 }
 
 Hypergraph BuildMultiHopHypergroup(const graph::Digraph& graph,
                                    const MultiHopOptions& options) {
+  trace::TraceSpan span("hypergraph.build.multi_hop");
   AHNTP_CHECK_GE(options.num_hops, 1);
   Hypergraph hg(graph.num_nodes());
   for (int hop = 1; hop <= options.num_hops; ++hop) {
@@ -137,6 +152,7 @@ Hypergraph BuildMultiHopHypergroup(const graph::Digraph& graph,
       AHNTP_CHECK_OK(hg.AddEdge(std::move(per_vertex[u])));
     }
   }
+  CountEdgesBuilt(hg);
   return hg;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace ahntp::tensor {
@@ -241,6 +242,8 @@ std::string CsrMatrix::DebugString(size_t max_entries) const {
 
 std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x) {
   AHNTP_CHECK_EQ(a.cols(), x.size());
+  AHNTP_METRIC_COUNT("tensor.spmv.calls", 1);
+  AHNTP_METRIC_COUNT("tensor.spmv.flops", static_cast<int64_t>(2 * a.nnz()));
   std::vector<float> y(a.rows(), 0.0f);
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
@@ -258,8 +261,13 @@ std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x) {
   return y;
 }
 
-Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
-  AHNTP_CHECK_EQ(a.cols(), b.rows());
+namespace {
+
+/// Uncounted SpMM body: shared by the counted public entry and the
+/// SpMMTransposed fast path (which must not inflate the SpMM counters —
+/// which path runs depends on the thread count, and counter values must
+/// not; see common/metrics.h).
+Matrix SpMMKernel(const CsrMatrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.cols());
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
@@ -278,8 +286,21 @@ Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
   return out;
 }
 
+}  // namespace
+
+Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
+  AHNTP_CHECK_EQ(a.cols(), b.rows());
+  AHNTP_METRIC_COUNT("tensor.spmm.calls", 1);
+  AHNTP_METRIC_COUNT("tensor.spmm.flops",
+                     static_cast<int64_t>(2 * a.nnz() * b.cols()));
+  return SpMMKernel(a, b);
+}
+
 Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
   AHNTP_CHECK_EQ(a.rows(), b.rows());
+  AHNTP_METRIC_COUNT("tensor.spmm_t.calls", 1);
+  AHNTP_METRIC_COUNT("tensor.spmm_t.flops",
+                     static_cast<int64_t>(2 * a.nnz() * b.cols()));
   // The direct form scatters into out.row(col_idx[i]) and cannot be
   // row-parallelized. Past the serial threshold we take the nnz-preserving
   // Transposed() fast path and run the gather-form kernel row-parallel.
@@ -288,7 +309,7 @@ Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
   // bit-identical.
   if (a.nnz() * b.cols() >= kSparseParallelNnz && NumThreads() > 1 &&
       !InParallelWorker()) {
-    return SpMM(a.Transposed(), b);
+    return SpMMKernel(a.Transposed(), b);
   }
   Matrix out(a.cols(), b.cols());
   const auto& row_ptr = a.row_ptr();
@@ -308,6 +329,7 @@ Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
 
 CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b) {
   AHNTP_CHECK_EQ(a.cols(), b.rows());
+  AHNTP_METRIC_COUNT("tensor.spgemm.calls", 1);
   // Gustavson's algorithm, row-parallel: every chunk owns a private dense
   // accumulator and emits finished rows into its slot of `row_cols` /
   // `row_vals`; the final CSR assembly walks rows in order, so the result
@@ -352,7 +374,10 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b) {
       }
     }
   });
-  return CsrMatrix::FromSortedRows(a.rows(), b.cols(), row_cols, row_vals);
+  CsrMatrix out =
+      CsrMatrix::FromSortedRows(a.rows(), b.cols(), row_cols, row_vals);
+  AHNTP_METRIC_COUNT("tensor.spgemm.out_nnz", static_cast<int64_t>(out.nnz()));
+  return out;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace ahntp::tensor {
@@ -266,10 +267,11 @@ void MatMulRowBandNT(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
   }
 }
 
-}  // namespace
-
-Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
-              bool transpose_b) {
+/// Uncounted kernel body; the public MatMul records its metrics exactly
+/// once even on the transpose_a path, which re-enters here after
+/// materializing a^T.
+Matrix MatMulImpl(const Matrix& a, const Matrix& b, bool transpose_a,
+                  bool transpose_b) {
   const size_t m = transpose_a ? a.cols() : a.rows();
   const size_t k = transpose_a ? a.rows() : a.cols();
   const size_t k2 = transpose_b ? b.cols() : b.rows();
@@ -279,7 +281,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
     // The a^T variants would scatter across output rows if parallelized
     // directly; materializing a^T (itself row-parallel) reduces them to the
     // row-parallel kernels below at O(m*k) extra traffic.
-    return MatMul(a.Transposed(), b, /*transpose_a=*/false, transpose_b);
+    return MatMulImpl(a.Transposed(), b, /*transpose_a=*/false, transpose_b);
   }
   Matrix out(m, n);
   const size_t grain = GrainForCost(k * std::max<size_t>(n, 1));
@@ -293,6 +295,19 @@ Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
     });
   }
   return out;
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
+              bool transpose_b) {
+  const size_t m = transpose_a ? a.cols() : a.rows();
+  const size_t k = transpose_a ? a.rows() : a.cols();
+  const size_t n = transpose_b ? b.rows() : b.cols();
+  AHNTP_METRIC_COUNT("tensor.matmul.calls", 1);
+  AHNTP_METRIC_COUNT("tensor.matmul.flops",
+                     static_cast<int64_t>(2 * m * k * n));
+  return MatMulImpl(a, b, transpose_a, transpose_b);
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {

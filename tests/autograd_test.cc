@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/adaptive_conv.h"
+#include "hypergraph/hypergraph.h"
+#include "nn/losses.h"
 #include "test_util.h"
 
 namespace ahntp::autograd {
@@ -373,6 +376,54 @@ TEST(GradCheck, CompositeTwoLayerNetwork) {
         return ReduceMean(Mul(out, out));
       },
       {RandParam(4, 3, &rng), RandParam(1, 3, &rng), RandParam(3, 1, &rng)});
+}
+
+// End-to-end FD check through the adaptive hypergraph convolution's
+// attention path (Eqs. 14-16: LeakyReLU-scored segment softmax over
+// incidence pairs, trainable per-edge weights, multi-head). The conv's
+// Parameters() share state with its internals, so perturbing them in
+// ExpectGradientsClose drives fresh Forward() passes.
+TEST(GradCheck, AdaptiveHypergraphConvAttention) {
+  Rng rng(57);
+  hypergraph::Hypergraph hg(5);
+  ASSERT_TRUE(hg.AddEdge({0, 1, 2}).ok());
+  ASSERT_TRUE(hg.AddEdge({1, 3}).ok());
+  ASSERT_TRUE(hg.AddEdge({0, 2, 3, 4}).ok());
+  core::AdaptiveHypergraphConv conv(hg, /*in_features=*/3, /*out_features=*/4,
+                                    &rng, /*use_attention=*/true,
+                                    /*leaky_slope=*/0.2f, /*num_heads=*/2);
+  Matrix x = Matrix::Randn(5, 3, &rng, 0.0f, 0.5f);
+  // Random fixed readout weights break the symmetry of a plain sum, so
+  // every output entry carries a distinct gradient direction.
+  Matrix readout = Matrix::Randn(5, 4, &rng);
+  ExpectGradientsClose(
+      [&conv, x, readout](const std::vector<Variable>&) {
+        return ReduceSum(MulConst(conv.Forward(Constant(x)), readout));
+      },
+      conv.Parameters(),
+      // The path crosses LeakyReLU and ReLU kinks; a smaller FD step keeps
+      // the two-sided evaluations on one side of each kink.
+      /*epsilon=*/1e-3f);
+}
+
+// Supervised contrastive loss (Eq. 20) away from the default t=0.3, in
+// both the sharp (t < default) and flat (t > default) regimes, with one
+// anchor that has no positive pair (exercising the exclusion branch).
+TEST(GradCheck, SupervisedContrastiveLossNonDefaultTemperature) {
+  Rng rng(37);
+  const std::vector<int> anchors = {0, 0, 0, 1, 1, 2};
+  const std::vector<bool> positive = {true, false, true, false, true, false};
+  for (float temperature : {0.07f, 1.5f}) {
+    ExpectGradientsClose(
+        [&anchors, &positive, temperature](const std::vector<Variable>& p) {
+          return nn::SupervisedContrastiveLoss(p[0], anchors,
+                                               /*num_anchors=*/3, positive,
+                                               temperature);
+        },
+        {RandParam(6, 1, &rng, 0.25f)},
+        // Sharper curvature at small t needs a smaller FD step.
+        /*epsilon=*/1e-3f);
+  }
 }
 
 }  // namespace

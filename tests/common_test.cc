@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/csv.h"
+#include "common/stopwatch.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -288,6 +289,34 @@ TEST(FlagsTest, Lists) {
             (std::vector<double>{0.4, 0.8}));
   EXPECT_EQ(flags.GetStringList("models", {}),
             (std::vector<std::string>{"GAT", "SGC"}));
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+// The stopwatch must be monotonic (steady_clock): elapsed time never goes
+// negative, not even across rapid repeated restarts or system clock
+// adjustments (which a wall clock would be exposed to).
+TEST(StopwatchTest, ElapsedNonNegativeUnderRepeatedRestarts) {
+  Stopwatch sw;
+  for (int i = 0; i < 1000; ++i) {
+    sw.Restart();
+    double s = sw.ElapsedSeconds();
+    double ms = sw.ElapsedMillis();
+    ASSERT_GE(s, 0.0) << "iteration " << i;
+    ASSERT_GE(ms, 0.0) << "iteration " << i;
+  }
+}
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch sw;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double now = sw.ElapsedSeconds();
+    ASSERT_GE(now, last) << "iteration " << i;
+    last = now;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,322 @@
+// Tests for the observability layer: metrics registry semantics, shard-fold
+// determinism across thread counts, tracer span nesting (including across
+// ParallelFor workers), export formats, and the disabled fast path.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fileio.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+
+namespace ahntp {
+namespace {
+
+// Every test begins from a clean, enabled registry and restores the
+// disabled default on exit so unrelated tests in this binary see the
+// zero-overhead path.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::Disable();
+    metrics::Enable();
+  }
+  void TearDown() override { metrics::Disable(); }
+};
+
+TEST_F(MetricsTest, CounterMath) {
+  metrics::Counter& c = metrics::GetCounter("test.counter_math");
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST_F(MetricsTest, GetterReturnsSameMetric) {
+  metrics::Counter& a = metrics::GetCounter("test.same");
+  metrics::Counter& b = metrics::GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  metrics::Gauge& g = metrics::GetGauge("test.gauge");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_EQ(g.Value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramCountsSumAndBuckets) {
+  metrics::Histogram& h = metrics::GetHistogram("test.hist");
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(4.0);
+  h.Observe(0.0);   // bucket 0
+  h.Observe(-1.0);  // bucket 0
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_NEAR(h.Sum(), 4.0, 1e-6);
+  EXPECT_EQ(h.BucketCount(metrics::HistogramBucketIndex(0.5)), 2);
+  EXPECT_EQ(h.BucketCount(metrics::HistogramBucketIndex(4.0)), 1);
+  EXPECT_EQ(h.BucketCount(0), 2);
+}
+
+TEST_F(MetricsTest, HistogramBucketIndexEdges) {
+  // Non-positive (and NaN) observations land in the catch-all bucket 0.
+  EXPECT_EQ(metrics::HistogramBucketIndex(0.0), 0u);
+  EXPECT_EQ(metrics::HistogramBucketIndex(-3.0), 0u);
+  // Buckets are [2^(i-33), 2^(i-32)): 1.0 = 2^0 starts bucket 33.
+  EXPECT_EQ(metrics::HistogramBucketIndex(1.0), 33u);
+  EXPECT_EQ(metrics::HistogramBucketIndex(1.999), 33u);
+  EXPECT_EQ(metrics::HistogramBucketIndex(2.0), 34u);
+  // Monotone in the value, clamped to the last bucket.
+  EXPECT_EQ(metrics::HistogramBucketIndex(1e300),
+            metrics::kHistogramBuckets - 1);
+  EXPECT_EQ(metrics::HistogramBucketIndex(1e-300), 1u);
+  // Lower bounds invert the index mapping.
+  for (size_t i = 1; i + 1 < metrics::kHistogramBuckets; ++i) {
+    EXPECT_EQ(metrics::HistogramBucketIndex(
+                  metrics::HistogramBucketLowerBound(i)),
+              i);
+  }
+}
+
+TEST_F(MetricsTest, ResetClearsValuesKeepsHandles) {
+  metrics::Counter& c = metrics::GetCounter("test.reset");
+  c.Add(7);
+  metrics::Reset();
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(2);
+  EXPECT_EQ(c.Value(), 2);
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreNoOps) {
+  metrics::Counter& c = metrics::GetCounter("test.disabled");
+  metrics::Gauge& g = metrics::GetGauge("test.disabled_gauge");
+  metrics::Histogram& h = metrics::GetHistogram("test.disabled_hist");
+  metrics::Disable();
+  c.Add(100);
+  g.Set(9.0);
+  h.Observe(1.0);
+  AHNTP_METRIC_COUNT("test.disabled_macro", 5);
+  metrics::Enable();
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0);
+  metrics::Snapshot snapshot = metrics::Collect();
+  EXPECT_EQ(snapshot.CounterValue("test.disabled_macro", 0), 0);
+}
+
+// The determinism contract: integer counters and histogram counts fold to
+// bit-identical values at any worker count, because folding is an
+// order-independent sum over per-thread shards.
+TEST_F(MetricsTest, ShardFoldingIsThreadCountInvariant) {
+  const int saved_threads = NumThreads();
+  constexpr size_t kItems = 10000;
+  std::vector<int64_t> counts, weighted, hist_counts;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    metrics::Reset();
+    metrics::Counter& calls = metrics::GetCounter("test.fold.calls");
+    metrics::Counter& weight = metrics::GetCounter("test.fold.weight");
+    metrics::Histogram& h = metrics::GetHistogram("test.fold.hist");
+    ParallelFor(0, kItems, 16, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        calls.Increment();
+        weight.Add(static_cast<int64_t>(i));
+        h.Observe(static_cast<double>(i % 7) + 0.5);
+      }
+    });
+    counts.push_back(calls.Value());
+    weighted.push_back(weight.Value());
+    hist_counts.push_back(h.Count());
+  }
+  SetNumThreads(saved_threads);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], static_cast<int64_t>(kItems));
+    EXPECT_EQ(weighted[i], static_cast<int64_t>(kItems * (kItems - 1) / 2));
+    EXPECT_EQ(hist_counts[i], static_cast<int64_t>(kItems));
+  }
+}
+
+TEST_F(MetricsTest, CollectIsSortedAndComplete) {
+  metrics::GetCounter("test.sort.b").Add(2);
+  metrics::GetCounter("test.sort.a").Add(1);
+  metrics::Snapshot snapshot = metrics::Collect();
+  EXPECT_EQ(snapshot.CounterValue("test.sort.a"), 1);
+  EXPECT_EQ(snapshot.CounterValue("test.sort.b"), 2);
+  EXPECT_EQ(snapshot.CounterValue("test.sort.missing"), -1);
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotJsonRoundTripsThroughFile) {
+  metrics::GetCounter("test.json.counter").Add(11);
+  metrics::GetGauge("test.json.gauge").Set(0.5);
+  metrics::GetHistogram("test.json.hist").Observe(3.0);
+  const std::string path = "/tmp/ahntp_observability_test_metrics.json";
+  ASSERT_TRUE(metrics::WriteSnapshotJson(path).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, metrics::Collect().ToJson());
+  EXPECT_NE(contents.find("\"test.json.counter\": 11"), std::string::npos);
+  EXPECT_NE(contents.find("\"test.json.gauge\": 0.5"), std::string::npos);
+  EXPECT_NE(contents.find("\"test.json.hist\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Disable();
+    trace::Enable();
+  }
+  void TearDown() override { trace::Disable(); }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  trace::Disable();
+  {
+    trace::TraceSpan span("should.not.appear");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(trace::CurrentSpanId(), 0u);
+  }
+  trace::Enable();
+  EXPECT_TRUE(trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpansNestOnOneThread) {
+  uint64_t outer_id = 0, inner_id = 0;
+  {
+    trace::TraceSpan outer("outer");
+    outer_id = outer.id();
+    EXPECT_EQ(trace::CurrentSpanId(), outer_id);
+    {
+      trace::TraceSpan inner("inner");
+      inner_id = inner.id();
+      EXPECT_EQ(trace::CurrentSpanId(), inner_id);
+    }
+    EXPECT_EQ(trace::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(trace::CurrentSpanId(), 0u);
+  std::vector<trace::SpanEvent> events = trace::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: inner closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].parent_id, outer_id);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].parent_id, 0u);
+  EXPECT_GE(events[0].duration_ns, 0);
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+}
+
+TEST_F(TraceTest, SpansInParallelForParentUnderSubmitter) {
+  const int saved_threads = NumThreads();
+  SetNumThreads(4);
+  uint64_t outer_id = 0;
+  {
+    trace::TraceSpan outer("pool.outer");
+    outer_id = outer.id();
+    ParallelFor(0, 16, 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        trace::TraceSpan task("pool.task");
+      }
+    });
+  }
+  SetNumThreads(saved_threads);
+  std::vector<trace::SpanEvent> events = trace::Snapshot();
+  size_t tasks = 0;
+  for (const trace::SpanEvent& e : events) {
+    if (e.name == "pool.task") {
+      ++tasks;
+      EXPECT_EQ(e.parent_id, outer_id) << "task span lost its parent";
+    }
+  }
+  EXPECT_EQ(tasks, 16u);
+}
+
+TEST_F(TraceTest, RingBufferOverwritesOldestAndCountsDrops) {
+  trace::Enable(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    trace::TraceSpan span(i < 2 ? "old" : "new");
+  }
+  uint64_t dropped = 0;
+  std::vector<trace::SpanEvent> events = trace::Snapshot(&dropped);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(dropped, 2u);
+  for (const trace::SpanEvent& e : events) EXPECT_EQ(e.name, "new");
+  // Oldest first, ids ascending.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].id, events[i].id);
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonHasTraceEventSchema) {
+  {
+    trace::TraceSpan a("alpha");
+    trace::TraceSpan b("beta \"quoted\"");
+  }
+  std::string json = trace::ToChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"ahntp\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural validity check.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, CsvExportHasHeaderAndOneRowPerSpan) {
+  {
+    trace::TraceSpan a("row.a");
+  }
+  {
+    trace::TraceSpan b("row.b");
+  }
+  std::string csv = trace::ToCsv();
+  EXPECT_EQ(csv.find("name,id,parent_id,thread,start_us,duration_us\n"), 0u);
+  EXPECT_NE(csv.find("\nrow.a,"), std::string::npos);
+  EXPECT_NE(csv.find("\nrow.b,"), std::string::npos);
+  size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTripsThroughFile) {
+  {
+    trace::TraceSpan span("exported");
+  }
+  const std::string path = "/tmp/ahntp_observability_test_trace.json";
+  ASSERT_TRUE(trace::WriteChromeJson(path).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, trace::ToChromeJson());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ahntp
