@@ -1,0 +1,341 @@
+// serve_demo: drives the online inference substrate (src/serve) end to end
+// and verifies its robustness invariants — overload backpressure, deadline
+// expiry, deterministic retry/backoff under injected faults, circuit
+// breaker trip/probe/recover with degraded-mode fallback, and corrupt
+// checkpoint hot-reload — exiting non-zero if any invariant breaks.
+//
+//   ./build/examples/serve_demo --serve_requests=96
+//       --serve_queue_capacity=48 --serve_batch=8
+//       --fault_spec='serve.infer@~0.75' --fault_seed=42 --threads=8
+//
+// Run closed-loop (all requests enqueued before the dispatcher starts), so
+// batch composition — and with it every serve counter and score — is
+// bit-identical at any --threads=N for a fixed --fault_seed. The shared
+// runtime flags (--threads, --fault_spec, --fault_seed, --metrics_out,
+// --trace_out) apply as everywhere else; see common/flags.h.
+
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fileio.h"
+#include "common/flags.h"
+#include "core/model_zoo.h"
+#include "core/trainer.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "nn/serialization.h"
+#include "serve/backend.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ahntp;
+
+int g_violations = 0;
+
+void Expect(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+    ++g_violations;
+  }
+}
+
+/// Accumulates per-phase server stats into one run total.
+serve::ServerStats Add(const serve::ServerStats& a,
+                       const serve::ServerStats& b) {
+  serve::ServerStats s;
+  s.submitted = a.submitted + b.submitted;
+  s.rejected = a.rejected + b.rejected;
+  s.expired = a.expired + b.expired;
+  s.ok = a.ok + b.ok;
+  s.degraded = a.degraded + b.degraded;
+  s.failed = a.failed + b.failed;
+  s.retries = a.retries + b.retries;
+  s.nonfinite = a.nonfinite + b.nonfinite;
+  s.batches = a.batches + b.batches;
+  s.breaker_trips = a.breaker_trips + b.breaker_trips;
+  s.breaker_probes = a.breaker_probes + b.breaker_probes;
+  s.breaker_recoveries = a.breaker_recoveries + b.breaker_recoveries;
+  return s;
+}
+
+/// Every response must be terminal and self-consistent regardless of which
+/// path (ok / degraded / expired / rejected / failed) produced it.
+void CheckResponses(std::vector<std::future<serve::TrustResponse>>* futures,
+                    std::vector<serve::TrustResponse>* out) {
+  for (auto& future : *futures) {
+    serve::TrustResponse response = future.get();
+    if (response.status.ok()) {
+      Expect(std::isfinite(response.score),
+             "an OK response must carry a finite score");
+    } else {
+      Expect(response.status.code() == StatusCode::kResourceExhausted ||
+                 response.status.code() == StatusCode::kDeadlineExceeded ||
+                 response.status.code() == StatusCode::kUnavailable ||
+                 response.status.code() == StatusCode::kIoError ||
+                 response.status.code() == StatusCode::kInternal ||
+                 response.status.code() == StatusCode::kFailedPrecondition,
+             "failed responses must carry a recognized Status code");
+      Expect(!response.degraded, "a failed response cannot be degraded=true");
+    }
+    out->push_back(std::move(response));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  const int threads = ApplyRuntimeFlags(flags);
+
+  const int requests = static_cast<int>(flags.GetInt("serve_requests", 96));
+  const size_t capacity =
+      static_cast<size_t>(flags.GetInt("serve_queue_capacity", 48));
+  const int expired_every =
+      static_cast<int>(flags.GetInt("serve_expired_every", 8));
+  const uint64_t model_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string checkpoint =
+      flags.GetString("serve_checkpoint", "/tmp/ahntp_serve_demo.ckpt");
+  const int train_epochs =
+      static_cast<int>(flags.GetInt("serve_train_epochs", 0));
+
+  serve::ServeOptions options;
+  options.queue_capacity = capacity;
+  options.max_batch_size =
+      static_cast<size_t>(flags.GetInt("serve_batch", 8));
+  options.retry.max_attempts =
+      static_cast<int>(flags.GetInt("serve_retry_attempts", 3));
+  options.retry.base_delay_ms = flags.GetDouble("serve_backoff_ms", 0.25);
+  options.retry.max_delay_ms = flags.GetDouble("serve_backoff_max_ms", 4.0);
+  options.retry.seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 0));
+  options.breaker.failure_threshold =
+      static_cast<int>(flags.GetInt("serve_breaker_threshold", 2));
+  options.breaker.probe_interval =
+      static_cast<int>(flags.GetInt("serve_probe_interval", 3));
+
+  // --- Model, fallback, and checkpoints -----------------------------------
+  data::GeneratorConfig gen_config =
+      data::GeneratorConfig::CiaoLike(flags.GetDouble("scale", 0.03));
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(gen_config).Generate();
+  data::TrustSplit split = data::MakeSplit(dataset);
+  auto train_graph = dataset.GraphFromEdges(split.train_positive);
+  AHNTP_CHECK(train_graph.ok()) << train_graph.status().ToString();
+  tensor::Matrix features = data::BuildFeatureMatrix(dataset);
+
+  models::ModelInputs inputs;
+  inputs.features = &features;
+  inputs.graph = &train_graph.value();
+  inputs.dataset = &dataset;
+  inputs.hidden_dims = {16, 8};
+
+  // Architecture-identical instances from a fixed seed: the initial model
+  // and every hot-reload staging clone.
+  auto make_model = [inputs, model_seed]() mutable {
+    Rng rng(model_seed);
+    inputs.rng = &rng;
+    auto created =
+        core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+    AHNTP_CHECK(created.ok()) << created.status().ToString();
+    return std::move(created).value();
+  };
+  auto initial = make_model();
+  if (train_epochs > 0) {
+    core::TrainerConfig tc;
+    tc.epochs = train_epochs;
+    auto trained = core::Trainer(tc).Fit(initial.get(), split.train_pairs);
+    AHNTP_CHECK(trained.ok()) << trained.status().ToString();
+  }
+  AHNTP_CHECK_OK(nn::SaveModule(*initial, checkpoint));
+
+  // A corrupt sibling: one bit flipped mid-payload, which the v2 loader's
+  // CRC32 must reject during hot-reload.
+  std::string image;
+  AHNTP_CHECK_OK(ReadFileToString(checkpoint, &image));
+  std::string corrupted = image;
+  corrupted[corrupted.size() / 2] ^= 0x10;
+  const std::string corrupt_checkpoint = checkpoint + ".corrupt";
+  AHNTP_CHECK_OK(WriteFileAtomic(corrupt_checkpoint, corrupted));
+
+  serve::ModelBackend primary(make_model, std::move(initial));
+  serve::HeuristicBackend fallback(&train_graph.value(),
+                                   models::Heuristic::kJaccard);
+
+  std::printf("serve_demo: %d requests, queue capacity %zu, batch %zu, "
+              "threads %d\n",
+              requests, capacity, options.max_batch_size, threads);
+
+  // Deterministic query stream: cycle over the held-out test pairs.
+  auto query_at = [&](int i) {
+    const data::TrustPair& p =
+        split.test_pairs[static_cast<size_t>(i) % split.test_pairs.size()];
+    serve::TrustQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    return q;
+  };
+
+  // --- Phase 1: overload backpressure + deadline expiry -------------------
+  // All requests are submitted before Start(), so exactly `capacity` are
+  // accepted and the rest rejected, and every `expired_every`th accepted
+  // request carries an already-expired deadline.
+  serve::ServerStats phase1;
+  int expected_expired = 0;
+  {
+    serve::TrustServer server(options, &primary, &fallback);
+    std::vector<std::future<serve::TrustResponse>> futures;
+    for (int i = 0; i < requests; ++i) {
+      serve::TrustQuery q = query_at(i);
+      if (static_cast<size_t>(i) < capacity &&
+          expired_every > 0 && (i + 1) % expired_every == 0) {
+        q.deadline = Deadline::AfterMillis(0);
+        ++expected_expired;
+      }
+      futures.push_back(server.Submit(q));
+    }
+    server.Start();
+    std::vector<serve::TrustResponse> responses;
+    CheckResponses(&futures, &responses);
+    server.Shutdown();
+    phase1 = server.Stats();
+
+    const int expected_rejected =
+        requests > static_cast<int>(capacity)
+            ? requests - static_cast<int>(capacity)
+            : 0;
+    Expect(phase1.rejected == expected_rejected,
+           "overload must reject exactly the overflow beyond queue capacity");
+    int rejected_seen = 0;
+    for (const auto& r : responses) {
+      if (r.status.code() == StatusCode::kResourceExhausted) ++rejected_seen;
+    }
+    Expect(rejected_seen == expected_rejected,
+           "every rejected request must surface ResourceExhausted");
+    Expect(phase1.expired == expected_expired,
+           "every expired-deadline request must surface DeadlineExceeded");
+    std::printf("phase 1 (overload): rejected %lld/%d, expired %lld\n",
+                static_cast<long long>(phase1.rejected), requests,
+                static_cast<long long>(phase1.expired));
+  }
+
+  // --- Phase 2: faults, breaker, degraded mode, hot reload ----------------
+  serve::ServerStats phase2;
+  int64_t reload_failures = 0;
+  int64_t reload_success = 0;
+  std::vector<serve::TrustResponse> wave2;
+  {
+    // Each wave runs closed-loop on its own server (all requests enqueued
+    // before Start), which pins batch composition: submitting into a live
+    // dispatcher would make batch boundaries — and with them the
+    // fault-site alignment — timing-dependent.
+    serve::ServeOptions open_options = options;
+    open_options.queue_capacity = static_cast<size_t>(requests) + 8;
+    std::vector<serve::TrustResponse> wave1;
+    {
+      serve::TrustServer server(open_options, &primary, &fallback);
+      std::vector<std::future<serve::TrustResponse>> futures;
+      for (int i = 0; i < requests; ++i) {
+        futures.push_back(server.Submit(query_at(i)));
+      }
+      server.Start();
+      CheckResponses(&futures, &wave1);
+      server.Shutdown();
+      phase2 = server.Stats();
+    }
+
+    // Hot reload between waves: the corrupt checkpoint must be rejected
+    // with the old weights kept; the pristine one must swap in.
+    const int64_t generation_before = primary.generation();
+    Status corrupt_reload = primary.Reload(corrupt_checkpoint);
+    Expect(!corrupt_reload.ok(),
+           "reloading a bit-flipped checkpoint must fail");
+    Expect(primary.generation() == generation_before,
+           "a failed reload must keep the old model generation");
+    if (!corrupt_reload.ok()) ++reload_failures;
+    Status good_reload = primary.Reload(checkpoint);
+    Expect(good_reload.ok(), "reloading the pristine checkpoint must work");
+    Expect(primary.generation() == generation_before + 1,
+           "a successful reload must advance the model generation");
+    if (good_reload.ok()) ++reload_success;
+
+    // Second wave against the reloaded model (fresh server, fresh breaker).
+    {
+      serve::TrustServer server(open_options, &primary, &fallback);
+      std::vector<std::future<serve::TrustResponse>> futures;
+      for (int i = 0; i < requests / 2; ++i) {
+        futures.push_back(server.Submit(query_at(i)));
+      }
+      server.Start();
+      CheckResponses(&futures, &wave2);
+      server.Shutdown();
+      phase2 = Add(phase2, server.Stats());
+    }
+
+    for (const auto& r : wave1) {
+      if (r.status.ok() && r.degraded) {
+        Expect(std::isfinite(r.score),
+               "degraded responses must carry finite heuristic scores");
+      }
+    }
+    std::printf(
+        "phase 2 (faults): retries %lld, trips %lld, probes %lld, "
+        "recoveries %lld, degraded %lld, reload failures %lld\n",
+        static_cast<long long>(phase2.retries),
+        static_cast<long long>(phase2.breaker_trips),
+        static_cast<long long>(phase2.breaker_probes),
+        static_cast<long long>(phase2.breaker_recoveries),
+        static_cast<long long>(phase2.degraded),
+        static_cast<long long>(reload_failures));
+  }
+
+  // --- Summary + invariants ------------------------------------------------
+  serve::ServerStats total = Add(phase1, phase2);
+  const int64_t accepted = total.submitted - total.rejected;
+  Expect(accepted == total.expired + total.ok + total.degraded + total.failed,
+         "accepted requests must partition into expired+ok+degraded+failed");
+
+  // Deterministic digest lines for scripts/check_serve.sh: counters, then
+  // the first second-wave scores in hexfloat (bit-exact across thread
+  // counts). Wall-clock fields (latency) are deliberately excluded.
+  std::printf(
+      "SERVE_SUMMARY {\"submitted\": %lld, \"rejected\": %lld, "
+      "\"expired\": %lld, \"ok\": %lld, \"degraded\": %lld, "
+      "\"failed\": %lld, \"retries\": %lld, \"nonfinite\": %lld, "
+      "\"batches\": %lld, \"breaker_trips\": %lld, \"breaker_probes\": %lld, "
+      "\"breaker_recoveries\": %lld, \"reload_failures\": %lld, "
+      "\"reload_success\": %lld}\n",
+      static_cast<long long>(total.submitted),
+      static_cast<long long>(total.rejected),
+      static_cast<long long>(total.expired),
+      static_cast<long long>(total.ok),
+      static_cast<long long>(total.degraded),
+      static_cast<long long>(total.failed),
+      static_cast<long long>(total.retries),
+      static_cast<long long>(total.nonfinite),
+      static_cast<long long>(total.batches),
+      static_cast<long long>(total.breaker_trips),
+      static_cast<long long>(total.breaker_probes),
+      static_cast<long long>(total.breaker_recoveries),
+      static_cast<long long>(reload_failures),
+      static_cast<long long>(reload_success));
+  std::printf("SERVE_SCORES");
+  for (size_t i = 0; i < wave2.size() && i < 8; ++i) {
+    std::printf(" %a%s", static_cast<double>(wave2[i].score),
+                wave2[i].degraded ? "d" : "");
+  }
+  std::printf("\n");
+
+  if (g_violations > 0) {
+    std::fprintf(stderr, "serve_demo: %d invariant violation(s)\n",
+                 g_violations);
+    return 1;
+  }
+  std::printf("serve_demo: all invariants held\n");
+  return 0;
+}

@@ -20,7 +20,7 @@ cmake -B "$build_dir" -S . -DAHNTP_SANITIZE="$mode" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" --target \
       parallel_test matrix_test csr_test graph_test core_test \
-      observability_test
+      observability_test serve_test
 
 # Oversubscribe on purpose: more workers than cores shakes out ordering
 # bugs that a matched count can hide.
@@ -29,7 +29,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 status=0
 for t in parallel_test matrix_test csr_test graph_test core_test \
-         observability_test; do
+         observability_test serve_test; do
   echo "########## $t (AHNTP_SANITIZE=$mode, AHNTP_THREADS=$AHNTP_THREADS) ##########"
   "$build_dir/tests/$t" || status=$?
 done

@@ -1,0 +1,59 @@
+#ifndef AHNTP_COMMON_DEADLINE_H_
+#define AHNTP_COMMON_DEADLINE_H_
+
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace ahntp {
+
+/// A wall-clock completion budget carried by a request and checked
+/// *cooperatively* at cheap boundaries (the serving loop checks at batch
+/// boundaries rather than preempting mid-inference). Built on Stopwatch,
+/// so it shares its monotonic steady_clock.
+///
+/// The default-constructed Deadline is infinite: Expired() is always false
+/// and the check costs one branch. `AfterMillis(0)` is expired from birth,
+/// which tests and demos use to exercise the expiry path deterministically
+/// (no sleeping, no timing races).
+class Deadline {
+ public:
+  /// No deadline: never expires.
+  Deadline() : budget_ms_(kInfiniteBudget) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget_ms` milliseconds after the call. A non-positive
+  /// budget is expired immediately.
+  static Deadline AfterMillis(double budget_ms) {
+    Deadline d;
+    d.budget_ms_ = budget_ms;
+    return d;
+  }
+
+  bool infinite() const { return budget_ms_ == kInfiniteBudget; }
+
+  bool Expired() const {
+    if (infinite()) return false;
+    return watch_.ElapsedMillis() >= budget_ms_;
+  }
+
+  /// Milliseconds until expiry: +inf for the infinite deadline, clamped at
+  /// 0 once expired.
+  double RemainingMillis() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    double remaining = budget_ms_ - watch_.ElapsedMillis();
+    return remaining > 0.0 ? remaining : 0.0;
+  }
+
+ private:
+  static constexpr double kInfiniteBudget =
+      std::numeric_limits<double>::infinity();
+
+  Stopwatch watch_;
+  double budget_ms_;
+};
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_DEADLINE_H_

@@ -167,11 +167,15 @@ bool ShouldInject(const std::string& site) {
   return fire;
 }
 
-Status MaybeIoError(const std::string& site) {
+Status FaultPoint(const std::string& site, StatusCode code) {
   if (ShouldInject(site)) {
-    return Status::IoError("injected fault at " + site);
+    return Status(code, "injected fault at " + site);
   }
   return Status::Ok();
+}
+
+Status MaybeIoError(const std::string& site) {
+  return FaultPoint(site, StatusCode::kIoError);
 }
 
 void MaybeThrow(const std::string& site) {

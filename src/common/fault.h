@@ -51,8 +51,18 @@ bool Enabled();
 /// false (and counts nothing) when disabled.
 bool ShouldInject(const std::string& site);
 
-/// Returns IoError("injected fault at <site>") when the site fires, Ok
-/// otherwise. For `AHNTP_RETURN_IF_ERROR(fault::MaybeIoError("x.save"))`.
+/// Returns Status(code, "injected fault at <site>") when the site fires,
+/// Ok otherwise — the one-liner for Status-returning call sites:
+///
+///   AHNTP_RETURN_IF_ERROR(fault::FaultPoint("serve.infer",
+///                                           StatusCode::kUnavailable));
+///
+/// The default code models a transient outage (retryable by convention);
+/// pass kIoError / kCorruption / ... to exercise a specific recovery path.
+Status FaultPoint(const std::string& site,
+                  StatusCode code = StatusCode::kUnavailable);
+
+/// FaultPoint with kIoError, kept for the PR 2 I/O call sites.
 Status MaybeIoError(const std::string& site);
 
 /// Throws std::runtime_error("injected fault at <site>") when the site

@@ -21,6 +21,9 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -63,6 +66,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -59,4 +59,14 @@ Result<ModelSpec> CreateEncoder(const std::string& name,
   return spec;
 }
 
+Result<std::unique_ptr<models::TrustPredictor>> CreatePredictor(
+    const std::string& name, const models::ModelInputs& inputs,
+    const AhntpConfig& ahntp_config,
+    const models::TrustPredictorConfig& predictor_config) {
+  AHNTP_ASSIGN_OR_RETURN(ModelSpec spec,
+                         CreateEncoder(name, inputs, ahntp_config));
+  return std::make_unique<models::TrustPredictor>(
+      spec.encoder, predictor_config, inputs.rng);
+}
+
 }  // namespace ahntp::core

@@ -7,6 +7,7 @@
 
 #include "core/ahntp_model.h"
 #include "models/encoder.h"
+#include "models/trust_predictor.h"
 
 namespace ahntp::core {
 
@@ -31,6 +32,15 @@ bool ModelNeedsHypergraph(const std::string& name);
 Result<ModelSpec> CreateEncoder(const std::string& name,
                                 const models::ModelInputs& inputs,
                                 const AhntpConfig& ahntp_config);
+
+/// Encoder + pairwise head in one call: the complete scoring model the
+/// serving path (src/serve) and checkpoint tooling work with. Draws all
+/// initialization from inputs.rng, so a fixed seed rebuilds the identical
+/// architecture — the contract hot-reload staging relies on.
+Result<std::unique_ptr<models::TrustPredictor>> CreatePredictor(
+    const std::string& name, const models::ModelInputs& inputs,
+    const AhntpConfig& ahntp_config,
+    const models::TrustPredictorConfig& predictor_config = {});
 
 }  // namespace ahntp::core
 

@@ -13,7 +13,8 @@ namespace fs = std::filesystem;
 Status SaveDataset(const SocialDataset& dataset,
                    const std::string& directory) {
   AHNTP_RETURN_IF_ERROR(dataset.Validate());
-  AHNTP_RETURN_IF_ERROR(fault::MaybeIoError("dataset.save"));
+  AHNTP_RETURN_IF_ERROR(
+      fault::FaultPoint("dataset.save", StatusCode::kIoError));
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) return Status::IoError("cannot create " + directory);

@@ -89,7 +89,8 @@ Status ParseBody(ByteCursor* cursor,
 
 Status SaveParameters(const std::vector<autograd::Variable>& params,
                       const std::string& path) {
-  AHNTP_RETURN_IF_ERROR(fault::MaybeIoError("checkpoint.save"));
+  AHNTP_RETURN_IF_ERROR(
+      fault::FaultPoint("checkpoint.save", StatusCode::kIoError));
   // Serialize the v2 image in memory: magic, body, CRC32-of-body footer.
   std::string image;
   size_t payload = 0;

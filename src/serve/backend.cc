@@ -1,0 +1,84 @@
+#include "serve/backend.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "nn/serialization.h"
+
+namespace ahntp::serve {
+
+ModelBackend::ModelBackend(Factory factory,
+                           std::unique_ptr<models::TrustPredictor> initial)
+    : factory_(std::move(factory)), model_(std::move(initial)) {
+  AHNTP_CHECK(factory_ != nullptr) << "ModelBackend needs a model factory";
+  AHNTP_CHECK(model_ != nullptr) << "ModelBackend needs an initial model";
+}
+
+Result<std::vector<float>> ModelBackend::ScoreBatch(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_RETURN_IF_ERROR(
+      fault::FaultPoint("serve.infer", StatusCode::kUnavailable));
+  std::shared_ptr<models::TrustPredictor> model;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    model = model_;
+  }
+  trace::TraceSpan span("serve.infer");
+  std::vector<float> probs = model->PredictProbabilities(pairs);
+  if (fault::ShouldInject("serve.nan")) {
+    probs[0] = std::nanf("");
+  }
+  return probs;
+}
+
+Status ModelBackend::Reload(const std::string& checkpoint_path) {
+  trace::TraceSpan span("serve.reload");
+  Status status = fault::FaultPoint("serve.reload", StatusCode::kIoError);
+  if (status.ok()) {
+    std::unique_ptr<models::TrustPredictor> staged = factory_();
+    AHNTP_CHECK(staged != nullptr) << "model factory returned null";
+    // LoadModule validates magic, parameter count, shapes, and the CRC32
+    // footer; the staged instance absorbs any partial state, never the
+    // live model.
+    status = nn::LoadModule(staged.get(), checkpoint_path);
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      model_ = std::move(staged);
+      ++generation_;
+    }
+  }
+  if (status.ok()) {
+    AHNTP_METRIC_COUNT("serve.reload_success", 1);
+  } else {
+    AHNTP_METRIC_COUNT("serve.reload_failures", 1);
+  }
+  return status;
+}
+
+int64_t ModelBackend::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+HeuristicBackend::HeuristicBackend(const graph::Digraph* graph,
+                                   models::Heuristic heuristic,
+                                   const models::HeuristicOptions& options)
+    : graph_(graph), heuristic_(heuristic), options_(options) {
+  AHNTP_CHECK(graph_ != nullptr) << "HeuristicBackend needs a graph";
+}
+
+Result<std::vector<float>> HeuristicBackend::ScoreBatch(
+    const std::vector<data::TrustPair>& pairs) {
+  trace::TraceSpan span("serve.fallback");
+  return models::HeuristicProbabilities(*graph_, heuristic_, pairs, options_);
+}
+
+std::string HeuristicBackend::name() const {
+  return "heuristic:" + models::HeuristicName(heuristic_);
+}
+
+}  // namespace ahntp::serve

@@ -1,0 +1,102 @@
+#ifndef AHNTP_SERVE_BACKEND_H_
+#define AHNTP_SERVE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/split.h"
+#include "graph/digraph.h"
+#include "models/heuristics.h"
+#include "models/trust_predictor.h"
+
+namespace ahntp::serve {
+
+/// A batch scorer behind the serving loop. Implementations must tolerate
+/// concurrent control-plane calls (e.g. ModelBackend::Reload) against a
+/// single scoring thread, but ScoreBatch itself is only ever invoked from
+/// the server's dispatcher thread.
+class ScoreBackend {
+ public:
+  virtual ~ScoreBackend() = default;
+
+  /// Scores each (src, dst) pair in [0, 1]. A non-OK result is treated by
+  /// the server as a failure of the whole batch (retryable when transient).
+  virtual Result<std::vector<float>> ScoreBatch(
+      const std::vector<data::TrustPair>& pairs) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The primary backend: a TrustPredictor behind an atomically swappable
+/// slot, with checkpoint hot-reload.
+///
+/// Reload() stages a *fresh* model instance (built by the factory, so the
+/// live model is never touched), loads the checkpoint into it — the v2
+/// loader validates magic, shapes, and the CRC32 footer — and only then
+/// swaps it in under the slot mutex. Any load failure (corrupt file,
+/// shape mismatch, injected fault at site "serve.reload") leaves the old
+/// model serving and increments the `serve.reload_failures` counter.
+/// In-flight batches hold a shared_ptr snapshot, so a swap never pulls the
+/// model out from under them.
+///
+/// Fault sites: "serve.infer" (transient Unavailable before scoring, the
+/// retry path), "serve.nan" (poisons the first score with a NaN, the
+/// non-finite breaker path), "serve.reload" (I/O failure during reload).
+class ModelBackend : public ScoreBackend {
+ public:
+  using Factory = std::function<std::unique_ptr<models::TrustPredictor>()>;
+
+  /// `factory` builds architecture-identical instances for reload staging;
+  /// `initial` is the model served until the first successful Reload().
+  ModelBackend(Factory factory,
+               std::unique_ptr<models::TrustPredictor> initial);
+
+  Result<std::vector<float>> ScoreBatch(
+      const std::vector<data::TrustPair>& pairs) override;
+
+  std::string name() const override { return "model"; }
+
+  /// Stage-validate-swap hot reload from a v2 checkpoint. On any failure
+  /// the previous model keeps serving. Callable from any thread.
+  Status Reload(const std::string& checkpoint_path);
+
+  /// Number of successful reloads since construction; unchanged by failed
+  /// ones (the hot-reload regression tests key on this).
+  int64_t generation() const;
+
+ private:
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::shared_ptr<models::TrustPredictor> model_;
+  int64_t generation_ = 0;
+};
+
+/// The degraded-mode fallback: a non-learned heuristic over the training
+/// trust graph (models/heuristics.h). Orders of magnitude cheaper than
+/// the model, never fails, and stays available when checkpoints are
+/// corrupt or the model keeps erroring — stale-but-sane answers.
+class HeuristicBackend : public ScoreBackend {
+ public:
+  /// `graph` must outlive the backend.
+  HeuristicBackend(const graph::Digraph* graph, models::Heuristic heuristic,
+                   const models::HeuristicOptions& options = {});
+
+  Result<std::vector<float>> ScoreBatch(
+      const std::vector<data::TrustPair>& pairs) override;
+
+  std::string name() const override;
+
+ private:
+  const graph::Digraph* graph_;
+  models::Heuristic heuristic_;
+  models::HeuristicOptions options_;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_BACKEND_H_

@@ -1,0 +1,94 @@
+#ifndef AHNTP_SERVE_BOUNDED_QUEUE_H_
+#define AHNTP_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace ahntp::serve {
+
+/// Bounded MPMC FIFO with explicit backpressure: TryPush never blocks and
+/// rejects with ResourceExhausted when the queue is full, so overload
+/// surfaces as a Status the producer must handle instead of unbounded
+/// memory growth or a stalled producer. Consumers block in PopBatch until
+/// work arrives or the queue is closed.
+///
+/// Close() is the shutdown handshake: producers get FailedPrecondition,
+/// consumers drain whatever is left and then see PopBatch return 0.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    AHNTP_CHECK_GT(capacity, 0u) << "queue capacity must be positive";
+  }
+
+  /// Enqueues `item` if there is room. ResourceExhausted when full,
+  /// FailedPrecondition after Close(); the item is untouched on failure
+  /// (callers can still complete it with the returned status).
+  Status TryPush(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("queue is closed");
+    }
+    if (items_.size() >= capacity_) {
+      return Status::ResourceExhausted("queue full (capacity " +
+                                       std::to_string(capacity_) + ")");
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    ready_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed
+  /// and empty), then moves up to `max_items` into `*out` in FIFO order.
+  /// Returns the number of items appended; 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    size_t taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Rejects future pushes and wakes every blocked consumer. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_BOUNDED_QUEUE_H_

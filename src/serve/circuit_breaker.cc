@@ -1,0 +1,41 @@
+#include "serve/circuit_breaker.h"
+
+#include "common/check.h"
+
+namespace ahntp::serve {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  AHNTP_CHECK_GE(options.failure_threshold, 1);
+  AHNTP_CHECK_GE(options.probe_interval, 1);
+}
+
+CircuitBreaker::Decision CircuitBreaker::Admit() {
+  if (!open_) return Decision::kPrimary;
+  if (++admissions_since_probe_ >= options_.probe_interval) {
+    admissions_since_probe_ = 0;
+    ++probes_;
+    return Decision::kProbe;
+  }
+  return Decision::kFallback;
+}
+
+void CircuitBreaker::OnSuccess() {
+  consecutive_failures_ = 0;
+  if (open_) {
+    open_ = false;
+    admissions_since_probe_ = 0;
+    ++recoveries_;
+  }
+}
+
+void CircuitBreaker::OnFailure() {
+  ++consecutive_failures_;
+  if (!open_ && consecutive_failures_ >= options_.failure_threshold) {
+    open_ = true;
+    admissions_since_probe_ = 0;
+    ++trips_;
+  }
+}
+
+}  // namespace ahntp::serve

@@ -1,0 +1,67 @@
+#ifndef AHNTP_SERVE_CIRCUIT_BREAKER_H_
+#define AHNTP_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+namespace ahntp::serve {
+
+struct CircuitBreakerOptions {
+  /// Consecutive batch failures (post-retry) that trip the breaker.
+  int failure_threshold = 3;
+  /// While open, every Nth admission is a probe through the primary
+  /// backend; the rest go straight to the fallback.
+  int probe_interval = 4;
+};
+
+/// Count-based circuit breaker guarding the primary inference backend.
+///
+/// Closed: every batch is admitted to the primary. After
+/// `failure_threshold` *consecutive* failures the breaker opens and the
+/// server degrades to its fallback backend. While open, every
+/// `probe_interval`th admission is a probe: the batch is tried on the
+/// primary, and one success closes the breaker again.
+///
+/// Deliberately counter-based rather than time-based: recovery depends on
+/// the observed request sequence, not the wall clock, so a fixed fault
+/// seed replays identical trip/probe/recover transitions at any thread
+/// count. Not thread-safe by design — it is owned and driven by the
+/// single dispatcher thread (see serve/server.h).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  enum class Decision {
+    kPrimary,   // closed: use the primary backend
+    kProbe,     // open, but this batch probes the primary
+    kFallback,  // open: degrade without touching the primary
+  };
+
+  /// Routing decision for the next batch. Advances the probe counter when
+  /// open.
+  Decision Admit();
+
+  /// Reports the outcome of a batch that was sent to the primary
+  /// (Decision::kPrimary or kProbe).
+  void OnSuccess();
+  void OnFailure();
+
+  bool open() const { return open_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Lifetime transition counts (closed->open and open->closed).
+  int64_t trips() const { return trips_; }
+  int64_t recoveries() const { return recoveries_; }
+  int64_t probes() const { return probes_; }
+
+ private:
+  CircuitBreakerOptions options_;
+  bool open_ = false;
+  int consecutive_failures_ = 0;
+  int admissions_since_probe_ = 0;
+  int64_t trips_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t probes_ = 0;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,41 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+
+namespace ahntp::serve {
+
+namespace {
+
+/// splitmix64 over (seed, key, attempt) -> uniform double in [0, 1). Same
+/// finalizer family as common/fault.cc's HitUniform so the two schedules
+/// share statistical quality without sharing state.
+double JitterUniform(uint64_t seed, uint64_t key, int attempt) {
+  uint64_t x = seed ^ (key * 0x9e3779b97f4a7c15ULL);
+  x += (static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double RetryPolicy::DelayMillis(uint64_t key, int attempt) const {
+  double expo = base_delay_ms;
+  for (int i = 0; i < attempt && expo < max_delay_ms; ++i) expo *= 2.0;
+  expo = std::min(expo, max_delay_ms);
+  double j = std::clamp(jitter, 0.0, 1.0);
+  return expo * (1.0 - j * JitterUniform(seed, key, attempt));
+}
+
+std::vector<double> RetryPolicy::Schedule(uint64_t key) const {
+  std::vector<double> delays;
+  for (int attempt = 0; attempt + 1 < max_attempts; ++attempt) {
+    delays.push_back(DelayMillis(key, attempt));
+  }
+  return delays;
+}
+
+}  // namespace ahntp::serve

@@ -1,0 +1,42 @@
+#ifndef AHNTP_SERVE_RETRY_H_
+#define AHNTP_SERVE_RETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ahntp::serve {
+
+/// Deterministic exponential backoff with seeded jitter.
+///
+/// The delay before retry `attempt` (0-based: the wait after the first
+/// failure is attempt 0) of the work item identified by `key` is
+///
+///   min(max_delay_ms, base_delay_ms * 2^attempt) * (1 - jitter * u)
+///
+/// where u in [0, 1) is drawn by a splitmix64 hash of (seed, key, attempt).
+/// The schedule is a pure function of (policy, key) — no global RNG state,
+/// no clock — so a fixed `--fault_seed` replays bit-identical backoff
+/// sequences at any thread count, which is what makes retry behaviour
+/// testable (tests/serve_test.cc) and serve counters thread-invariant.
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retry.
+  int max_attempts = 3;
+  double base_delay_ms = 0.5;
+  double max_delay_ms = 50.0;
+  /// Fraction of the exponential delay randomized away, in [0, 1].
+  /// 0 = pure exponential, 1 = full jitter.
+  double jitter = 0.5;
+  /// Seeds the jitter hash (wired to --fault_seed by the serving demo so
+  /// one flag pins the whole failure schedule).
+  uint64_t seed = 0;
+
+  /// Backoff in milliseconds before retry `attempt` of item `key`.
+  double DelayMillis(uint64_t key, int attempt) const;
+
+  /// The full schedule for `key`: max_attempts - 1 delays.
+  std::vector<double> Schedule(uint64_t key) const;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_RETRY_H_

@@ -1,0 +1,253 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ahntp::serve {
+
+namespace {
+
+/// Failure codes worth retrying: transient outages and I/O hiccups. A
+/// non-finite score (Internal) or a shape/config problem is deterministic
+/// and retrying would only burn the deadline.
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIoError;
+}
+
+bool AllFinite(const std::vector<float>& values) {
+  for (float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TrustServer::TrustServer(const ServeOptions& options, ScoreBackend* primary,
+                         ScoreBackend* fallback)
+    : options_(options),
+      primary_(primary),
+      fallback_(fallback),
+      queue_(options.queue_capacity),
+      breaker_(options.breaker) {
+  AHNTP_CHECK(primary_ != nullptr) << "TrustServer needs a primary backend";
+  AHNTP_CHECK_GT(options_.max_batch_size, 0u);
+}
+
+TrustServer::~TrustServer() { Shutdown(); }
+
+std::future<TrustResponse> TrustServer::Submit(const TrustQuery& query) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  AHNTP_METRIC_COUNT("serve.submitted", 1);
+  Request request;
+  request.query = query;
+  std::future<TrustResponse> future = request.promise.get_future();
+  Status pushed = queue_.TryPush(request);
+  if (!pushed.ok()) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.rejected", 1);
+    TrustResponse response;
+    response.status = pushed;
+    request.promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+void TrustServer::Start() {
+  AHNTP_CHECK(!started_) << "TrustServer started twice";
+  started_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void TrustServer::Shutdown() {
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Never started: drain whatever sits in the queue so every future
+  // completes.
+  std::vector<Request> leftover;
+  while (queue_.PopBatch(&leftover, options_.max_batch_size) > 0) {
+    for (Request& request : leftover) {
+      TrustResponse response;
+      response.status = Status::FailedPrecondition("server shut down");
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      Complete(&request, std::move(response));
+    }
+    leftover.clear();
+  }
+}
+
+ServerStats TrustServer::Stats() const {
+  ServerStats out;
+  out.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  out.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  out.expired = stats_.expired.load(std::memory_order_relaxed);
+  out.ok = stats_.ok.load(std::memory_order_relaxed);
+  out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+  out.failed = stats_.failed.load(std::memory_order_relaxed);
+  out.retries = stats_.retries.load(std::memory_order_relaxed);
+  out.nonfinite = stats_.nonfinite.load(std::memory_order_relaxed);
+  out.batches = stats_.batches.load(std::memory_order_relaxed);
+  out.breaker_trips = stats_.trips.load(std::memory_order_relaxed);
+  out.breaker_probes = stats_.probes.load(std::memory_order_relaxed);
+  out.breaker_recoveries = stats_.recoveries.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TrustServer::DispatchLoop() {
+  std::vector<Request> batch;
+  while (queue_.PopBatch(&batch, options_.max_batch_size) > 0) {
+    ProcessBatch(&batch);
+    batch.clear();
+  }
+}
+
+void TrustServer::Complete(Request* request, TrustResponse response) {
+  response.latency_ms = request->queued.ElapsedMillis();
+  if (metrics::Enabled()) {
+    metrics::GetHistogram("serve.request_latency_seconds")
+        .Observe(response.latency_ms * 1e-3);
+  }
+  request->promise.set_value(std::move(response));
+}
+
+void TrustServer::ProcessBatch(std::vector<Request>* batch) {
+  trace::TraceSpan span("serve.batch");
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  AHNTP_METRIC_COUNT("serve.batches", 1);
+  if (metrics::Enabled()) {
+    metrics::GetGauge("serve.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+    metrics::GetHistogram("serve.batch_size")
+        .Observe(static_cast<double>(batch->size()));
+  }
+  const uint64_t batch_key = batch_ordinal_++;
+
+  // Deadlines are enforced here, at the batch boundary: expired requests
+  // complete as DeadlineExceeded instead of being silently computed.
+  std::vector<Request*> live;
+  std::vector<data::TrustPair> pairs;
+  live.reserve(batch->size());
+  pairs.reserve(batch->size());
+  for (Request& request : *batch) {
+    if (request.query.deadline.Expired()) {
+      stats_.expired.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.expired", 1);
+      TrustResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline expired before inference");
+      Complete(&request, std::move(response));
+      continue;
+    }
+    live.push_back(&request);
+    pairs.push_back({request.query.src, request.query.dst, 0.0f});
+  }
+  if (live.empty()) return;
+
+  CircuitBreaker::Decision decision = breaker_.Admit();
+  if (decision == CircuitBreaker::Decision::kProbe) {
+    stats_.probes.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.breaker_probes", 1);
+  }
+  if (decision == CircuitBreaker::Decision::kFallback) {
+    Degrade(live, pairs, Status::Unavailable("circuit breaker open"), 0);
+    return;
+  }
+
+  // Primary path with deterministic retry/backoff for transient failures.
+  const int max_attempts = std::max(options_.retry.max_attempts, 1);
+  Status failure;
+  int attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.retries", 1);
+      trace::TraceSpan retry_span("serve.retry");
+      double delay_ms = options_.retry.DelayMillis(batch_key, attempt - 1);
+      if (options_.sleep_on_backoff && delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+    attempts = attempt + 1;
+    Result<std::vector<float>> scores = primary_->ScoreBatch(pairs);
+    if (!scores.ok()) {
+      failure = scores.status();
+      if (IsTransient(failure.code())) continue;
+      break;
+    }
+    if (!AllFinite(*scores)) {
+      stats_.nonfinite.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.nonfinite", 1);
+      failure = Status::Internal("non-finite score from primary backend");
+      break;  // deterministic corruption; retrying cannot help
+    }
+    breaker_.OnSuccess();
+    if (decision == CircuitBreaker::Decision::kProbe) {
+      stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.breaker_recoveries", 1);
+      AHNTP_LOG(Info) << "serve: probe succeeded, circuit breaker closed";
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      stats_.ok.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.ok", 1);
+      TrustResponse response;
+      response.score = (*scores)[i];
+      response.attempts = attempts;
+      Complete(live[i], std::move(response));
+    }
+    return;
+  }
+
+  const bool was_open = breaker_.open();
+  breaker_.OnFailure();
+  if (breaker_.open() && !was_open) {
+    stats_.trips.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.breaker_trips", 1);
+    AHNTP_LOG(Warning) << "serve: circuit breaker tripped after "
+                       << breaker_.consecutive_failures()
+                       << " consecutive failures (" << failure.ToString()
+                       << ")";
+  }
+  Degrade(live, pairs, failure, attempts);
+}
+
+void TrustServer::Degrade(const std::vector<Request*>& live,
+                          const std::vector<data::TrustPair>& pairs,
+                          const Status& reason, int attempts) {
+  if (fallback_ != nullptr) {
+    trace::TraceSpan span("serve.degraded");
+    Result<std::vector<float>> scores = fallback_->ScoreBatch(pairs);
+    if (scores.ok()) {
+      for (size_t i = 0; i < live.size(); ++i) {
+        stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+        AHNTP_METRIC_COUNT("serve.degraded", 1);
+        TrustResponse response;
+        response.score = (*scores)[i];
+        response.degraded = true;
+        response.attempts = attempts;
+        Complete(live[i], std::move(response));
+      }
+      return;
+    }
+    AHNTP_LOG(Warning) << "serve: fallback backend failed too: "
+                       << scores.status().ToString();
+  }
+  for (Request* request : live) {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.failed", 1);
+    TrustResponse response;
+    response.status = reason.ok()
+                          ? Status::Unavailable("primary backend unavailable")
+                          : reason;
+    response.attempts = attempts;
+    Complete(request, std::move(response));
+  }
+}
+
+}  // namespace ahntp::serve

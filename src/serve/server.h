@@ -1,0 +1,159 @@
+#ifndef AHNTP_SERVE_SERVER_H_
+#define AHNTP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "data/split.h"
+#include "serve/backend.h"
+#include "serve/bounded_queue.h"
+#include "serve/circuit_breaker.h"
+#include "serve/retry.h"
+
+namespace ahntp::serve {
+
+/// One trust query: does `src` trust `dst`?
+struct TrustQuery {
+  int src = 0;
+  int dst = 0;
+  /// Checked cooperatively at batch boundaries; expired requests complete
+  /// as DeadlineExceeded instead of being silently computed.
+  Deadline deadline;
+};
+
+/// The terminal answer every submitted query eventually receives.
+struct TrustResponse {
+  /// Ok, or why no score was computed: ResourceExhausted (queue full),
+  /// DeadlineExceeded, Unavailable / IoError (primary kept failing and no
+  /// fallback was configured), FailedPrecondition (server shut down).
+  Status status;
+  float score = std::numeric_limits<float>::quiet_NaN();
+  /// True when the score came from the degraded-mode fallback backend
+  /// (stale-but-sane heuristic) instead of the model.
+  bool degraded = false;
+  /// Primary inference attempts spent on this request's batch.
+  int attempts = 0;
+  /// Submit-to-completion wall time (queue wait + compute).
+  double latency_ms = 0.0;
+};
+
+struct ServeOptions {
+  /// Bounded request queue; Submit rejects with ResourceExhausted beyond
+  /// this — explicit backpressure, never unbounded growth.
+  size_t queue_capacity = 256;
+  /// Requests scored per inference batch.
+  size_t max_batch_size = 32;
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+  /// Sleep the computed backoff between retries. Tests that only assert
+  /// on the deterministic schedule/counters can turn the actual sleeping
+  /// off.
+  bool sleep_on_backoff = true;
+};
+
+/// Monotonic totals since construction. `submitted - rejected` accepted
+/// requests partition into `expired + ok + degraded + failed` once the
+/// server drains.
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;
+  int64_t expired = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+  int64_t retries = 0;
+  int64_t nonfinite = 0;
+  int64_t batches = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_probes = 0;
+  int64_t breaker_recoveries = 0;
+};
+
+/// The online inference substrate: a bounded MPMC queue feeding batched
+/// TrustPredictor inference, with per-request deadlines, deterministic
+/// retry/backoff for transient failures, and a circuit breaker that
+/// degrades to the heuristic fallback (DESIGN.md §12).
+///
+/// Thread model: any number of producer threads call Submit(); one
+/// dispatcher thread (spawned by Start()) drains the queue in FIFO
+/// batches and runs inference, which itself parallelizes on the common/
+/// parallel pool. All serve counters are updated on the dispatcher
+/// thread, so a closed-loop run (enqueue everything, then Start) yields
+/// bit-identical counters and scores at any --threads=N.
+///
+/// The server does not own its backends: `primary` (and optional
+/// `fallback`) must outlive it, which lets a demo hot-reload the
+/// ModelBackend or share backends across server instances.
+class TrustServer {
+ public:
+  TrustServer(const ServeOptions& options, ScoreBackend* primary,
+              ScoreBackend* fallback);
+  ~TrustServer();
+
+  TrustServer(const TrustServer&) = delete;
+  TrustServer& operator=(const TrustServer&) = delete;
+
+  /// Enqueues a query; never blocks. The future always completes: with a
+  /// score once served, or immediately with ResourceExhausted /
+  /// FailedPrecondition when the queue is full / the server is shut down.
+  std::future<TrustResponse> Submit(const TrustQuery& query);
+
+  /// Spawns the dispatcher. Submitting before Start() is allowed (the
+  /// queue buffers up to capacity) and is how deterministic closed-loop
+  /// runs pin their batch composition.
+  void Start();
+
+  /// Closes the queue, drains every pending request to a terminal
+  /// response, and joins the dispatcher. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+  size_t queue_depth() const { return queue_.size(); }
+  ServerStats Stats() const;
+
+ private:
+  struct Request {
+    TrustQuery query;
+    std::promise<TrustResponse> promise;
+    Stopwatch queued;
+  };
+
+  void DispatchLoop();
+  void ProcessBatch(std::vector<Request>* batch);
+  /// Scores `live` on the fallback (degraded=true) or, without one,
+  /// completes everything with `reason`.
+  void Degrade(const std::vector<Request*>& live,
+               const std::vector<data::TrustPair>& pairs,
+               const Status& reason, int attempts);
+  void Complete(Request* request, TrustResponse response);
+
+  ServeOptions options_;
+  ScoreBackend* primary_;
+  ScoreBackend* fallback_;  // nullable
+  BoundedQueue<Request> queue_;
+  CircuitBreaker breaker_;  // dispatcher-thread only
+  std::thread dispatcher_;
+  bool started_ = false;
+  uint64_t batch_ordinal_ = 0;  // dispatcher-thread only; retry jitter key
+
+  /// Counters live in atomics (written by the dispatcher, except
+  /// submitted/rejected by producers) so Stats() is readable from any
+  /// thread while serving.
+  struct AtomicStats {
+    std::atomic<int64_t> submitted{0}, rejected{0}, expired{0}, ok{0},
+        degraded{0}, failed{0}, retries{0}, nonfinite{0}, batches{0},
+        trips{0}, probes{0}, recoveries{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_SERVER_H_

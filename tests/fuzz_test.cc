@@ -5,17 +5,24 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <future>
 
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
 #include "common/csv.h"
 #include "common/fileio.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "core/model_zoo.h"
+#include "data/features.h"
 #include "data/generator.h"
 #include "data/io.h"
+#include "data/split.h"
 #include "hypergraph/hypergraph.h"
 #include "nn/serialization.h"
+#include "serve/backend.h"
+#include "serve/server.h"
 #include "tensor/csr.h"
 #include "test_util.h"
 
@@ -277,6 +284,115 @@ TEST_P(CheckpointFuzzTest, RandomTruncationAlwaysRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Mid-serve reload fuzzing: random bit flips and truncations of the
+// checkpoint a live server is asked to reload must leave the server
+// answering with its old weights (bitwise) and bump serve.reload_failures.
+// ---------------------------------------------------------------------------
+
+class ServeReloadFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeReloadFuzzTest, CorruptReloadKeepsOldWeightsServing) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 211);
+  data::GeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 20;
+  config.num_communities = 2;
+  config.seed = 17;
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(config).Generate();
+  data::TrustSplit split = data::MakeSplit(dataset);
+  auto graph_result = dataset.GraphFromEdges(split.train_positive);
+  ASSERT_TRUE(graph_result.ok());
+  graph::Digraph graph = std::move(graph_result).value();
+  tensor::Matrix features = data::BuildFeatureMatrix(dataset);
+
+  models::ModelInputs inputs;
+  inputs.features = &features;
+  inputs.graph = &graph;
+  inputs.dataset = &dataset;
+  inputs.hidden_dims = {8, 4};
+  serve::ModelBackend::Factory factory = [inputs]() mutable {
+    Rng model_rng(5);
+    inputs.rng = &model_rng;
+    auto created =
+        core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    return std::move(created).value();
+  };
+  serve::ModelBackend backend(factory, factory());
+
+  std::string path = ::testing::TempDir() + "/ahntp_fuzz_serve_" +
+                     std::to_string(GetParam()) + ".ckpt";
+  ASSERT_TRUE(nn::SaveModule(*factory(), path).ok());
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(path, &image).ok());
+
+  metrics::Enable();
+  metrics::Reset();
+
+  serve::ServeOptions options;
+  options.queue_capacity = 32;
+  options.max_batch_size = 4;
+  options.sleep_on_backoff = false;
+  serve::TrustServer server(options, &backend, nullptr);
+  server.Start();
+
+  std::vector<data::TrustPair> queries;
+  for (size_t i = 0; i < 8; ++i) {
+    queries.push_back(split.test_pairs[i % split.test_pairs.size()]);
+  }
+  auto serve_wave = [&server, &queries]() {
+    std::vector<std::future<serve::TrustResponse>> futures;
+    for (const data::TrustPair& p : queries) {
+      serve::TrustQuery q;
+      q.src = p.src;
+      q.dst = p.dst;
+      futures.push_back(server.Submit(q));
+    }
+    std::vector<float> scores;
+    for (auto& f : futures) {
+      serve::TrustResponse r = f.get();
+      EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+      scores.push_back(r.score);
+    }
+    return scores;
+  };
+
+  std::vector<float> baseline = serve_wave();
+  int64_t failures = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    std::string corrupted = image;
+    if (trial % 2 == 0) {
+      size_t byte = rng.NextBounded(corrupted.size());
+      corrupted[byte] =
+          static_cast<char>(corrupted[byte] ^ (1u << rng.NextBounded(8)));
+    } else {
+      corrupted.resize(rng.NextBounded(corrupted.size()));
+    }
+    ASSERT_TRUE(WriteFileAtomic(path, corrupted).ok());
+    EXPECT_FALSE(backend.Reload(path).ok())
+        << "accepted a corrupted checkpoint on trial " << trial;
+    EXPECT_EQ(backend.generation(), 0);
+    ++failures;
+    // The live server keeps answering with the old weights, bitwise.
+    EXPECT_EQ(serve_wave(), baseline);
+  }
+  metrics::Snapshot snapshot = metrics::Collect();
+  EXPECT_EQ(snapshot.CounterValue("serve.reload_failures", 0), failures);
+
+  // A pristine image still reloads after all that abuse.
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+  EXPECT_TRUE(backend.Reload(path).ok());
+  EXPECT_EQ(backend.generation(), 1);
+
+  server.Shutdown();
+  metrics::Disable();
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeReloadFuzzTest, ::testing::Range(1, 3));
 
 // ---------------------------------------------------------------------------
 // Dataset CSV corruption: random byte mutations in any of the saved CSV

@@ -1,0 +1,679 @@
+// Tests for the online inference substrate (src/serve): bounded queue
+// backpressure, cooperative deadlines, deterministic retry/backoff,
+// circuit breaker trip/probe/recover with degraded fallback, checkpoint
+// hot-reload, and the thread-count invariance of the whole pipeline
+// (extending the tests/parallel_test.cc determinism pattern).
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/fileio.h"
+#include "common/parallel.h"
+#include "core/model_zoo.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "nn/serialization.h"
+#include "serve/backend.h"
+#include "serve/bounded_queue.h"
+#include "serve/circuit_breaker.h"
+#include "serve/retry.h"
+#include "serve/server.h"
+
+namespace ahntp {
+namespace {
+
+using serve::BoundedQueue;
+using serve::CircuitBreaker;
+using serve::CircuitBreakerOptions;
+using serve::RetryPolicy;
+using serve::ServeOptions;
+using serve::TrustQuery;
+using serve::TrustResponse;
+using serve::TrustServer;
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingMillis()));
+}
+
+TEST(DeadlineTest, ZeroBudgetIsExpiredImmediately) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotExpired) {
+  Deadline d = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 0.0);
+  EXPECT_LE(d.RemainingMillis(), 60000.0);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, RejectsWhenFullWithResourceExhausted) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(a).ok());
+  EXPECT_TRUE(queue.TryPush(b).ok());
+  Status status = queue.TryPush(c);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, PopBatchPreservesFifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.TryPush(v).ok());
+  }
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.PopBatch(&out, 3), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BoundedQueueTest, CloseRejectsPushesAndDrains) {
+  BoundedQueue<int> queue(4);
+  int v = 7;
+  ASSERT_TRUE(queue.TryPush(v).ok());
+  queue.Close();
+  int w = 8;
+  EXPECT_EQ(queue.TryPush(w).code(), StatusCode::kFailedPrecondition);
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(&out, 4), 1u);  // drains the remaining item
+  EXPECT_EQ(queue.PopBatch(&out, 4), 0u);  // closed and empty
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy: deterministic exponential backoff with seeded jitter
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, SameSeedSameKeyGivesIdenticalSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.seed = 42;
+  std::vector<double> a = policy.Schedule(9);
+  std::vector<double> b = policy.Schedule(9);
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RetryPolicyTest, NoJitterIsPureCappedExponential) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_ms = 1.0;
+  policy.max_delay_ms = 6.0;
+  policy.jitter = 0.0;
+  std::vector<double> schedule = policy.Schedule(0);
+  ASSERT_EQ(schedule.size(), 5u);
+  EXPECT_DOUBLE_EQ(schedule[0], 1.0);
+  EXPECT_DOUBLE_EQ(schedule[1], 2.0);
+  EXPECT_DOUBLE_EQ(schedule[2], 4.0);
+  EXPECT_DOUBLE_EQ(schedule[3], 6.0);  // capped
+  EXPECT_DOUBLE_EQ(schedule[4], 6.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredFraction) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_ms = 8.0;
+  policy.max_delay_ms = 8.0;
+  policy.jitter = 0.5;
+  for (uint64_t key = 0; key < 64; ++key) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      double d = policy.DelayMillis(key, attempt);
+      EXPECT_GT(d, 4.0 - 1e-9);
+      EXPECT_LE(d, 8.0);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSeedsChangeTheSchedule) {
+  RetryPolicy a, b;
+  a.seed = 1;
+  b.seed = 2;
+  bool any_different = false;
+  for (uint64_t key = 0; key < 8 && !any_different; ++key) {
+    any_different = a.DelayMillis(key, 0) != b.DelayMillis(key, 0);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure();
+  breaker.OnFailure();
+  EXPECT_FALSE(breaker.open());
+  breaker.OnFailure();
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure();
+  breaker.OnSuccess();
+  breaker.OnFailure();
+  EXPECT_FALSE(breaker.open());  // never two in a row
+}
+
+TEST(CircuitBreakerTest, ProbesEveryNthAdmissionWhileOpen) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.probe_interval = 3;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure();
+  ASSERT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kFallback);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kFallback);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kFallback);
+  EXPECT_EQ(breaker.probes(), 1);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesAndCountsRecovery) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.probe_interval = 1;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure();
+  ASSERT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  breaker.OnFailure();  // failed probe keeps it open without a new trip
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  breaker.OnSuccess();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.recoveries(), 1);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kPrimary);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPoint + the new Status codes
+// ---------------------------------------------------------------------------
+
+TEST(ServeStatusTest, NewCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(), "DeadlineExceeded: x");
+  EXPECT_EQ(Status::ResourceExhausted("y").ToString(),
+            "ResourceExhausted: y");
+  EXPECT_EQ(Status::Unavailable("z").ToString(), "Unavailable: z");
+}
+
+TEST(FaultPointTest, ReturnsTheRequestedCodeWhenFiring) {
+  ASSERT_TRUE(fault::EnableFromSpec("serve_test.point@1").ok());
+  Status first =
+      fault::FaultPoint("serve_test.point", StatusCode::kUnavailable);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  Status second =
+      fault::FaultPoint("serve_test.point", StatusCode::kUnavailable);
+  EXPECT_TRUE(second.ok());
+  fault::Disable();
+}
+
+TEST(FaultPointTest, SilentWhenDisabled) {
+  fault::Disable();
+  EXPECT_TRUE(fault::FaultPoint("serve_test.other").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TrustServer against scripted fake backends
+// ---------------------------------------------------------------------------
+
+/// A scripted ScoreBackend: `fn` decides each batch's fate.
+class FakeBackend : public serve::ScoreBackend {
+ public:
+  using Fn = std::function<Result<std::vector<float>>(
+      const std::vector<data::TrustPair>&, int call)>;
+
+  explicit FakeBackend(Fn fn) : fn_(std::move(fn)) {}
+
+  Result<std::vector<float>> ScoreBatch(
+      const std::vector<data::TrustPair>& pairs) override {
+    return fn_(pairs, calls_++);
+  }
+
+  std::string name() const override { return "fake"; }
+
+  int calls() const { return calls_; }
+
+ private:
+  Fn fn_;
+  int calls_ = 0;
+};
+
+FakeBackend::Fn ConstantScores(float value) {
+  return [value](const std::vector<data::TrustPair>& pairs, int) {
+    return Result<std::vector<float>>(
+        std::vector<float>(pairs.size(), value));
+  };
+}
+
+ServeOptions FastOptions() {
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch_size = 4;
+  options.retry.max_attempts = 3;
+  options.sleep_on_backoff = false;  // schedules are asserted, not slept
+  return options;
+}
+
+std::vector<TrustResponse> RunClosedLoop(TrustServer* server, int requests) {
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < requests; ++i) {
+    TrustQuery q;
+    q.src = i;
+    q.dst = i + 1;
+    futures.push_back(server->Submit(q));
+  }
+  server->Start();
+  std::vector<TrustResponse> out;
+  for (auto& f : futures) out.push_back(f.get());
+  server->Shutdown();
+  return out;
+}
+
+TEST(TrustServerTest, ServesEveryRequestWithTheBackendScore) {
+  FakeBackend backend(ConstantScores(0.75f));
+  TrustServer server(FastOptions(), &backend, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 10);
+  ASSERT_EQ(responses.size(), 10u);
+  for (const TrustResponse& r : responses) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FLOAT_EQ(r.score, 0.75f);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.attempts, 1);
+  }
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 10);
+  EXPECT_EQ(stats.ok, 10);
+  EXPECT_EQ(stats.rejected + stats.expired + stats.degraded + stats.failed,
+            0);
+}
+
+TEST(TrustServerTest, OverflowIsRejectedWithResourceExhausted) {
+  FakeBackend backend(ConstantScores(0.5f));
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 4;
+  TrustServer server(options, &backend, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 10);
+  int rejected = 0;
+  for (const TrustResponse& r : responses) {
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 6);
+  EXPECT_EQ(server.Stats().rejected, 6);
+  EXPECT_EQ(server.Stats().ok, 4);
+}
+
+TEST(TrustServerTest, ExpiredDeadlinesCompleteAsDeadlineExceeded) {
+  FakeBackend backend(ConstantScores(0.5f));
+  TrustServer server(FastOptions(), &backend, nullptr);
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    TrustQuery q;
+    q.src = i;
+    q.dst = i + 1;
+    if (i % 2 == 0) q.deadline = Deadline::AfterMillis(0);
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  int expired = 0;
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    if (r.status.code() == StatusCode::kDeadlineExceeded) ++expired;
+  }
+  server.Shutdown();
+  EXPECT_EQ(expired, 3);
+  EXPECT_EQ(server.Stats().expired, 3);
+  EXPECT_EQ(server.Stats().ok, 3);
+}
+
+TEST(TrustServerTest, TransientFailureIsRetriedToSuccess) {
+  // First call fails with a transient code; the retry succeeds.
+  FakeBackend backend(
+      [](const std::vector<data::TrustPair>& pairs,
+         int call) -> Result<std::vector<float>> {
+        if (call == 0) return Status::Unavailable("flaky");
+        return std::vector<float>(pairs.size(), 0.25f);
+      });
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 8;
+  TrustServer server(options, &backend, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 4);
+  for (const TrustResponse& r : responses) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.attempts, 2);
+  }
+  EXPECT_EQ(server.Stats().retries, 1);
+  EXPECT_EQ(backend.calls(), 2);
+}
+
+TEST(TrustServerTest, NonTransientFailureIsNotRetried) {
+  FakeBackend backend(
+      [](const std::vector<data::TrustPair>&,
+         int) -> Result<std::vector<float>> {
+        return Status::InvalidArgument("bad shape");
+      });
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 8;
+  TrustServer server(options, &backend, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 2);
+  for (const TrustResponse& r : responses) {
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(backend.calls(), 1);  // no retry for deterministic failures
+  EXPECT_EQ(server.Stats().retries, 0);
+}
+
+TEST(TrustServerTest, ExhaustedRetriesDegradeToTheFallback) {
+  FakeBackend primary(
+      [](const std::vector<data::TrustPair>&,
+         int) -> Result<std::vector<float>> {
+        return Status::Unavailable("down");
+      });
+  FakeBackend fallback(ConstantScores(0.125f));
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 8;
+  TrustServer server(options, &primary, &fallback);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 4);
+  for (const TrustResponse& r : responses) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.degraded);
+    EXPECT_FLOAT_EQ(r.score, 0.125f);
+  }
+  EXPECT_EQ(server.Stats().degraded, 4);
+  EXPECT_EQ(primary.calls(), 3);  // all attempts burned
+}
+
+TEST(TrustServerTest, NonFiniteScoresCountAndFailWithoutRetry) {
+  FakeBackend primary(
+      [](const std::vector<data::TrustPair>& pairs,
+         int) -> Result<std::vector<float>> {
+        std::vector<float> scores(pairs.size(), 0.5f);
+        scores[0] = std::nanf("");
+        return scores;
+      });
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 8;
+  TrustServer server(options, &primary, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 2);
+  for (const TrustResponse& r : responses) {
+    EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(primary.calls(), 1);
+  EXPECT_EQ(server.Stats().nonfinite, 1);
+}
+
+TEST(TrustServerTest, BreakerTripsDegradesAndRecoversViaProbe) {
+  // The primary fails for its first 6 calls, then heals. With
+  // max_attempts=1 and threshold=2 the breaker trips on the second batch;
+  // probes keep testing the primary and the first healthy probe closes it.
+  FakeBackend primary(
+      [](const std::vector<data::TrustPair>& pairs,
+         int call) -> Result<std::vector<float>> {
+        if (call < 6) return Status::Unavailable("outage");
+        return std::vector<float>(pairs.size(), 0.875f);
+      });
+  FakeBackend fallback(ConstantScores(0.0625f));
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 1;  // one request per batch: scripted precisely
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.probe_interval = 2;
+  TrustServer server(options, &primary, &fallback);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 16);
+
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.breaker_trips, 1);
+  EXPECT_GE(stats.breaker_probes, 1);
+  EXPECT_EQ(stats.breaker_recoveries, 1);
+  EXPECT_GT(stats.degraded, 0);
+  EXPECT_GT(stats.ok, 0);
+  // Once recovered, the tail of the stream is served by the primary.
+  EXPECT_TRUE(responses.back().status.ok());
+  EXPECT_FALSE(responses.back().degraded);
+  EXPECT_FLOAT_EQ(responses.back().score, 0.875f);
+  // Degraded responses are flagged and carry the fallback's score.
+  for (const TrustResponse& r : responses) {
+    if (r.degraded) EXPECT_FLOAT_EQ(r.score, 0.0625f);
+  }
+}
+
+TEST(TrustServerTest, ShutdownWithoutStartDrainsEveryFuture) {
+  FakeBackend backend(ConstantScores(0.5f));
+  TrustServer server(FastOptions(), &backend, nullptr);
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(server.Submit(TrustQuery{}));
+  server.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(TrustServerTest, SubmitAfterShutdownIsRejected) {
+  FakeBackend backend(ConstantScores(0.5f));
+  TrustServer server(FastOptions(), &backend, nullptr);
+  server.Start();
+  server.Shutdown();
+  TrustResponse r = server.Submit(TrustQuery{}).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// ModelBackend hot reload
+// ---------------------------------------------------------------------------
+
+/// A tiny AHNTP serving fixture shared by the reload and determinism
+/// tests: generated dataset, split, training graph, features, and a
+/// seeded predictor factory.
+struct ServingFixture {
+  data::SocialDataset dataset;
+  data::TrustSplit split;
+  graph::Digraph graph;
+  tensor::Matrix features;
+
+  static ServingFixture Make() {
+    data::GeneratorConfig config;
+    config.num_users = 60;
+    config.num_items = 30;
+    config.num_communities = 3;
+    config.seed = 11;
+    ServingFixture f;
+    f.dataset = data::SocialNetworkGenerator(config).Generate();
+    f.split = data::MakeSplit(f.dataset);
+    auto graph = f.dataset.GraphFromEdges(f.split.train_positive);
+    EXPECT_TRUE(graph.ok());
+    f.graph = std::move(graph).value();
+    f.features = data::BuildFeatureMatrix(f.dataset);
+    return f;
+  }
+
+  serve::ModelBackend::Factory MakeFactory(uint64_t seed) const {
+    models::ModelInputs inputs;
+    inputs.features = &features;
+    inputs.graph = &graph;
+    inputs.dataset = &dataset;
+    inputs.hidden_dims = {8, 4};
+    return [inputs, seed]() mutable {
+      Rng rng(seed);
+      inputs.rng = &rng;
+      auto created =
+          core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+      EXPECT_TRUE(created.ok()) << created.status().ToString();
+      return std::move(created).value();
+    };
+  }
+
+  std::vector<data::TrustPair> Queries(size_t n) const {
+    std::vector<data::TrustPair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(split.test_pairs[i % split.test_pairs.size()]);
+    }
+    return pairs;
+  }
+};
+
+TEST(ModelBackendTest, ReloadSwapsWeightsAndAdvancesGeneration) {
+  ServingFixture fixture = ServingFixture::Make();
+  auto factory = fixture.MakeFactory(5);
+  serve::ModelBackend backend(factory, factory());
+
+  // Checkpoint a *different* seed's weights; reloading must change scores.
+  auto other = fixture.MakeFactory(99)();
+  std::string path = ::testing::TempDir() + "/serve_reload.ckpt";
+  ASSERT_TRUE(nn::SaveModule(*other, path).ok());
+
+  std::vector<data::TrustPair> queries = fixture.Queries(6);
+  auto before = backend.ScoreBatch(queries);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(backend.generation(), 0);
+
+  ASSERT_TRUE(backend.Reload(path).ok());
+  EXPECT_EQ(backend.generation(), 1);
+  auto after = backend.ScoreBatch(queries);
+  ASSERT_TRUE(after.ok());
+  auto expected = other->PredictProbabilities(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*after)[i], expected[i]) << "score " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelBackendTest, FailedReloadKeepsTheOldModelServing) {
+  ServingFixture fixture = ServingFixture::Make();
+  auto factory = fixture.MakeFactory(5);
+  serve::ModelBackend backend(factory, factory());
+  std::vector<data::TrustPair> queries = fixture.Queries(6);
+  auto before = backend.ScoreBatch(queries);
+  ASSERT_TRUE(before.ok());
+
+  Status status = backend.Reload(::testing::TempDir() + "/does_not_exist");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(backend.generation(), 0);
+  auto after = backend.ScoreBatch(queries);
+  ASSERT_TRUE(after.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*before)[i], (*after)[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: same --fault_seed => bit-identical retry
+// schedule, serve counters, and scores at 1, 2, and 8 threads.
+// ---------------------------------------------------------------------------
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) { SetNumThreads(threads); }
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+struct DeterministicRun {
+  serve::ServerStats stats;
+  std::vector<float> scores;
+  std::vector<bool> degraded;
+};
+
+DeterministicRun RunFaultyServe(const ServingFixture& fixture, int threads) {
+  ThreadGuard guard(threads);
+  // Fresh spec install resets per-site hit counters, so every run replays
+  // the identical fault sequence.
+  fault::SetSeed(1234);
+  EXPECT_TRUE(fault::EnableFromSpec("serve.infer@~0.5").ok());
+
+  auto factory = fixture.MakeFactory(5);
+  serve::ModelBackend primary(factory, factory());
+  serve::HeuristicBackend fallback(&fixture.graph,
+                                   models::Heuristic::kJaccard);
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch_size = 4;
+  options.retry.max_attempts = 2;
+  options.retry.seed = 1234;
+  options.sleep_on_backoff = false;
+  options.breaker.failure_threshold = 2;
+  options.breaker.probe_interval = 2;
+  TrustServer server(options, &primary, &fallback);
+
+  std::vector<std::future<TrustResponse>> futures;
+  for (const data::TrustPair& p : fixture.Queries(48)) {
+    TrustQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  DeterministicRun run;
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    run.scores.push_back(r.score);
+    run.degraded.push_back(r.degraded);
+  }
+  server.Shutdown();
+  run.stats = server.Stats();
+  fault::Disable();
+  return run;
+}
+
+TEST(ServeDeterminismTest, CountersAndScoresBitIdenticalAcrossThreadCounts) {
+  ServingFixture fixture = ServingFixture::Make();
+  DeterministicRun r1 = RunFaultyServe(fixture, 1);
+  DeterministicRun r2 = RunFaultyServe(fixture, 2);
+  DeterministicRun r8 = RunFaultyServe(fixture, 8);
+
+  for (const DeterministicRun* other : {&r2, &r8}) {
+    EXPECT_EQ(r1.stats.ok, other->stats.ok);
+    EXPECT_EQ(r1.stats.degraded, other->stats.degraded);
+    EXPECT_EQ(r1.stats.failed, other->stats.failed);
+    EXPECT_EQ(r1.stats.retries, other->stats.retries);
+    EXPECT_EQ(r1.stats.batches, other->stats.batches);
+    EXPECT_EQ(r1.stats.breaker_trips, other->stats.breaker_trips);
+    EXPECT_EQ(r1.stats.breaker_probes, other->stats.breaker_probes);
+    EXPECT_EQ(r1.stats.breaker_recoveries, other->stats.breaker_recoveries);
+    ASSERT_EQ(r1.scores.size(), other->scores.size());
+    EXPECT_EQ(std::memcmp(r1.scores.data(), other->scores.data(),
+                          r1.scores.size() * sizeof(float)),
+              0)
+        << "scores must be bit-identical across thread counts";
+    EXPECT_EQ(r1.degraded, other->degraded);
+  }
+  // The injected fault stream actually exercised the retry path.
+  EXPECT_GT(r1.stats.retries, 0);
+}
+
+}  // namespace
+}  // namespace ahntp
