@@ -16,6 +16,9 @@ cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
 echo "================ observability ================"
 scripts/check_observability.sh
 
+echo "================ compiled inference ================"
+scripts/check_inference.sh
+
 echo "================ serving ================"
 scripts/check_serve.sh
 

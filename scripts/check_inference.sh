@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Compiled-inference gate: the tape-free scoring path must stay bit-identical
+# to the autograd tape, allocation-free at steady state, and race-free.
+#   - inference_test: bitwise compiled-vs-tape parity across the full model
+#     zoo at --threads=1/2/8, workspace reuse/reset semantics, the
+#     zero-allocation scoring-loop assertion, and cache invalidation on
+#     training steps, checkpoint loads, and (fault-injected) hot reloads;
+#   - bench_inference: end-to-end parity CHECKs on the EpinionsLike preset
+#     plus the tape-vs-compiled latency rows (BENCH_inference.json);
+#   - inference_test under TSan: one predictor per dispatcher shares no
+#     mutable state, and the reload staging path must stay clean.
+# Usage:
+#   scripts/check_inference.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" \
+      --target inference_test bench_inference
+
+echo "########## inference_test (parity + allocation assertions) ##########"
+"$build_dir/tests/inference_test"
+
+echo "########## bench_inference parity CHECKs ##########"
+# The bench CHECK-fails on any tape/compiled score mismatch before timing;
+# a tiny iteration count keeps the gate fast while still exercising the
+# warm scoring loop.
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+repo_root="$(pwd)"
+(cd "$workdir" && \
+ "$repo_root/$build_dir/bench/bench_inference" --iters=3 --scale=0.03)
+
+echo "########## inference_test under TSan ##########"
+tsan_dir="build-threadsan"
+cmake -B "$tsan_dir" -S . -DAHNTP_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$tsan_dir" -j"$(nproc 2>/dev/null || echo 2)" \
+      --target inference_test
+AHNTP_THREADS="${AHNTP_THREADS:-8}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+    "$tsan_dir/tests/inference_test"
+
+echo "compiled-inference checks passed"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::autograd {
 
@@ -100,8 +101,8 @@ Variable Scale(const Variable& a, float scalar) {
 
 Variable AddScalar(const Variable& a, float scalar) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += scalar;
+  Matrix out;
+  tensor::AddScalarInto(&out, a.value(), scalar);
   return MakeOp(std::move(out), {an},
                 [an](Node& self) { an->AccumulateGrad(self.grad); });
 }
@@ -125,12 +126,8 @@ Variable MulColBroadcast(const Variable& a, const Variable& col) {
   AHNTP_CHECK_EQ(col.cols(), 1u);
   auto an = a.node();
   auto cn = col.node();
-  Matrix out = a.value();
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float s = col.value().At(r, 0);
-    float* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= s;
-  }
+  Matrix out;
+  tensor::MulColBroadcastInto(&out, a.value(), col.value());
   return MakeOp(std::move(out), {an, cn}, [an, cn](Node& self) {
     if (an->requires_grad) {
       Matrix ga = self.grad;
@@ -176,10 +173,8 @@ Variable SpMMTransposedConst(const CsrMatrix& s, const Variable& x) {
 
 Variable Relu(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
-  }
+  Matrix out;
+  tensor::ReluInto(&out, a.value());
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -191,10 +186,8 @@ Variable Relu(const Variable& a) {
 
 Variable LeakyRelu(const Variable& a, float negative_slope) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
-  }
+  Matrix out;
+  tensor::LeakyReluInto(&out, a.value(), negative_slope);
   return MakeOp(std::move(out), {an}, [an, negative_slope](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -206,10 +199,8 @@ Variable LeakyRelu(const Variable& a, float negative_slope) {
 
 Variable Sigmoid(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
-  }
+  Matrix out;
+  tensor::SigmoidInto(&out, a.value());
   auto result = MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -223,10 +214,8 @@ Variable Sigmoid(const Variable& a) {
 
 Variable Tanh(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  Matrix out;
+  tensor::TanhInto(&out, a.value());
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -239,10 +228,8 @@ Variable Tanh(const Variable& a) {
 
 Variable Exp(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::exp(out.data()[i]);
-  }
+  Matrix out;
+  tensor::ExpInto(&out, a.value());
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) g.data()[i] *= self.value.data()[i];
@@ -252,10 +239,8 @@ Variable Exp(const Variable& a) {
 
 Variable Log(const Variable& a, float epsilon) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::log(std::max(out.data()[i], epsilon));
-  }
+  Matrix out;
+  tensor::LogInto(&out, a.value(), epsilon);
   return MakeOp(std::move(out), {an}, [an, epsilon](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -266,12 +251,9 @@ Variable Log(const Variable& a, float epsilon) {
 }
 
 Variable Clamp(const Variable& a, float lo, float hi) {
-  AHNTP_CHECK_LE(lo, hi);
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::min(std::max(out.data()[i], lo), hi);
-  }
+  Matrix out;
+  tensor::ClampInto(&out, a.value(), lo, hi);
   return MakeOp(std::move(out), {an}, [an, lo, hi](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -284,10 +266,8 @@ Variable Clamp(const Variable& a, float lo, float hi) {
 
 Variable Sqrt(const Variable& a, float epsilon) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::sqrt(std::max(out.data()[i], epsilon));
-  }
+  Matrix out;
+  tensor::SqrtInto(&out, a.value(), epsilon);
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -299,10 +279,8 @@ Variable Sqrt(const Variable& a, float epsilon) {
 
 Variable Abs(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::fabs(out.data()[i]);
-  }
+  Matrix out;
+  tensor::AbsInto(&out, a.value());
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -315,10 +293,8 @@ Variable Abs(const Variable& a) {
 
 Variable PowScalar(const Variable& a, float exponent, float epsilon) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::pow(std::max(out.data()[i], epsilon), exponent);
-  }
+  Matrix out;
+  tensor::PowScalarInto(&out, a.value(), exponent, epsilon);
   return MakeOp(std::move(out), {an}, [an, exponent, epsilon](Node& self) {
     Matrix g = self.grad;
     for (size_t i = 0; i < g.size(); ++i) {
@@ -331,29 +307,9 @@ Variable PowScalar(const Variable& a, float exponent, float epsilon) {
 
 Variable RowStandardize(const Variable& a, float epsilon) {
   auto an = a.node();
-  const size_t rows = a.rows();
-  const size_t cols = a.cols();
-  AHNTP_CHECK_GT(cols, 0u);
-  Matrix out(rows, cols);
-  std::vector<float> inv_std(rows);
-  for (size_t r = 0; r < rows; ++r) {
-    const float* src = a.value().RowPtr(r);
-    double mean = 0.0;
-    for (size_t c = 0; c < cols; ++c) mean += src[c];
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (size_t c = 0; c < cols; ++c) {
-      double d = src[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    float inv = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
-    inv_std[r] = inv;
-    float* dst = out.RowPtr(r);
-    for (size_t c = 0; c < cols; ++c) {
-      dst[c] = (src[c] - static_cast<float>(mean)) * inv;
-    }
-  }
+  Matrix out;
+  std::vector<float> inv_std;
+  tensor::RowStandardizeInto(&out, a.value(), epsilon, &inv_std);
   return MakeOp(std::move(out), {an}, [an, inv_std](Node& self) {
     // dX = inv_std * (dY - mean(dY) - y * mean(dY ⊙ y)), per row.
     const size_t rows2 = self.value.rows();
@@ -424,30 +380,12 @@ Variable GatherRows(const Variable& a, const std::vector<int>& indices) {
                 });
 }
 
-namespace {
-
-void CheckSegments(const std::vector<int>& segments, size_t num_rows,
-                   size_t num_segments) {
-  AHNTP_CHECK_EQ(segments.size(), num_rows);
-  for (int s : segments) {
-    AHNTP_CHECK(s >= 0 && static_cast<size_t>(s) < num_segments)
-        << "segment id " << s << " out of range [0," << num_segments << ")";
-  }
-}
-
-}  // namespace
-
 Variable SegmentSum(const Variable& a, const std::vector<int>& segments,
                     size_t num_segments) {
-  CheckSegments(segments, a.rows(), num_segments);
   auto an = a.node();
   std::vector<int> seg = segments;
-  Matrix out(num_segments, a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.value().RowPtr(r);
-    float* dst = out.RowPtr(static_cast<size_t>(seg[r]));
-    for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
-  }
+  Matrix out;
+  tensor::SegmentSumInto(&out, a.value(), segments, num_segments);
   return MakeOp(std::move(out), {an}, [an, seg](Node& self) {
     Matrix g(an->value.rows(), an->value.cols());
     for (size_t r = 0; r < g.rows(); ++r) {
@@ -461,23 +399,11 @@ Variable SegmentSum(const Variable& a, const std::vector<int>& segments,
 
 Variable SegmentMean(const Variable& a, const std::vector<int>& segments,
                      size_t num_segments) {
-  CheckSegments(segments, a.rows(), num_segments);
   auto an = a.node();
   std::vector<int> seg = segments;
-  std::vector<float> counts(num_segments, 0.0f);
-  for (int s : seg) counts[static_cast<size_t>(s)] += 1.0f;
-  Matrix out(num_segments, a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.value().RowPtr(r);
-    float* dst = out.RowPtr(static_cast<size_t>(seg[r]));
-    for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
-  }
-  for (size_t s = 0; s < num_segments; ++s) {
-    if (counts[s] > 0.0f) {
-      float* row = out.RowPtr(s);
-      for (size_t c = 0; c < a.cols(); ++c) row[c] /= counts[s];
-    }
-  }
+  std::vector<float> counts;
+  Matrix out;
+  tensor::SegmentMeanInto(&out, a.value(), segments, num_segments, &counts);
   return MakeOp(std::move(out), {an}, [an, seg, counts](Node& self) {
     Matrix g(an->value.rows(), an->value.cols());
     for (size_t r = 0; r < g.rows(); ++r) {
@@ -493,30 +419,10 @@ Variable SegmentMean(const Variable& a, const std::vector<int>& segments,
 
 Variable SegmentSoftmax(const Variable& a, const std::vector<int>& segments,
                         size_t num_segments) {
-  AHNTP_CHECK_EQ(a.cols(), 1u);
-  CheckSegments(segments, a.rows(), num_segments);
   auto an = a.node();
   std::vector<int> seg = segments;
-  const size_t n = a.rows();
-  // Shifted exp for numerical stability.
-  std::vector<float> max_per_seg(num_segments,
-                                 -std::numeric_limits<float>::infinity());
-  for (size_t r = 0; r < n; ++r) {
-    size_t s = static_cast<size_t>(seg[r]);
-    max_per_seg[s] = std::max(max_per_seg[s], a.value().At(r, 0));
-  }
-  std::vector<double> sum_per_seg(num_segments, 0.0);
-  Matrix out(n, 1);
-  for (size_t r = 0; r < n; ++r) {
-    size_t s = static_cast<size_t>(seg[r]);
-    float e = std::exp(a.value().At(r, 0) - max_per_seg[s]);
-    out.At(r, 0) = e;
-    sum_per_seg[s] += e;
-  }
-  for (size_t r = 0; r < n; ++r) {
-    size_t s = static_cast<size_t>(seg[r]);
-    out.At(r, 0) = static_cast<float>(out.At(r, 0) / std::max(sum_per_seg[s], 1e-30));
-  }
+  Matrix out;
+  tensor::SegmentSoftmaxInto(&out, a.value(), segments, num_segments);
   return MakeOp(std::move(out), {an}, [an, seg, num_segments](Node& self) {
     // dX_i = y_i * (dY_i - sum_{j in seg(i)} dY_j y_j)
     std::vector<double> weighted(num_segments, 0.0);
@@ -537,13 +443,10 @@ Variable SegmentSoftmax(const Variable& a, const std::vector<int>& segments,
 
 Variable RowL2Normalize(const Variable& a, float epsilon) {
   auto an = a.node();
-  Matrix norms = tensor::RowNorms(a.value(), epsilon);
-  Matrix out = a.value();
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float inv = 1.0f / norms.At(r, 0);
-    float* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
-  }
+  Matrix norms;
+  tensor::RowNormsInto(&norms, a.value(), epsilon);
+  Matrix out;
+  tensor::DivRowsByNormsInto(&out, a.value(), norms);
   return MakeOp(std::move(out), {an}, [an, norms](Node& self) {
     // y = x / n; dX = (dY - y * dot(dY, y)) / n, per row.
     Matrix g(self.value.rows(), self.value.cols());
@@ -563,17 +466,10 @@ Variable RowL2Normalize(const Variable& a, float epsilon) {
 }
 
 Variable RowwiseDot(const Variable& a, const Variable& b) {
-  AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   auto an = a.node();
   auto bn = b.node();
-  Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* arow = a.value().RowPtr(r);
-    const float* brow = b.value().RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) acc += static_cast<double>(arow[c]) * brow[c];
-    out.At(r, 0) = static_cast<float>(acc);
-  }
+  Matrix out;
+  tensor::RowwiseDotInto(&out, a.value(), b.value());
   return MakeOp(std::move(out), {an, bn}, [an, bn](Node& self) {
     for (size_t r = 0; r < self.value.rows(); ++r) {
       float g = self.grad.At(r, 0);
@@ -602,19 +498,8 @@ Variable PairwiseCosine(const Variable& a, const Variable& b, float epsilon) {
 
 Variable RowSoftmax(const Variable& a) {
   auto an = a.node();
-  Matrix out = a.value();
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
-    float max_v = row[0];
-    for (size_t c = 1; c < out.cols(); ++c) max_v = std::max(max_v, row[c]);
-    double sum = 0.0;
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
-    }
-    float inv = static_cast<float>(1.0 / std::max(sum, 1e-30));
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
-  }
+  Matrix out;
+  tensor::RowSoftmaxInto(&out, a.value());
   return MakeOp(std::move(out), {an}, [an](Node& self) {
     Matrix g(self.value.rows(), self.value.cols());
     for (size_t r = 0; r < g.rows(); ++r) {

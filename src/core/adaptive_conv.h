@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "hypergraph/hypergraph.h"
 #include "nn/linear.h"
+#include "tensor/workspace.h"
 
 namespace ahntp::core {
 
@@ -36,7 +37,12 @@ class AdaptiveHypergraphConv : public nn::Module {
   /// x is (num_vertices x in_features); returns (num_vertices x out).
   autograd::Variable Forward(const autograd::Variable& x) const;
 
+  /// Tape-free forward; bit-identical to Forward(). Returns a `ws` buffer.
+  /// Does not update last_attention() — explanations stay on the tape path.
+  tensor::Matrix& Infer(const tensor::Matrix& x, tensor::Workspace* ws) const;
+
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
   size_t out_features() const { return out_features_; }
   bool use_attention() const { return use_attention_; }

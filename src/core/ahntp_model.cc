@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "graph/pagerank.h"
+#include "nn/infer.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::core {
 
@@ -81,7 +83,6 @@ AhntpModel::Branch AhntpModel::MakeBranch(const Hypergraph& hg, size_t in_dim,
 }
 
 Variable AhntpModel::RunBranch(const Branch& branch, const Variable& x) {
-  branch.feature_mlp->SetTraining(training_);
   Variable h = branch.feature_mlp->Forward(x);
   for (size_t i = 0; i < branch.convs.size(); ++i) {
     h = branch.convs[i]->Forward(h);
@@ -96,6 +97,30 @@ Variable AhntpModel::EncodeUsers() {
   Variable node_embedding = RunBranch(node_branch_, features_);
   Variable structure_embedding = RunBranch(structure_branch_, features_);
   return autograd::ConcatCols({node_embedding, structure_embedding});
+}
+
+tensor::Matrix& AhntpModel::InferBranch(const Branch& branch,
+                                        const tensor::Matrix& x,
+                                        tensor::Workspace* ws) {
+  const tensor::Matrix* h = &nn::InferMlp(*branch.feature_mlp, x, ws);
+  tensor::Matrix* out = nullptr;
+  for (const auto& conv : branch.convs) {
+    out = &conv->Infer(*h, ws);
+    h = out;
+  }
+  return *out;
+}
+
+tensor::Matrix AhntpModel::InferUsers(tensor::Workspace* ws) {
+  tensor::Matrix& node_embedding =
+      InferBranch(node_branch_, features_.value(), ws);
+  tensor::Matrix& structure_embedding =
+      InferBranch(structure_branch_, features_.value(), ws);
+  tensor::Matrix* out = ws->Acquire(
+      node_embedding.rows(),
+      node_embedding.cols() + structure_embedding.cols());
+  tensor::ConcatColsInto(out, {&node_embedding, &structure_embedding});
+  return *out;
 }
 
 std::vector<AhntpModel::HyperedgeInfluence> AhntpModel::ExplainUser(
@@ -154,6 +179,15 @@ std::vector<Variable> AhntpModel::Parameters() const {
     }
   }
   return params;
+}
+
+std::vector<nn::Module*> AhntpModel::Submodules() {
+  std::vector<nn::Module*> subs;
+  for (Branch* branch : {&node_branch_, &structure_branch_}) {
+    subs.push_back(branch->feature_mlp.get());
+    for (const auto& conv : branch->convs) subs.push_back(conv.get());
+  }
+  return subs;
 }
 
 }  // namespace ahntp::core

@@ -57,11 +57,13 @@ class AhntpModel : public models::Encoder {
   AhntpModel(const models::ModelInputs& inputs, const AhntpConfig& config);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override {
     return 2 * config_.hidden_dims.back();
   }
   std::string name() const override { return "AHNTP"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
   const AhntpConfig& config() const { return config_; }
   const hypergraph::Hypergraph& node_hypergraph() const { return node_hg_; }
@@ -101,6 +103,8 @@ class AhntpModel : public models::Encoder {
                     Rng* rng);
   autograd::Variable RunBranch(const Branch& branch,
                                const autograd::Variable& x);
+  tensor::Matrix& InferBranch(const Branch& branch, const tensor::Matrix& x,
+                              tensor::Workspace* ws);
 
   AhntpConfig config_;
   autograd::Variable features_;

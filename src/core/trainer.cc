@@ -286,6 +286,8 @@ Result<TrainResult> Trainer::Fit(
         metrics::GetGauge("trainer.rollback_count").Set(rollbacks);
       }
       RestoreParameters(&params, good_snapshot);
+      // Restored weights invalidate any cached inference embeddings.
+      model->InvalidateCaches();
       // Stale Adam moments would re-inject the poisoned step after the
       // rollback, so optimizer state restarts clean at the reduced rate.
       optimizer.Reset();
@@ -356,6 +358,7 @@ Result<TrainResult> Trainer::Fit(
   }
   if (early_stopping && !best_snapshot.empty()) {
     RestoreParameters(&params, best_snapshot);
+    model->InvalidateCaches();
     result.best_epoch = best_epoch;
     result.best_validation_auc = best_val_auc;
   } else {

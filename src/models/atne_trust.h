@@ -23,9 +23,13 @@ class AtneTrust : public Encoder {
   explicit AtneTrust(const ModelInputs& inputs);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override { return out_dim_; }
   std::string name() const override { return "AtNE-Trust"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override {
+    return {attr_encoder_.get(), attr_decoder_.get(), fusion_.get()};
+  }
 
   bool HasAuxLoss() const override { return true; }
   autograd::Variable AuxLoss() const override { return last_reconstruction_; }

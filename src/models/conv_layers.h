@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "models/graph_ops.h"
 #include "nn/linear.h"
+#include "tensor/workspace.h"
 
 namespace ahntp::models {
 
@@ -19,9 +20,13 @@ class SparseConvLayer : public nn::Module {
 
   autograd::Variable Forward(const autograd::Variable& x) const;
 
+  /// Tape-free forward; bit-identical to Forward(). Returns a `ws` buffer.
+  tensor::Matrix& Infer(const tensor::Matrix& x, tensor::Workspace* ws) const;
+
   std::vector<autograd::Variable> Parameters() const override {
     return linear_.Parameters();
   }
+  std::vector<nn::Module*> Submodules() override { return {&linear_}; }
 
  private:
   tensor::CsrMatrix op_;
@@ -38,7 +43,11 @@ class GatLayer : public nn::Module {
 
   autograd::Variable Forward(const autograd::Variable& x) const;
 
+  /// Tape-free forward; bit-identical to Forward(). Returns a `ws` buffer.
+  tensor::Matrix& Infer(const tensor::Matrix& x, tensor::Workspace* ws) const;
+
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override { return {&transform_}; }
 
  private:
   AttentionEdges edges_;

@@ -9,6 +9,7 @@
 #include "graph/digraph.h"
 #include "hypergraph/hypergraph.h"
 #include "nn/module.h"
+#include "tensor/workspace.h"
 
 namespace ahntp::models {
 
@@ -35,6 +36,21 @@ class Encoder : public nn::Module {
  public:
   /// Embeds all users. Respects Module::training() for dropout.
   virtual autograd::Variable EncodeUsers() = 0;
+
+  /// Tape-free eval-mode embedding of all users, bit-identical to
+  /// EncodeUsers() with training off. Intermediates live in `ws`; the
+  /// returned matrix is an owned copy (it outlives the workspace reset —
+  /// InferencePlan caches it across batches). The default falls back to
+  /// running the tape in eval mode, so new encoders are correct before
+  /// they are fast; encoders override it with a kernel-level pass.
+  virtual tensor::Matrix InferUsers(tensor::Workspace* ws) {
+    (void)ws;
+    bool was_training = training();
+    SetTraining(false);
+    tensor::Matrix out = EncodeUsers().value();
+    SetTraining(was_training);
+    return out;
+  }
 
   /// Output embedding width.
   virtual size_t embedding_dim() const = 0;

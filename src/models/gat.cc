@@ -1,6 +1,7 @@
 #include "models/gat.h"
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::models {
 
@@ -33,12 +34,29 @@ autograd::Variable Gat::EncodeUsers() {
   return h;
 }
 
+tensor::Matrix Gat::InferUsers(tensor::Workspace* ws) {
+  const tensor::Matrix* h = &features_.value();
+  tensor::Matrix* out = nullptr;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out = &layers_[i]->Infer(*h, ws);
+    if (i + 1 < layers_.size()) tensor::ReluInto(out, *out);
+    h = out;
+  }
+  return *out;
+}
+
 std::vector<autograd::Variable> Gat::Parameters() const {
   std::vector<autograd::Variable> params;
   for (const auto& layer : layers_) {
     for (auto& p : layer->Parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<nn::Module*> Gat::Submodules() {
+  std::vector<nn::Module*> subs;
+  for (const auto& layer : layers_) subs.push_back(layer.get());
+  return subs;
 }
 
 }  // namespace ahntp::models

@@ -1,6 +1,7 @@
 #include "models/hgnn_plus.h"
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::models {
 
@@ -31,12 +32,29 @@ autograd::Variable HgnnPlus::EncodeUsers() {
   return h;
 }
 
+tensor::Matrix HgnnPlus::InferUsers(tensor::Workspace* ws) {
+  const tensor::Matrix* h = &features_.value();
+  tensor::Matrix* out = nullptr;
+  for (const auto& layer : layers_) {
+    out = &layer->Infer(*h, ws);
+    tensor::ReluInto(out, *out);
+    h = out;
+  }
+  return *out;
+}
+
 std::vector<autograd::Variable> HgnnPlus::Parameters() const {
   std::vector<autograd::Variable> params;
   for (const auto& layer : layers_) {
     for (auto& p : layer->Parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<nn::Module*> HgnnPlus::Submodules() {
+  std::vector<nn::Module*> subs;
+  for (const auto& layer : layers_) subs.push_back(layer.get());
+  return subs;
 }
 
 }  // namespace ahntp::models

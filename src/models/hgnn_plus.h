@@ -18,9 +18,11 @@ class HgnnPlus : public Encoder {
   explicit HgnnPlus(const ModelInputs& inputs);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override { return out_dim_; }
   std::string name() const override { return "HGNN+"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
  private:
   autograd::Variable features_;

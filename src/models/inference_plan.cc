@@ -1,0 +1,82 @@
+#include "models/inference_plan.h"
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "models/trust_predictor.h"
+#include "nn/infer.h"
+#include "tensor/kernels.h"
+
+namespace ahntp::models {
+
+InferencePlan::InferencePlan(TrustPredictor* predictor)
+    : predictor_(predictor) {
+  AHNTP_CHECK(predictor_ != nullptr);
+}
+
+void InferencePlan::EnsureBuilt() {
+  if (built_) {
+    AHNTP_METRIC_COUNT("infer.cache_hits", 1);
+    return;
+  }
+  AHNTP_METRIC_COUNT("infer.cache_misses", 1);
+  AHNTP_METRIC_COUNT("infer.plan_builds", 1);
+  // The all-user encode needs per-layer buffers far larger than the scoring
+  // chain; a throwaway arena keeps that storage from lingering in ws_.
+  tensor::Workspace encode_ws;
+  embeddings_ = predictor_->encoder().InferUsers(&encode_ws);
+  built_ = true;
+}
+
+std::vector<float> InferencePlan::Score(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_CHECK(!pairs.empty());
+  EnsureBuilt();
+  ws_.Reset();
+  const size_t n = pairs.size();
+  src_idx_.clear();
+  dst_idx_.clear();
+  src_idx_.reserve(n);
+  dst_idx_.reserve(n);
+  for (const data::TrustPair& p : pairs) {
+    src_idx_.push_back(p.src);
+    dst_idx_.push_back(p.dst);
+  }
+
+  using tensor::Matrix;
+  Matrix* src_emb = ws_.Acquire(n, embeddings_.cols());
+  tensor::GatherRowsInto(src_emb, embeddings_, src_idx_);
+  Matrix* dst_emb = ws_.Acquire(n, embeddings_.cols());
+  tensor::GatherRowsInto(dst_emb, embeddings_, dst_idx_);
+  Matrix& t_src = nn::InferMlp(predictor_->tower_src(), *src_emb, &ws_);
+  Matrix& t_dst = nn::InferMlp(predictor_->tower_dst(), *dst_emb, &ws_);
+
+  // PairwiseCosine: row-L2-normalize both sides (epsilon matches the tape
+  // default), then row-wise dot.
+  Matrix* norms = ws_.Acquire(n, 1);
+  tensor::RowNormsInto(norms, t_src, 1e-12f);
+  Matrix* n_src = ws_.Acquire(n, t_src.cols());
+  tensor::DivRowsByNormsInto(n_src, t_src, *norms);
+  tensor::RowNormsInto(norms, t_dst, 1e-12f);
+  Matrix* n_dst = ws_.Acquire(n, t_dst.cols());
+  tensor::DivRowsByNormsInto(n_dst, t_dst, *norms);
+  Matrix* cosine = ws_.Acquire(n, 1);
+  tensor::RowwiseDotInto(cosine, *n_src, *n_dst);
+
+  // p = (1 + cos) / 2 as the tape computes it: Scale then AddScalar, two
+  // separately rounded kernel passes.
+  Matrix* prob = ws_.Acquire(n, 1);
+  tensor::ScaleInto(prob, *cosine, 0.5f);
+  tensor::AddScalarInto(prob, *prob, 0.5f);
+
+  std::vector<float> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = prob->At(i, 0);
+  ws_.Reset();
+  if (metrics::Enabled()) {
+    static metrics::Gauge& ws_bytes =
+        metrics::GetGauge("infer.workspace_bytes");
+    ws_bytes.Set(static_cast<double>(ws_.bytes()));
+  }
+  return out;
+}
+
+}  // namespace ahntp::models

@@ -1,0 +1,65 @@
+#ifndef AHNTP_MODELS_INFERENCE_PLAN_H_
+#define AHNTP_MODELS_INFERENCE_PLAN_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "tensor/matrix.h"
+#include "tensor/workspace.h"
+
+namespace ahntp::models {
+
+class TrustPredictor;
+
+/// Compiled inference state for one TrustPredictor: the all-user embedding
+/// table (encoded once, reused across every batch until invalidated) plus a
+/// Workspace arena for the per-batch scoring chain. Score() is bit-identical
+/// to the tape path (Forward() in eval mode) at any --threads=N because both
+/// run the exact same tensor kernels in the same order.
+///
+/// Lifecycle: parameters changed (training step, checkpoint load, reload)
+/// => Invalidate(); the next Score() re-encodes. TrustPredictor owns one
+/// plan and invalidates it from InvalidateCaches() and training forwards;
+/// serve::ModelBackend additionally warms the plan before publishing a
+/// predictor so the first live request never pays the encode.
+///
+/// Not thread-safe: one plan (like one Workspace) per scoring thread.
+class InferencePlan {
+ public:
+  /// `predictor` must outlive the plan; the plan holds no ownership.
+  explicit InferencePlan(TrustPredictor* predictor);
+
+  /// Encodes all users through the tape-free path if the cache is stale.
+  /// Counts infer.plan_builds / infer.cache_misses; a fresh cache counts
+  /// infer.cache_hits instead. Encoding uses a throwaway arena so the
+  /// steady-state workspace only holds the (small) scoring buffers.
+  void EnsureBuilt();
+
+  /// Marks the embedding cache stale. Cheap; storage is kept.
+  void Invalidate() { built_ = false; }
+
+  bool built() const { return built_; }
+
+  /// Probabilities for a batch of pairs, read from the cached embedding
+  /// table. Steady state performs zero heap allocations: every intermediate
+  /// lives in the arena and the index buffers reuse their capacity.
+  std::vector<float> Score(const std::vector<data::TrustPair>& pairs);
+
+  /// Cached (num_users x d) embeddings; valid after EnsureBuilt().
+  const tensor::Matrix& embeddings() const { return embeddings_; }
+
+  /// The scoring arena (exposed for the allocation regression tests).
+  const tensor::Workspace& workspace() const { return ws_; }
+
+ private:
+  TrustPredictor* predictor_;
+  tensor::Workspace ws_;        // scoring arena, reset per batch
+  tensor::Matrix embeddings_;   // all-user embedding cache
+  std::vector<int> src_idx_;    // reused per batch
+  std::vector<int> dst_idx_;
+  bool built_ = false;
+};
+
+}  // namespace ahntp::models
+
+#endif  // AHNTP_MODELS_INFERENCE_PLAN_H_

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "models/graph_ops.h"
+#include "nn/infer.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::models {
 
@@ -69,6 +71,27 @@ autograd::Variable KgTrust::EncodeUsers() {
   return h;
 }
 
+tensor::Matrix KgTrust::InferUsers(tensor::Workspace* ws) {
+  using tensor::Matrix;
+  Matrix& knowledge = nn::InferLinear(*knowledge_proj_, knowledge_.value(), ws);
+  tensor::ReluInto(&knowledge, knowledge);
+  Matrix* h = ws->Acquire(features_.rows(),
+                          features_.cols() + knowledge.cols());
+  tensor::ConcatColsInto(h, {&features_.value(), &knowledge});
+  Matrix* out = nullptr;
+  for (size_t i = 0; i < self_weights_.size(); ++i) {
+    Matrix& self_term = nn::InferLinear(*self_weights_[i], *h, ws);
+    Matrix* prop = ws->Acquire(adjacency_op_.rows(), h->cols());
+    tensor::SpMMInto(prop, adjacency_op_, *h);
+    Matrix& nbr_term = nn::InferLinear(*nbr_weights_[i], *prop, ws);
+    tensor::AddInto(&self_term, self_term, nbr_term);
+    tensor::ReluInto(&self_term, self_term);
+    out = &self_term;
+    h = out;
+  }
+  return *out;
+}
+
 std::vector<autograd::Variable> KgTrust::Parameters() const {
   std::vector<autograd::Variable> params = knowledge_proj_->Parameters();
   for (const auto& layer : self_weights_) {
@@ -78,6 +101,13 @@ std::vector<autograd::Variable> KgTrust::Parameters() const {
     for (auto& p : layer->Parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<nn::Module*> KgTrust::Submodules() {
+  std::vector<nn::Module*> subs = {knowledge_proj_.get()};
+  for (const auto& layer : self_weights_) subs.push_back(layer.get());
+  for (const auto& layer : nbr_weights_) subs.push_back(layer.get());
+  return subs;
 }
 
 }  // namespace ahntp::models

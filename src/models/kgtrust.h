@@ -19,9 +19,11 @@ class KgTrust : public Encoder {
   explicit KgTrust(const ModelInputs& inputs);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override { return out_dim_; }
   std::string name() const override { return "KGTrust"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
  private:
   autograd::Variable features_;

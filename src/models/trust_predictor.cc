@@ -1,6 +1,7 @@
 #include "models/trust_predictor.h"
 
 #include "common/check.h"
+#include "models/inference_plan.h"
 
 namespace ahntp::models {
 
@@ -22,12 +23,15 @@ TrustPredictor::TrustPredictor(std::shared_ptr<Encoder> encoder,
                                          config.dropout);
 }
 
+TrustPredictor::~TrustPredictor() = default;
+
 TrustPredictor::PairOutput TrustPredictor::Forward(
     const std::vector<data::TrustPair>& pairs) {
   AHNTP_CHECK(!pairs.empty());
-  encoder_->SetTraining(training_);
-  tower_src_->SetTraining(training_);
-  tower_dst_->SetTraining(training_);
+  // A training forward precedes a parameter update, so any cached
+  // embeddings are about to go stale. (SetTraining now recurses through
+  // Submodules(), so the per-call flag pushes are gone.)
+  if (training_ && plan_) plan_->Invalidate();
   Variable embeddings = encoder_->EncodeUsers();
   std::vector<int> src_idx;
   std::vector<int> dst_idx;
@@ -54,13 +58,21 @@ std::vector<float> TrustPredictor::PredictProbabilities(
     const std::vector<data::TrustPair>& pairs) {
   bool was_training = training();
   SetTraining(false);
-  PairOutput out = Forward(pairs);
+  std::vector<float> probs = Plan().Score(pairs);
   SetTraining(was_training);
-  std::vector<float> probs(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    probs[i] = out.probability.value().At(i, 0);
-  }
   return probs;
+}
+
+void TrustPredictor::WarmInferencePlan() { Plan().EnsureBuilt(); }
+
+void TrustPredictor::InvalidateCaches() {
+  nn::Module::InvalidateCaches();
+  if (plan_) plan_->Invalidate();
+}
+
+InferencePlan& TrustPredictor::Plan() {
+  if (!plan_) plan_ = std::make_unique<InferencePlan>(this);
+  return *plan_;
 }
 
 std::vector<Variable> TrustPredictor::Parameters() const {
@@ -68,6 +80,10 @@ std::vector<Variable> TrustPredictor::Parameters() const {
   for (auto& p : tower_src_->Parameters()) params.push_back(p);
   for (auto& p : tower_dst_->Parameters()) params.push_back(p);
   return params;
+}
+
+std::vector<nn::Module*> TrustPredictor::Submodules() {
+  return {encoder_.get(), tower_src_.get(), tower_dst_.get()};
 }
 
 }  // namespace ahntp::models

@@ -9,6 +9,8 @@
 
 namespace ahntp::models {
 
+class InferencePlan;
+
 /// Configuration of the pairwise head shared by all models.
 struct TrustPredictorConfig {
   /// Tower widths appended after the encoder output (Eqs. 17-18); the last
@@ -29,6 +31,7 @@ class TrustPredictor : public nn::Module {
  public:
   TrustPredictor(std::shared_ptr<Encoder> encoder,
                  const TrustPredictorConfig& config, Rng* rng);
+  ~TrustPredictor() override;
 
   /// Outputs for a batch of user pairs.
   struct PairOutput {
@@ -40,19 +43,39 @@ class TrustPredictor : public nn::Module {
   /// Encodes all users and scores the given pairs. Respects training().
   PairOutput Forward(const std::vector<data::TrustPair>& pairs);
 
-  /// Inference helper: probabilities for pairs, eval mode, no grad usage.
+  /// Inference helper: probabilities for pairs. Routes through the compiled
+  /// InferencePlan (tape-free, cached embeddings, workspace arena); results
+  /// are bit-identical to Forward() in eval mode at any thread count. Saves
+  /// and restores the module training flag around the call.
   std::vector<float> PredictProbabilities(
       const std::vector<data::TrustPair>& pairs);
 
+  /// Builds the inference plan eagerly (encodes all users) so the first
+  /// PredictProbabilities call is cheap. serve::ModelBackend calls this
+  /// before publishing a predictor.
+  void WarmInferencePlan();
+
+  /// Drops the cached embeddings/plan in addition to the recursive module
+  /// default. Called after parameter loads and restores.
+  void InvalidateCaches() override;
+
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
   Encoder& encoder() { return *encoder_; }
   const Encoder& encoder() const { return *encoder_; }
+  const nn::Mlp& tower_src() const { return *tower_src_; }
+  const nn::Mlp& tower_dst() const { return *tower_dst_; }
+  /// The compiled plan (created lazily); for tests and diagnostics.
+  const InferencePlan* inference_plan() const { return plan_.get(); }
 
  private:
+  InferencePlan& Plan();
+
   std::shared_ptr<Encoder> encoder_;
   std::unique_ptr<nn::Mlp> tower_src_;
   std::unique_ptr<nn::Mlp> tower_dst_;
+  std::unique_ptr<InferencePlan> plan_;
 };
 
 }  // namespace ahntp::models

@@ -27,9 +27,11 @@ class UniGcn : public Encoder {
   explicit UniGcn(const ModelInputs& inputs);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override { return out_dim_; }
   std::string name() const override { return "UniGCN"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
  private:
   autograd::Variable features_;
@@ -47,9 +49,11 @@ class UniGat : public Encoder {
   explicit UniGat(const ModelInputs& inputs);
 
   autograd::Variable EncodeUsers() override;
+  tensor::Matrix InferUsers(tensor::Workspace* ws) override;
   size_t embedding_dim() const override { return out_dim_; }
   std::string name() const override { return "UniGAT"; }
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<nn::Module*> Submodules() override;
 
  private:
   autograd::Variable features_;

@@ -20,6 +20,9 @@ class LayerNorm : public Module {
   }
 
   size_t features() const { return features_; }
+  float epsilon() const { return epsilon_; }
+  const autograd::Variable& gain() const { return gain_; }
+  const autograd::Variable& bias() const { return bias_; }
 
  private:
   size_t features_;

@@ -20,9 +20,12 @@ class Linear : public Module {
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
+  bool use_bias() const { return use_bias_; }
 
   autograd::Variable& weight() { return weight_; }
   autograd::Variable& bias() { return bias_; }
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
 
  private:
   size_t in_features_;

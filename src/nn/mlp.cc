@@ -55,4 +55,10 @@ std::vector<autograd::Variable> Mlp::Parameters() const {
   return params;
 }
 
+std::vector<Module*> Mlp::Submodules() {
+  std::vector<Module*> subs;
+  for (const auto& layer : layers_) subs.push_back(layer.get());
+  return subs;
+}
+
 }  // namespace ahntp::nn

@@ -30,10 +30,14 @@ class Mlp : public Module {
   autograd::Variable Forward(const autograd::Variable& x) const;
 
   std::vector<autograd::Variable> Parameters() const override;
+  std::vector<Module*> Submodules() override;
 
   size_t in_features() const { return layers_.front()->in_features(); }
   size_t out_features() const { return layers_.back()->out_features(); }
   size_t num_layers() const { return layers_.size(); }
+  const Linear& layer(size_t i) const { return *layers_[i]; }
+  Activation hidden_activation() const { return hidden_activation_; }
+  Activation output_activation() const { return output_activation_; }
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;

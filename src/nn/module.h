@@ -16,9 +16,27 @@ class Module {
   /// All trainable parameter handles of this module (and submodules).
   virtual std::vector<autograd::Variable> Parameters() const = 0;
 
-  /// Switches train/eval behaviour (dropout etc.).
-  void SetTraining(bool training) { training_ = training; }
+  /// Direct child modules. Composite modules override this so that
+  /// SetTraining and InvalidateCaches reach every layer without each
+  /// composite re-implementing the recursion (and forgetting a child).
+  virtual std::vector<Module*> Submodules() { return {}; }
+
+  /// Switches train/eval behaviour (dropout etc.) for this module and,
+  /// via Submodules(), everything beneath it.
+  void SetTraining(bool training) {
+    training_ = training;
+    for (Module* sub : Submodules()) sub->SetTraining(training);
+  }
   bool training() const { return training_; }
+
+  /// Drops any derived state computed from the current parameter values
+  /// (e.g. a compiled inference plan). Called after anything that mutates
+  /// parameters outside the optimizer's view — deserialization, parameter
+  /// restore — and recurses into Submodules(). Overrides must call the
+  /// base (or recurse themselves).
+  virtual void InvalidateCaches() {
+    for (Module* sub : Submodules()) sub->InvalidateCaches();
+  }
 
   /// Total number of scalar parameters.
   size_t NumParameters() const {

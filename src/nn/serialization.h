@@ -34,7 +34,11 @@ inline Status SaveModule(const Module& module, const std::string& path) {
 }
 inline Status LoadModule(Module* module, const std::string& path) {
   std::vector<autograd::Variable> params = module->Parameters();
-  return LoadParameters(&params, path);
+  Status status = LoadParameters(&params, path);
+  // Loading rewrites parameter values in place, so any state derived from
+  // the old values (compiled inference plans, embedding caches) is stale.
+  if (status.ok()) module->InvalidateCaches();
+  return status;
 }
 
 }  // namespace ahntp::nn

@@ -16,6 +16,10 @@ ModelBackend::ModelBackend(Factory factory,
     : factory_(std::move(factory)), model_(std::move(initial)) {
   AHNTP_CHECK(factory_ != nullptr) << "ModelBackend needs a model factory";
   AHNTP_CHECK(model_ != nullptr) << "ModelBackend needs an initial model";
+  // Warm before the first request: encoding all users dominates cold-start
+  // latency, and the dispatcher thread should only ever pay the cached
+  // scoring path.
+  model_->WarmInferencePlan();
 }
 
 Result<std::vector<float>> ModelBackend::ScoreBatch(
@@ -43,9 +47,14 @@ Status ModelBackend::Reload(const std::string& checkpoint_path) {
     AHNTP_CHECK(staged != nullptr) << "model factory returned null";
     // LoadModule validates magic, parameter count, shapes, and the CRC32
     // footer; the staged instance absorbs any partial state, never the
-    // live model.
+    // live model. A successful load also invalidates the staged instance's
+    // caches, so the plan warmed below encodes the *loaded* weights.
     status = nn::LoadModule(staged.get(), checkpoint_path);
     if (status.ok()) {
+      // Warm outside the lock: the expensive all-user encode runs against
+      // the staged instance while the old model keeps serving; the swap
+      // itself stays O(1).
+      staged->WarmInferencePlan();
       std::lock_guard<std::mutex> lock(mu_);
       model_ = std::move(staged);
       ++generation_;

@@ -44,6 +44,14 @@ class ScoreBackend {
 /// In-flight batches hold a shared_ptr snapshot, so a swap never pulls the
 /// model out from under them.
 ///
+/// Scoring goes through the predictor's compiled InferencePlan: the
+/// all-user embedding table is encoded once per model generation (warmed at
+/// construction and during reload staging, before the swap) and every batch
+/// reuses it through a per-predictor workspace arena, so the steady-state
+/// scoring loop never touches the heap. A reload publishes a fresh
+/// predictor whose caches were invalidated by the checkpoint load and
+/// re-warmed from the loaded weights — stale embeddings can never serve.
+///
 /// Fault sites: "serve.infer" (transient Unavailable before scoring, the
 /// retry path), "serve.nan" (poisons the first score with a NaN, the
 /// non-finite breaker path), "serve.reload" (I/O failure during reload).

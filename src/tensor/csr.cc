@@ -267,15 +267,16 @@ namespace {
 /// SpMMTransposed fast path (which must not inflate the SpMM counters —
 /// which path runs depends on the thread count, and counter values must
 /// not; see common/metrics.h).
-Matrix SpMMKernel(const CsrMatrix& a, const Matrix& b) {
-  Matrix out(a.rows(), b.cols());
+void SpMMKernelInto(Matrix* out, const CsrMatrix& a, const Matrix& b) {
+  out->ResetShape(a.rows(), b.cols());
+  out->Fill(0.0f);  // the row kernel accumulates into the reused buffer
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
   const size_t n = b.cols();
   ParallelFor(0, a.rows(), RowGrain(a, n), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
-      float* orow = out.RowPtr(r);
+      float* orow = out->RowPtr(r);
       for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
         float av = values[i];
         const float* brow = b.RowPtr(static_cast<size_t>(col_idx[i]));
@@ -283,17 +284,34 @@ Matrix SpMMKernel(const CsrMatrix& a, const Matrix& b) {
       }
     }
   });
+}
+
+Matrix SpMMKernel(const CsrMatrix& a, const Matrix& b) {
+  Matrix out;
+  SpMMKernelInto(&out, a, b);
   return out;
+}
+
+void CountSpMM(const CsrMatrix& a, const Matrix& b) {
+  AHNTP_METRIC_COUNT("tensor.spmm.calls", 1);
+  AHNTP_METRIC_COUNT("tensor.spmm.flops",
+                     static_cast<int64_t>(2 * a.nnz() * b.cols()));
 }
 
 }  // namespace
 
 Matrix SpMM(const CsrMatrix& a, const Matrix& b) {
   AHNTP_CHECK_EQ(a.cols(), b.rows());
-  AHNTP_METRIC_COUNT("tensor.spmm.calls", 1);
-  AHNTP_METRIC_COUNT("tensor.spmm.flops",
-                     static_cast<int64_t>(2 * a.nnz() * b.cols()));
+  CountSpMM(a, b);
   return SpMMKernel(a, b);
+}
+
+void SpMMInto(Matrix* out, const CsrMatrix& a, const Matrix& b) {
+  AHNTP_CHECK(out != nullptr && out != &b)
+      << "SpMMInto cannot alias its dense input";
+  AHNTP_CHECK_EQ(a.cols(), b.rows());
+  CountSpMM(a, b);
+  SpMMKernelInto(out, a, b);
 }
 
 Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {

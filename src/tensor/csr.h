@@ -111,6 +111,10 @@ std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x);
 /// out = A * B where A is sparse and B dense. Shapes: (m x k) * (k x n).
 Matrix SpMM(const CsrMatrix& a, const Matrix& b);
 
+/// SpMM writing into a reusable buffer (`out` reshaped via ResetShape, no
+/// allocation once warmed; must not alias `b`). Bit-identical to SpMM.
+void SpMMInto(Matrix* out, const CsrMatrix& a, const Matrix& b);
+
 /// out = A^T * B. Small inputs use the scatter form without materializing
 /// the transpose; large inputs materialize A^T and run row-parallel (both
 /// forms are bit-identical, see the implementation note).

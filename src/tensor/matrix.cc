@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace ahntp::tensor {
 
@@ -73,6 +74,14 @@ void Matrix::Fill(float value) {
 
 void Matrix::Reshape(size_t rows, size_t cols) {
   AHNTP_CHECK_EQ(rows * cols, data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::ResetShape(size_t rows, size_t cols) {
+  // vector::resize never reallocates when the new size fits the current
+  // capacity, so a warmed buffer is reshaped allocation-free.
+  data_.resize(rows * cols);
   rows_ = rows;
   cols_ = cols;
 }
@@ -192,32 +201,26 @@ std::string Matrix::DebugString(size_t max_entries) const {
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
-  Matrix out = a;
-  out += b;
+  Matrix out;
+  AddInto(&out, a, b);
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  Matrix out = a;
-  out -= b;
+  Matrix out;
+  SubInto(&out, a, b);
   return out;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  Matrix out(a.rows(), a.cols());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  ParallelFor(0, out.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
-  });
+  Matrix out;
+  HadamardInto(&out, a, b);
   return out;
 }
 
 Matrix Scale(const Matrix& a, float scalar) {
-  Matrix out = a;
-  out *= scalar;
+  Matrix out;
+  ScaleInto(&out, a, scalar);
   return out;
 }
 
@@ -267,11 +270,12 @@ void MatMulRowBandNT(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
   }
 }
 
-/// Uncounted kernel body; the public MatMul records its metrics exactly
-/// once even on the transpose_a path, which re-enters here after
-/// materializing a^T.
-Matrix MatMulImpl(const Matrix& a, const Matrix& b, bool transpose_a,
-                  bool transpose_b) {
+/// Uncounted kernel body shared by MatMul and MatMulInto; the public
+/// entries record their metrics exactly once even on the transpose_a path,
+/// which re-enters here after materializing a^T. `out` is reshaped (buffer
+/// reuse, see Matrix::ResetShape) and fully overwritten.
+void MatMulIntoImpl(Matrix* out, const Matrix& a, const Matrix& b,
+                    bool transpose_a, bool transpose_b) {
   const size_t m = transpose_a ? a.cols() : a.rows();
   const size_t k = transpose_a ? a.rows() : a.cols();
   const size_t k2 = transpose_b ? b.cols() : b.rows();
@@ -281,47 +285,57 @@ Matrix MatMulImpl(const Matrix& a, const Matrix& b, bool transpose_a,
     // The a^T variants would scatter across output rows if parallelized
     // directly; materializing a^T (itself row-parallel) reduces them to the
     // row-parallel kernels below at O(m*k) extra traffic.
-    return MatMulImpl(a.Transposed(), b, /*transpose_a=*/false, transpose_b);
+    MatMulIntoImpl(out, a.Transposed(), b, /*transpose_a=*/false,
+                   transpose_b);
+    return;
   }
-  Matrix out(m, n);
+  AHNTP_CHECK(out != &a && out != &b) << "MatMulInto cannot alias an input";
+  out->ResetShape(m, n);
   const size_t grain = GrainForCost(k * std::max<size_t>(n, 1));
   if (!transpose_b) {
+    // The NN band kernel accumulates, so the reused buffer is zeroed first
+    // (the NT kernel assigns every element and needs no clear).
+    out->Fill(0.0f);
     ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
-      MatMulRowBandNN(a, b, &out, r0, r1);
+      MatMulRowBandNN(a, b, out, r0, r1);
     });
   } else {
     ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
-      MatMulRowBandNT(a, b, &out, r0, r1);
+      MatMulRowBandNT(a, b, out, r0, r1);
     });
   }
-  return out;
 }
 
-}  // namespace
-
-Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
-              bool transpose_b) {
+void CountMatMul(const Matrix& a, const Matrix& b, bool transpose_a,
+                 bool transpose_b) {
   const size_t m = transpose_a ? a.cols() : a.rows();
   const size_t k = transpose_a ? a.rows() : a.cols();
   const size_t n = transpose_b ? b.rows() : b.cols();
   AHNTP_METRIC_COUNT("tensor.matmul.calls", 1);
   AHNTP_METRIC_COUNT("tensor.matmul.flops",
                      static_cast<int64_t>(2 * m * k * n));
-  return MatMulImpl(a, b, transpose_a, transpose_b);
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool transpose_a,
+              bool transpose_b) {
+  CountMatMul(a, b, transpose_a, transpose_b);
+  Matrix out;
+  MatMulIntoImpl(&out, a, b, transpose_a, transpose_b);
+  return out;
+}
+
+void MatMulInto(Matrix* out, const Matrix& a, const Matrix& b,
+                bool transpose_a, bool transpose_b) {
+  AHNTP_CHECK(out != nullptr);
+  CountMatMul(a, b, transpose_a, transpose_b);
+  MatMulIntoImpl(out, a, b, transpose_a, transpose_b);
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
-  AHNTP_CHECK_EQ(row.rows(), 1u);
-  AHNTP_CHECK_EQ(row.cols(), a.cols());
-  Matrix out = a;
-  const float* brow = row.RowPtr(0);
-  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
-              [&out, brow, cols = a.cols()](size_t r0, size_t r1) {
-                for (size_t r = r0; r < r1; ++r) {
-                  float* orow = out.RowPtr(r);
-                  for (size_t c = 0; c < cols; ++c) orow[c] += brow[c];
-                }
-              });
+  Matrix out;
+  AddRowBroadcastInto(&out, a, row);
   return out;
 }
 
@@ -355,41 +369,14 @@ Matrix ColSums(const Matrix& a) {
 }
 
 Matrix RowNorms(const Matrix& a, float epsilon) {
-  Matrix out(a.rows(), 1);
-  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
-              [&](size_t r0, size_t r1) {
-                for (size_t r = r0; r < r1; ++r) {
-                  double acc = 0.0;
-                  const float* row = a.RowPtr(r);
-                  for (size_t c = 0; c < a.cols(); ++c) {
-                    acc += static_cast<double>(row[c]) * row[c];
-                  }
-                  out.At(r, 0) = static_cast<float>(std::sqrt(acc + epsilon));
-                }
-              });
+  Matrix out;
+  RowNormsInto(&out, a, epsilon);
   return out;
 }
 
 Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
-  AHNTP_CHECK(!parts.empty());
-  size_t rows = parts[0]->rows();
-  size_t cols = 0;
-  for (const Matrix* part : parts) {
-    AHNTP_CHECK_EQ(part->rows(), rows);
-    cols += part->cols();
-  }
-  Matrix out(rows, cols);
-  ParallelFor(0, rows, GrainForCost(cols), [&](size_t r0, size_t r1) {
-    for (size_t r = r0; r < r1; ++r) {
-      float* orow = out.RowPtr(r);
-      size_t offset = 0;
-      for (const Matrix* part : parts) {
-        const float* prow = part->RowPtr(r);
-        for (size_t c = 0; c < part->cols(); ++c) orow[offset + c] = prow[c];
-        offset += part->cols();
-      }
-    }
-  });
+  Matrix out;
+  ConcatColsInto(&out, parts);
   return out;
 }
 
@@ -415,20 +402,129 @@ Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
 }
 
 Matrix GatherRows(const Matrix& a, const std::vector<int>& indices) {
-  Matrix out(indices.size(), a.cols());
+  Matrix out;
+  GatherRowsInto(&out, a, indices);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Out-parameter variants. Each reshapes `out` via ResetShape (buffer reuse,
+// zero steady-state allocations) and performs the exact same per-element
+// float operations as its allocating counterpart, in the same order, so the
+// two families are bit-identical.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  AHNTP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+}
+
+}  // namespace
+
+void AddInto(Matrix* out, const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
+}
+
+void SubInto(Matrix* out, const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
+}
+
+void HadamardInto(Matrix* out, const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
+}
+
+void ScaleInto(Matrix* out, const Matrix& a, float scalar) {
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* po = out->data();
+  ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * scalar;
+  });
+}
+
+void AddScalarInto(Matrix* out, const Matrix& a, float scalar) {
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* po = out->data();
+  for (size_t i = 0; i < out->size(); ++i) po[i] = pa[i] + scalar;
+}
+
+void AddRowBroadcastInto(Matrix* out, const Matrix& a, const Matrix& row) {
+  AHNTP_CHECK_EQ(row.rows(), 1u);
+  AHNTP_CHECK_EQ(row.cols(), a.cols());
+  out->ResetShape(a.rows(), a.cols());
+  const float* brow = row.RowPtr(0);
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [out, &a, brow, cols = a.cols()](size_t r0, size_t r1) {
+                for (size_t r = r0; r < r1; ++r) {
+                  const float* arow = a.RowPtr(r);
+                  float* orow = out->RowPtr(r);
+                  for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] + brow[c];
+                }
+              });
+}
+
+void GatherRowsInto(Matrix* out, const Matrix& a,
+                    const std::vector<int>& indices) {
+  AHNTP_CHECK(out != &a) << "GatherRowsInto cannot alias its input";
   for (size_t i = 0; i < indices.size(); ++i) {
     AHNTP_CHECK(indices[i] >= 0 &&
                 static_cast<size_t>(indices[i]) < a.rows());
   }
+  out->ResetShape(indices.size(), a.cols());
   ParallelFor(0, indices.size(), GrainForCost(a.cols()),
               [&](size_t i0, size_t i1) {
                 for (size_t i = i0; i < i1; ++i) {
                   const float* src = a.RowPtr(static_cast<size_t>(indices[i]));
-                  float* dst = out.RowPtr(i);
+                  float* dst = out->RowPtr(i);
                   for (size_t c = 0; c < a.cols(); ++c) dst[c] = src[c];
                 }
               });
-  return out;
+}
+
+void ConcatColsInto(Matrix* out, const std::vector<const Matrix*>& parts) {
+  AHNTP_CHECK(!parts.empty());
+  size_t rows = parts[0]->rows();
+  size_t cols = 0;
+  for (const Matrix* part : parts) {
+    AHNTP_CHECK(part != out) << "ConcatColsInto cannot alias an input";
+    AHNTP_CHECK_EQ(part->rows(), rows);
+    cols += part->cols();
+  }
+  out->ResetShape(rows, cols);
+  ParallelFor(0, rows, GrainForCost(cols), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out->RowPtr(r);
+      size_t offset = 0;
+      for (const Matrix* part : parts) {
+        const float* prow = part->RowPtr(r);
+        for (size_t c = 0; c < part->cols(); ++c) orow[offset + c] = prow[c];
+        offset += part->cols();
+      }
+    }
+  });
 }
 
 }  // namespace ahntp::tensor

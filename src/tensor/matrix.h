@@ -71,6 +71,15 @@ class Matrix {
   /// Reshapes in place; total element count must be preserved.
   void Reshape(size_t rows, size_t cols);
 
+  /// Re-shapes to rows x cols reusing the existing buffer: storage only
+  /// grows when rows*cols exceeds capacity(), never shrinks, and the
+  /// contents are unspecified afterwards. The resize primitive behind
+  /// Workspace buffer reuse — steady-state callers pay zero allocations.
+  void ResetShape(size_t rows, size_t cols);
+
+  /// Allocated element capacity of the underlying buffer (>= size()).
+  size_t capacity() const { return data_.capacity(); }
+
   /// Elementwise in-place updates (shapes must match for matrix args).
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
@@ -132,6 +141,31 @@ Matrix ConcatRows(const std::vector<const Matrix*>& parts);
 
 /// Gathers rows: out.row(i) = a.row(indices[i]).
 Matrix GatherRows(const Matrix& a, const std::vector<int>& indices);
+
+// ---------------------------------------------------------------------------
+// Out-parameter kernel variants. Each reshapes `out` in place (see
+// Matrix::ResetShape — storage is reused, so warmed buffers cost zero heap
+// allocations) and is bit-identical to its allocating counterpart. Unless
+// noted, `out` may alias `a` for the elementwise forms only.
+// ---------------------------------------------------------------------------
+
+/// out = op(a) * op(b). `out` must not alias an input. The transpose_a path
+/// materializes a^T and is therefore not allocation-free.
+void MatMulInto(Matrix* out, const Matrix& a, const Matrix& b,
+                bool transpose_a = false, bool transpose_b = false);
+
+void AddInto(Matrix* out, const Matrix& a, const Matrix& b);
+void SubInto(Matrix* out, const Matrix& a, const Matrix& b);
+void HadamardInto(Matrix* out, const Matrix& a, const Matrix& b);
+void ScaleInto(Matrix* out, const Matrix& a, float scalar);
+void AddScalarInto(Matrix* out, const Matrix& a, float scalar);
+/// out = a + row broadcast over rows; `out` may alias `a`.
+void AddRowBroadcastInto(Matrix* out, const Matrix& a, const Matrix& row);
+/// out.row(i) = a.row(indices[i]); `out` must not alias `a`.
+void GatherRowsInto(Matrix* out, const Matrix& a,
+                    const std::vector<int>& indices);
+/// Concatenates left-to-right; `out` must not alias any part.
+void ConcatColsInto(Matrix* out, const std::vector<const Matrix*>& parts);
 
 }  // namespace ahntp::tensor
 

@@ -1,0 +1,22 @@
+#include "tensor/workspace.h"
+
+namespace ahntp::tensor {
+
+Matrix* Workspace::Acquire(size_t rows, size_t cols) {
+  if (next_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Matrix>());
+    ++allocations_;
+  }
+  Matrix* m = slots_[next_++].get();
+  if (rows * cols > m->capacity()) ++allocations_;
+  m->ResetShape(rows, cols);
+  return m;
+}
+
+size_t Workspace::bytes() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot->capacity() * sizeof(float);
+  return total;
+}
+
+}  // namespace ahntp::tensor

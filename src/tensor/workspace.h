@@ -1,0 +1,53 @@
+#ifndef AHNTP_TENSOR_WORKSPACE_H_
+#define AHNTP_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahntp::tensor {
+
+/// Bump allocator of reusable Matrix buffers for tape-free inference.
+///
+/// Acquire() hands out scratch matrices in call order; Reset() rewinds the
+/// bump pointer without releasing storage, so a loop that performs the same
+/// sequence of Acquire() calls per iteration (the compiled scoring loop)
+/// touches the heap only while buffers warm up to their steady-state
+/// shapes — afterwards every iteration is allocation-free.
+///
+/// Not thread-safe: one Workspace per dispatcher/scoring thread. Buffers
+/// stay valid until the next Reset(), never across it.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Next scratch buffer, reshaped to rows x cols. Contents unspecified —
+  /// kernels writing into it must assign or clear every element.
+  Matrix* Acquire(size_t rows, size_t cols);
+
+  /// Rewinds the bump pointer; storage is kept for reuse.
+  void Reset() { next_ = 0; }
+
+  /// Number of slot creations plus buffer growths since construction. A
+  /// steady-state loop leaves this unchanged — the hook for the
+  /// zero-allocation regression tests and scripts/check_inference.sh.
+  size_t allocations() const { return allocations_; }
+
+  /// Bytes of float storage currently held across all slots.
+  size_t bytes() const;
+
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Matrix>> slots_;
+  size_t next_ = 0;
+  size_t allocations_ = 0;
+};
+
+}  // namespace ahntp::tensor
+
+#endif  // AHNTP_TENSOR_WORKSPACE_H_

@@ -1,0 +1,491 @@
+// Tests for the tape-free compiled inference path: bitwise parity with the
+// autograd tape across the whole model zoo and thread counts, workspace
+// arena reuse, cache invalidation on weight changes, and the recursive
+// training-flag contract.
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "core/model_zoo.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "models/inference_plan.h"
+#include "models/trust_predictor.h"
+#include "nn/infer.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/serialization.h"
+#include "serve/backend.h"
+#include "tensor/workspace.h"
+
+namespace ahntp {
+namespace {
+
+using models::TrustPredictor;
+
+// ---------------------------------------------------------------------------
+// Fixture: generated dataset + inputs, same shape as models_test.
+// ---------------------------------------------------------------------------
+
+class InferenceFixture {
+ public:
+  InferenceFixture() : rng_(123) {
+    data::GeneratorConfig config;
+    config.num_users = 60;
+    config.num_items = 80;
+    config.num_communities = 3;
+    config.avg_trust_out_degree = 5.0;
+    config.avg_purchases_per_user = 6.0;
+    config.seed = 7;
+    dataset_ = data::SocialNetworkGenerator(config).Generate();
+    split_ = data::MakeSplit(dataset_);
+    graph_ = dataset_.GraphFromEdges(split_.train_positive).value();
+    features_ = data::BuildFeatureMatrix(dataset_);
+
+    hypergraph::Hypergraph attr = hypergraph::BuildAttributeHypergroup(
+        dataset_.num_users, dataset_.attributes);
+    hypergraph::Hypergraph pairwise =
+        hypergraph::BuildPairwiseHypergroup(graph_);
+    hypergraph_ = hypergraph::Hypergraph::Concat(attr, pairwise);
+
+    inputs_.features = &features_;
+    inputs_.graph = &graph_;
+    inputs_.dataset = &dataset_;
+    inputs_.hypergraph = &hypergraph_;
+    inputs_.hidden_dims = {16, 8};
+    // Non-zero dropout so parity also proves eval mode skips it.
+    inputs_.dropout = 0.3f;
+    inputs_.rng = &rng_;
+  }
+
+  models::ModelInputs inputs() { return inputs_; }
+
+  std::unique_ptr<TrustPredictor> MakePredictor(const std::string& name,
+                                                uint64_t seed) {
+    Rng rng(seed);
+    models::ModelInputs inputs = inputs_;
+    inputs.rng = &rng;
+    auto created = core::CreatePredictor(name, inputs, core::AhntpConfig{});
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    return std::move(created).value();
+  }
+
+  std::vector<data::TrustPair> Queries(size_t n) const {
+    std::vector<data::TrustPair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back({static_cast<int>(i % dataset_.num_users),
+                       static_cast<int>((3 * i + 1) % dataset_.num_users),
+                       1.0f});
+    }
+    return pairs;
+  }
+
+ private:
+  Rng rng_;
+  data::SocialDataset dataset_;
+  data::TrustSplit split_;
+  graph::Digraph graph_{0};
+  tensor::Matrix features_;
+  hypergraph::Hypergraph hypergraph_{0};
+  models::ModelInputs inputs_;
+};
+
+InferenceFixture& Fixture() {
+  static InferenceFixture* fixture = new InferenceFixture();
+  return *fixture;
+}
+
+/// Tape-path reference probabilities: eval-mode Forward, no plan involved.
+std::vector<float> TapeProbabilities(TrustPredictor* predictor,
+                                     const std::vector<data::TrustPair>& pairs) {
+  bool was_training = predictor->training();
+  predictor->SetTraining(false);
+  TrustPredictor::PairOutput out = predictor->Forward(pairs);
+  predictor->SetTraining(was_training);
+  std::vector<float> probs(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    probs[i] = out.probability.value().At(i, 0);
+  }
+  return probs;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-vs-tape parity across the entire model zoo and thread counts.
+// ---------------------------------------------------------------------------
+
+class CompiledParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompiledParityTest, BitIdenticalToTapeAtEveryThreadCount) {
+  auto predictor = Fixture().MakePredictor(GetParam(), 42);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(17);
+  std::vector<float> reference = TapeProbabilities(predictor.get(), pairs);
+
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    // Invalidate so the all-user encode itself reruns at this thread count.
+    predictor->InvalidateCaches();
+    std::vector<float> compiled = predictor->PredictProbabilities(pairs);
+    ASSERT_EQ(compiled.size(), reference.size());
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      EXPECT_EQ(compiled[i], reference[i])
+          << GetParam() << " pair " << i << " threads=" << threads;
+    }
+  }
+  SetNumThreads(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, CompiledParityTest,
+                         ::testing::ValuesIn(core::AvailableModels()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Layer-level parity: InferLinear / InferMlp / InferLayerNorm.
+// ---------------------------------------------------------------------------
+
+tensor::Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  tensor::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Uniform(-2.0f, 2.0f);
+  }
+  return m;
+}
+
+TEST(InferLayersTest, LinearMatchesTapeBitwise) {
+  Rng rng(1);
+  nn::Linear layer(6, 4, &rng);
+  tensor::Matrix x = RandomMatrix(9, 6, &rng);
+  tensor::Matrix tape = layer.Forward(autograd::Constant(x)).value();
+  tensor::Workspace ws;
+  tensor::Matrix& compiled = nn::InferLinear(layer, x, &ws);
+  ASSERT_EQ(compiled.rows(), tape.rows());
+  ASSERT_EQ(compiled.cols(), tape.cols());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_EQ(compiled.data()[i], tape.data()[i]) << "entry " << i;
+  }
+}
+
+TEST(InferLayersTest, MlpMatchesEvalTapeBitwise) {
+  Rng rng(2);
+  nn::Mlp mlp({6, 5, 3}, &rng, nn::Activation::kRelu, nn::Activation::kNone,
+              /*dropout=*/0.5f);
+  mlp.SetTraining(false);
+  tensor::Matrix x = RandomMatrix(7, 6, &rng);
+  tensor::Matrix tape = mlp.Forward(autograd::Constant(x)).value();
+  tensor::Workspace ws;
+  tensor::Matrix& compiled = nn::InferMlp(mlp, x, &ws);
+  ASSERT_EQ(compiled.rows(), tape.rows());
+  ASSERT_EQ(compiled.cols(), tape.cols());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_EQ(compiled.data()[i], tape.data()[i]) << "entry " << i;
+  }
+}
+
+TEST(InferLayersTest, LayerNormMatchesTapeBitwise) {
+  Rng rng(3);
+  nn::LayerNorm norm(5);
+  // Perturb gain/bias away from the identity so the test is non-trivial.
+  // Variable handles share their node, so mutating the copies edits norm.
+  autograd::Variable gain = norm.gain();
+  autograd::Variable bias = norm.bias();
+  for (size_t i = 0; i < 5; ++i) {
+    gain.mutable_value().At(0, i) = rng.Uniform(0.5f, 1.5f);
+    bias.mutable_value().At(0, i) = rng.Uniform(-0.5f, 0.5f);
+  }
+  tensor::Matrix x = RandomMatrix(8, 5, &rng);
+  tensor::Matrix tape = norm.Forward(autograd::Constant(x)).value();
+  tensor::Workspace ws;
+  tensor::Matrix& compiled = nn::InferLayerNorm(norm, x, &ws);
+  ASSERT_EQ(compiled.rows(), tape.rows());
+  ASSERT_EQ(compiled.cols(), tape.cols());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_EQ(compiled.data()[i], tape.data()[i]) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena semantics.
+// ---------------------------------------------------------------------------
+
+TEST(WorkspaceTest, ResetReusesSlotsInOrder) {
+  tensor::Workspace ws;
+  tensor::Matrix* a = ws.Acquire(4, 4);
+  tensor::Matrix* b = ws.Acquire(2, 8);
+  ws.Reset();
+  EXPECT_EQ(ws.Acquire(4, 4), a);
+  EXPECT_EQ(ws.Acquire(2, 8), b);
+  EXPECT_EQ(ws.num_slots(), 2u);
+}
+
+TEST(WorkspaceTest, SteadyStateLoopIsAllocationFree) {
+  tensor::Workspace ws;
+  // Warm-up pass establishes the slots.
+  ws.Acquire(10, 3);
+  ws.Acquire(5, 5);
+  ws.Reset();
+  size_t warmed = ws.allocations();
+  for (int i = 0; i < 100; ++i) {
+    ws.Acquire(10, 3);
+    ws.Acquire(5, 5);
+    ws.Reset();
+  }
+  EXPECT_EQ(ws.allocations(), warmed);
+  // A larger request grows a buffer: allocations must tick up.
+  ws.Acquire(20, 20);
+  EXPECT_GT(ws.allocations(), warmed);
+}
+
+TEST(WorkspaceTest, AcquireWithinCapacityDoesNotCount) {
+  tensor::Workspace ws;
+  ws.Acquire(8, 8);
+  ws.Reset();
+  size_t warmed = ws.allocations();
+  // Smaller shape fits in the existing 64-float buffer.
+  ws.Acquire(4, 4);
+  EXPECT_EQ(ws.allocations(), warmed);
+}
+
+TEST(InferencePlanTest, ScoringLoopIsAllocationFreeOnceWarm) {
+  auto predictor = Fixture().MakePredictor("AHNTP", 11);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(12);
+  predictor->WarmInferencePlan();
+  (void)predictor->PredictProbabilities(pairs);  // warms the scoring slots
+  const models::InferencePlan* plan = predictor->inference_plan();
+  ASSERT_NE(plan, nullptr);
+  size_t warmed = plan->workspace().allocations();
+  for (int i = 0; i < 20; ++i) {
+    (void)predictor->PredictProbabilities(pairs);
+  }
+  EXPECT_EQ(plan->workspace().allocations(), warmed);
+}
+
+// ---------------------------------------------------------------------------
+// Cache invalidation: weights must never go stale.
+// ---------------------------------------------------------------------------
+
+TEST(InferencePlanTest, TrainingForwardInvalidatesThePlan) {
+  auto predictor = Fixture().MakePredictor("SGC", 21);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(6);
+  (void)predictor->PredictProbabilities(pairs);
+  ASSERT_NE(predictor->inference_plan(), nullptr);
+  EXPECT_TRUE(predictor->inference_plan()->built());
+
+  predictor->SetTraining(true);
+  (void)predictor->Forward(pairs);
+  EXPECT_FALSE(predictor->inference_plan()->built());
+}
+
+TEST(InferencePlanTest, ManualWeightEditTracksTapeAfterInvalidate) {
+  auto predictor = Fixture().MakePredictor("SGC", 22);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(8);
+  (void)predictor->PredictProbabilities(pairs);
+
+  // Mutate a parameter in place, as an optimizer step would.
+  std::vector<autograd::Variable> params = predictor->Parameters();
+  ASSERT_FALSE(params.empty());
+  for (size_t i = 0; i < params[0].value().size(); ++i) {
+    params[0].mutable_value().data()[i] *= 1.5f;
+  }
+  predictor->InvalidateCaches();
+
+  std::vector<float> compiled = predictor->PredictProbabilities(pairs);
+  std::vector<float> tape = TapeProbabilities(predictor.get(), pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(compiled[i], tape[i]) << "pair " << i;
+  }
+}
+
+TEST(InferencePlanTest, LoadModuleInvalidatesCachedEmbeddings) {
+  auto source = Fixture().MakePredictor("SGC", 31);
+  auto target = Fixture().MakePredictor("SGC", 32);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(9);
+
+  std::vector<float> source_probs = target->PredictProbabilities(pairs);
+  (void)source_probs;  // plan built on the pre-load weights
+
+  std::string path = ::testing::TempDir() + "/inference_plan_load.ckpt";
+  ASSERT_TRUE(nn::SaveModule(*source, path).ok());
+  ASSERT_TRUE(nn::LoadModule(target.get(), path).ok());
+  std::filesystem::remove(path);
+
+  // Post-load predictions must reflect the loaded weights, not the cache.
+  std::vector<float> loaded = target->PredictProbabilities(pairs);
+  std::vector<float> expected = TapeProbabilities(source.get(), pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(loaded[i], expected[i]) << "pair " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serving: reload keeps the plan fresh, failures keep the old plan serving.
+// ---------------------------------------------------------------------------
+
+serve::ModelBackend::Factory MakeBackendFactory(uint64_t seed) {
+  return [seed]() { return Fixture().MakePredictor("AHNTP", seed); };
+}
+
+TEST(BackendPlanTest, ReloadServesTheLoadedWeightsThroughThePlan) {
+  auto factory = MakeBackendFactory(5);
+  serve::ModelBackend backend(factory, factory());
+  std::vector<data::TrustPair> pairs = Fixture().Queries(6);
+
+  auto other = Fixture().MakePredictor("AHNTP", 99);
+  std::string path = ::testing::TempDir() + "/inference_reload.ckpt";
+  ASSERT_TRUE(nn::SaveModule(*other, path).ok());
+
+  auto before = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(backend.Reload(path).ok());
+  std::filesystem::remove(path);
+
+  auto after = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(after.ok());
+  std::vector<float> expected = TapeProbabilities(other.get(), pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*after)[i], expected[i]) << "pair " << i;
+  }
+}
+
+TEST(BackendPlanTest, FaultedReloadKeepsTheWarmPlanServing) {
+  auto factory = MakeBackendFactory(6);
+  serve::ModelBackend backend(factory, factory());
+  std::vector<data::TrustPair> pairs = Fixture().Queries(6);
+  auto before = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(before.ok());
+
+  auto other = Fixture().MakePredictor("AHNTP", 77);
+  std::string path = ::testing::TempDir() + "/inference_reload_fault.ckpt";
+  ASSERT_TRUE(nn::SaveModule(*other, path).ok());
+
+  // Injected I/O failure at the reload fault site: the old model (and its
+  // warmed plan) must keep serving identical scores.
+  ASSERT_TRUE(fault::EnableFromSpec("serve.reload@1").ok());
+  EXPECT_FALSE(backend.Reload(path).ok());
+  fault::Disable();
+  EXPECT_EQ(backend.generation(), 0);
+
+  auto after = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(after.ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*before)[i], (*after)[i]) << "pair " << i;
+  }
+
+  // The fault cleared, the same checkpoint loads and takes effect.
+  ASSERT_TRUE(backend.Reload(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_EQ(backend.generation(), 1);
+  auto reloaded = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(reloaded.ok());
+  std::vector<float> expected = TapeProbabilities(other.get(), pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*reloaded)[i], expected[i]) << "pair " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training-flag contract: recursive SetTraining and save/restore.
+// ---------------------------------------------------------------------------
+
+void ExpectTrainingRecursively(nn::Module* module, bool expected) {
+  EXPECT_EQ(module->training(), expected);
+  for (nn::Module* sub : module->Submodules()) {
+    ExpectTrainingRecursively(sub, expected);
+  }
+}
+
+class SetTrainingRecursionTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(SetTrainingRecursionTest, FlagReachesEverySubmodule) {
+  auto predictor = Fixture().MakePredictor(GetParam(), 55);
+  predictor->SetTraining(true);
+  ExpectTrainingRecursively(predictor.get(), true);
+  predictor->SetTraining(false);
+  ExpectTrainingRecursively(predictor.get(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, SetTrainingRecursionTest,
+                         ::testing::ValuesIn(core::AvailableModels()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(SetTrainingRecursionTest, MlpPropagatesToLayers) {
+  Rng rng(4);
+  nn::Mlp mlp({4, 3, 2}, &rng);
+  mlp.SetTraining(true);
+  for (size_t i = 0; i < mlp.num_layers(); ++i) {
+    EXPECT_TRUE(mlp.layer(i).training());
+  }
+  mlp.SetTraining(false);
+  for (size_t i = 0; i < mlp.num_layers(); ++i) {
+    EXPECT_FALSE(mlp.layer(i).training());
+  }
+}
+
+TEST(PredictProbabilitiesTest, SavesAndRestoresTrainingFlagRecursively) {
+  auto predictor = Fixture().MakePredictor("AHNTP", 66);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(5);
+
+  predictor->SetTraining(true);
+  (void)predictor->PredictProbabilities(pairs);
+  ExpectTrainingRecursively(predictor.get(), true);
+
+  predictor->SetTraining(false);
+  (void)predictor->PredictProbabilities(pairs);
+  ExpectTrainingRecursively(predictor.get(), false);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: plan builds, cache hits/misses, workspace gauge.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceMetricsTest, CountsBuildsHitsAndMisses) {
+  metrics::Enable();
+  metrics::Reset();
+  auto predictor = Fixture().MakePredictor("SGC", 71);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(4);
+
+  (void)predictor->PredictProbabilities(pairs);  // miss + build
+  (void)predictor->PredictProbabilities(pairs);  // hit
+  (void)predictor->PredictProbabilities(pairs);  // hit
+  predictor->InvalidateCaches();
+  (void)predictor->PredictProbabilities(pairs);  // miss + build
+
+  metrics::Snapshot snapshot = metrics::Collect();
+  EXPECT_EQ(snapshot.CounterValue("infer.plan_builds"), 2);
+  EXPECT_EQ(snapshot.CounterValue("infer.cache_misses"), 2);
+  EXPECT_EQ(snapshot.CounterValue("infer.cache_hits"), 2);
+  double ws_bytes = -1.0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "infer.workspace_bytes") ws_bytes = gauge.value;
+  }
+  EXPECT_GT(ws_bytes, 0.0);
+  metrics::Disable();
+}
+
+}  // namespace
+}  // namespace ahntp
