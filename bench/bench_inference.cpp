@@ -4,10 +4,15 @@
 // arena) on the EpinionsLike preset. Verifies bitwise parity between the
 // two paths before timing, reports the cold plan-build cost, and emits a
 // `BENCH_inference.json` result file alongside the usual BENCH_META line.
+// Also sweeps the shard-aware plan across shard counts (--shards=1,2,4),
+// reporting per-K plan build time (encode + spill) and scoring latency
+// through the bounded-LRU fault path, parity-gated against the monolithic
+// plan; the JSON gains a "shards" array.
 //
-//   ./build/bench/bench_inference [--scale=0.06] [--iters=30]
+//   ./build/bench/bench_inference [--scale=0.06] [--iters=30] [--shards=1,2,4]
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -17,6 +22,7 @@
 #include "core/model_zoo.h"
 #include "data/features.h"
 #include "data/split.h"
+#include "models/inference_plan.h"
 #include "models/trust_predictor.h"
 
 namespace {
@@ -44,6 +50,12 @@ struct Row {
   double tape_ms = 0.0;
   double compiled_ms = 0.0;
   double speedup = 0.0;
+};
+
+struct ShardRow {
+  int shards = 0;
+  double plan_build_ms = 0.0;  // encode + per-shard spill
+  double sharded_ms = 0.0;     // median per-batch, LRU fault path included
 };
 
 }  // namespace
@@ -133,6 +145,55 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // Sharded plan: per-shard-count build cost (encode + spill) and scoring
+  // latency through the bounded-LRU fault path, parity-gated against the
+  // monolithic plan (same weights, so bit-identical scores are required).
+  const std::vector<int64_t> shard_counts =
+      flags.GetIntList("shards", {1, 2, 4});
+  const std::string spill_dir = "bench_inference_spill";
+  const int shard_batch = 64;
+  std::vector<data::TrustPair> shard_pairs;
+  for (int i = 0; i < shard_batch; ++i) {
+    shard_pairs.push_back(
+        split.test_pairs[static_cast<size_t>(i) % split.test_pairs.size()]);
+  }
+  std::vector<float> monolithic = predictor->PredictProbabilities(shard_pairs);
+  std::vector<ShardRow> shard_rows;
+  std::printf("\n%7s %17s %13s\n", "shards", "plan_build_ms", "sharded_ms");
+  std::printf("%s\n", std::string(40, '-').c_str());
+  for (int64_t shards : shard_counts) {
+    models::ShardedPlanOptions sharded;
+    sharded.num_shards = static_cast<int>(shards);
+    sharded.spill_dir = spill_dir;
+    predictor->EnableShardedInference(sharded);
+    ShardRow srow;
+    srow.shards = static_cast<int>(shards);
+    Stopwatch shard_build_timer;
+    predictor->WarmInferencePlan();
+    srow.plan_build_ms = shard_build_timer.ElapsedMillis();
+
+    std::vector<float> sharded_probs =
+        predictor->PredictProbabilities(shard_pairs);
+    for (size_t i = 0; i < shard_pairs.size(); ++i) {
+      AHNTP_CHECK(monolithic[i] == sharded_probs[i])
+          << "sharded parity violation at pair " << i << " shards=" << shards;
+    }
+
+    std::vector<double> sharded_ms;
+    for (int it = 0; it < iters; ++it) {
+      Stopwatch t;
+      (void)predictor->PredictProbabilities(shard_pairs);
+      sharded_ms.push_back(t.ElapsedMillis());
+    }
+    srow.sharded_ms = MedianMs(sharded_ms);
+    shard_rows.push_back(srow);
+    std::printf("%7d %17.3f %13.3f\n", srow.shards, srow.plan_build_ms,
+                srow.sharded_ms);
+    std::fflush(stdout);
+  }
+  predictor->DisableShardedInference();
+  std::filesystem::remove_all(spill_dir);
+
   std::string json =
       "{\n  \"bench\": \"inference\",\n  \"plan_build_ms\": " +
       StrFormat("%.4f", build_ms) + ",\n  \"rows\": [\n";
@@ -143,6 +204,15 @@ int main(int argc, char** argv) {
         "\"speedup\": %.2f}%s\n",
         row.batch, row.tape_ms, row.compiled_ms, row.speedup,
         i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ],\n  \"shards\": [\n";
+  for (size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardRow& srow = shard_rows[i];
+    json += StrFormat(
+        "    {\"shards\": %d, \"plan_build_ms\": %.4f, \"sharded_ms\": "
+        "%.4f}%s\n",
+        srow.shards, srow.plan_build_ms, srow.sharded_ms,
+        i + 1 < shard_rows.size() ? "," : "");
   }
   json += "  ]\n}\n";
   AHNTP_CHECK_OK(WriteFileAtomic("BENCH_inference.json", json));

@@ -22,6 +22,9 @@ scripts/check_inference.sh
 echo "================ serving ================"
 scripts/check_serve.sh
 
+echo "================ sharded scale ================"
+scripts/check_scale.sh
+
 echo "================ ASan/UBSan ================"
 scripts/check_asan.sh
 

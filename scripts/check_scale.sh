@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Sharded out-of-core gate (DESIGN.md §14): the sharded build and the
+# shard-aware inference plan must stay bit-identical to the monolithic path
+# and race-free.
+#   - sharding_test: partitioner validation/fuzz boundary, halo-subgraph
+#     invariants, sharded analytics + all four hypergroup builders bitwise
+#     vs K=1 at threads 1/2/8, streaming-generator reassembly, and the
+#     bounded-LRU inference plan (score parity, eviction accounting,
+#     corruption detection);
+#   - bench_scale --quick: a small sweep whose cross-K score-digest CHECK is
+#     the sharded-vs-monolithic digest diff — the parent process aborts if
+#     any shard count changes a single output bit;
+#   - sharding_test under TSan: per-shard builders fan out on the shared
+#     pool; oversubscribed workers must come back clean.
+# Usage:
+#   scripts/check_scale.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" \
+      --target sharding_test bench_scale
+
+echo "########## sharding_test (parity + residency assertions) ##########"
+"$build_dir/tests/sharding_test"
+
+echo "########## bench_scale digest diff (sharded vs monolithic) ##########"
+# Small populations keep the gate fast; the shard list must include 1 so
+# the cross-K digest equality CHECK compares against the monolithic oracle.
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+repo_root="$(pwd)"
+(cd "$workdir" && \
+ "$repo_root/$build_dir/bench/bench_scale" \
+     --users=2000,8000 --shards=1,4 --pairs=512)
+
+echo "########## sharding_test under TSan ##########"
+tsan_dir="build-threadsan"
+cmake -B "$tsan_dir" -S . -DAHNTP_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$tsan_dir" -j"$(nproc 2>/dev/null || echo 2)" \
+      --target sharding_test
+AHNTP_THREADS="${AHNTP_THREADS:-8}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+    "$tsan_dir/tests/sharding_test"
+
+echo "scale checks passed"

@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <unordered_set>
@@ -120,6 +121,29 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
     if (chosen.insert(candidate).second) out.push_back(candidate);
   }
   return out;
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  AHNTP_CHECK(!weights.empty());
+  cumulative_.reserve(weights.size());
+  // Left-to-right accumulation: cumulative_[i] is bit-identical to the
+  // running sum SampleDiscrete would compare against at index i, and the
+  // final element is bit-identical to its std::accumulate total.
+  double cum = 0.0;
+  for (double w : weights) {
+    cum += w;
+    cumulative_.push_back(cum);
+  }
+  AHNTP_CHECK_GT(cumulative_.back(), 0.0);
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  double target = rng->NextDouble() * cumulative_.back();
+  // SampleDiscrete returns the first index whose running sum exceeds the
+  // target (and the last index when none does, a float round-off guard).
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<size_t>(it - cumulative_.begin());
 }
 
 }  // namespace ahntp

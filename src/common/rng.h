@@ -63,6 +63,28 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Precomputed discrete distribution over unnormalized non-negative weights:
+/// one NextDouble() plus a binary search per draw, instead of
+/// Rng::SampleDiscrete's O(n) scan — the difference between hours and
+/// seconds when the generator samples sources from a million-entry activity
+/// vector. Sample(rng) consumes the RNG stream exactly like
+/// rng->SampleDiscrete(weights) and returns the identical index (the prefix
+/// sums are accumulated in the same left-to-right order, so every comparison
+/// sees bit-identical partial sums); the two are interchangeable without
+/// perturbing any downstream draw.
+class DiscreteDistribution {
+ public:
+  /// Precondition: weights non-empty with positive sum.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
 }  // namespace ahntp
 
 #endif  // AHNTP_COMMON_RNG_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -10,7 +9,9 @@
 namespace ahntp::data {
 
 GeneratorConfig GeneratorConfig::EpinionsLike(double scale) {
-  AHNTP_CHECK(scale > 0.0 && scale <= 1.0);
+  // scale > 1.0 upscales for out-of-core sweeps; density knobs stay fixed so
+  // the graph keeps its Epinions-like per-user shape at any population.
+  AHNTP_CHECK_GT(scale, 0.0);
   GeneratorConfig config;
   config.name = "epinions";
   config.num_users = static_cast<size_t>(std::lround(8935 * scale));
@@ -25,7 +26,7 @@ GeneratorConfig GeneratorConfig::EpinionsLike(double scale) {
 }
 
 GeneratorConfig GeneratorConfig::CiaoLike(double scale) {
-  AHNTP_CHECK(scale > 0.0 && scale <= 1.0);
+  AHNTP_CHECK_GT(scale, 0.0);
   GeneratorConfig config;
   config.name = "ciao";
   config.num_users = static_cast<size_t>(std::lround(4104 * scale));
@@ -61,27 +62,40 @@ struct AttachmentPool {
   }
 };
 
-}  // namespace
+/// State the purchase phase needs from the social phases.
+struct SocialPhaseResult {
+  std::vector<double> activity;  // heavy-tailed per-user source rate
+  size_t num_edges = 0;
+};
 
-SocialDataset SocialNetworkGenerator::Generate() const {
-  const GeneratorConfig& cfg = config_;
+/// Runs the community, attribute, and trust-edge phases. Fills ds's
+/// metadata fields (name, sizes, communities, attributes) and delivers each
+/// accepted trust edge to `sink` in insertion order — the *only* edge
+/// storage this function keeps is the out-adjacency (needed by the process
+/// itself for triadic closure and duplicate rejection), never a flat edge
+/// list. Generate() and StreamTrustEdges() both run through here, so their
+/// RNG streams — and therefore their edge sequences — are identical by
+/// construction.
+SocialPhaseResult RunSocialPhases(const GeneratorConfig& cfg, Rng* rng,
+                                  SocialDataset* ds, const EdgeSink& sink) {
   AHNTP_CHECK_GE(cfg.num_users, 4u);
   AHNTP_CHECK_GE(cfg.num_communities, 1u);
-  Rng rng(cfg.seed);
 
-  SocialDataset ds;
-  ds.name = cfg.name;
-  ds.num_users = cfg.num_users;
-  ds.num_items = cfg.num_items;
+  ds->name = cfg.name;
+  ds->num_users = cfg.num_users;
+  ds->num_items = cfg.num_items;
 
   // --- Communities: multinomial with mildly uneven sizes. -----------------
   std::vector<double> community_weights(cfg.num_communities);
-  for (auto& w : community_weights) w = 0.5 + rng.NextDouble();
-  ds.communities.resize(cfg.num_users);
+  for (auto& w : community_weights) w = 0.5 + rng->NextDouble();
+  // Prefix-sum sampling consumes the RNG stream identically to
+  // rng->SampleDiscrete(community_weights) at O(log K) per draw.
+  DiscreteDistribution community_dist(community_weights);
+  ds->communities.resize(cfg.num_users);
   std::vector<std::vector<int>> community_members(cfg.num_communities);
   for (size_t u = 0; u < cfg.num_users; ++u) {
-    int c = static_cast<int>(rng.SampleDiscrete(community_weights));
-    ds.communities[u] = c;
+    int c = static_cast<int>(community_dist.Sample(rng));
+    ds->communities[u] = c;
     community_members[static_cast<size_t>(c)].push_back(static_cast<int>(u));
   }
 
@@ -97,27 +111,26 @@ SocialDataset SocialNetworkGenerator::Generate() const {
       {"age_band", cfg.age_bands},
   };
   for (const AttrSpec& spec : specs) {
-    ds.attribute_names.emplace_back(spec.name);
-    ds.attribute_cardinalities.push_back(static_cast<int>(spec.cardinality));
+    ds->attribute_names.emplace_back(spec.name);
+    ds->attribute_cardinalities.push_back(static_cast<int>(spec.cardinality));
     std::vector<int> archetype(cfg.num_communities);
     for (auto& v : archetype) {
-      v = static_cast<int>(rng.NextBounded(spec.cardinality));
+      v = static_cast<int>(rng->NextBounded(spec.cardinality));
     }
     std::vector<int> column(cfg.num_users);
     for (size_t u = 0; u < cfg.num_users; ++u) {
-      if (rng.Bernoulli(cfg.attribute_fidelity)) {
-        column[u] = archetype[static_cast<size_t>(ds.communities[u])];
+      if (rng->Bernoulli(cfg.attribute_fidelity)) {
+        column[u] = archetype[static_cast<size_t>(ds->communities[u])];
       } else {
-        column[u] = static_cast<int>(rng.NextBounded(spec.cardinality));
+        column[u] = static_cast<int>(rng->NextBounded(spec.cardinality));
       }
     }
-    ds.attributes.push_back(std::move(column));
+    ds->attributes.push_back(std::move(column));
   }
 
   // --- Trust edges: homophily + preferential attachment + closure. --------
-  const size_t target_edges = static_cast<size_t>(
-      std::lround(cfg.avg_trust_out_degree * static_cast<double>(cfg.num_users)));
-  std::set<std::pair<int, int>> edge_set;
+  const size_t target_edges = static_cast<size_t>(std::lround(
+      cfg.avg_trust_out_degree * static_cast<double>(cfg.num_users)));
   std::vector<std::vector<int>> out_neighbors(cfg.num_users);
   AttachmentPool global_pool;
   std::vector<AttachmentPool> community_pools(cfg.num_communities);
@@ -131,56 +144,83 @@ SocialDataset SocialNetworkGenerator::Generate() const {
   }
   // Heavy-tailed activity so some users are much more prolific sources.
   std::vector<double> activity(cfg.num_users);
-  for (auto& a : activity) a = std::exp(rng.Normal(0.0, 1.0));
+  for (auto& a : activity) a = std::exp(rng->Normal(0.0, 1.0));
+  DiscreteDistribution activity_dist(activity);
 
+  size_t emitted = 0;
+  // Duplicate rejection scans the source's out-list directly (out-degrees
+  // are small — mean ~cfg.avg_trust_out_degree): the decision is identical
+  // to a (src, dst)-set lookup, without the set's per-edge node overhead.
   auto add_edge = [&](int src, int dst) -> bool {
     if (src == dst) return false;
-    if (!edge_set.insert({src, dst}).second) return false;
-    ds.trust_edges.push_back({src, dst});
-    out_neighbors[static_cast<size_t>(src)].push_back(dst);
+    auto& src_out = out_neighbors[static_cast<size_t>(src)];
+    if (std::find(src_out.begin(), src_out.end(), dst) != src_out.end()) {
+      return false;
+    }
+    sink({src, dst, static_cast<int64_t>(emitted)});
+    ++emitted;
+    src_out.push_back(dst);
     global_pool.Reward(dst);
-    community_pools[static_cast<size_t>(ds.communities[static_cast<size_t>(dst)])]
+    community_pools[static_cast<size_t>(
+                        ds->communities[static_cast<size_t>(dst)])]
         .Reward(dst);
     return true;
   };
 
   size_t attempts = 0;
   const size_t max_attempts = target_edges * 50;
-  while (ds.trust_edges.size() < target_edges && attempts < max_attempts) {
+  while (emitted < target_edges && attempts < max_attempts) {
     ++attempts;
-    int src = static_cast<int>(rng.SampleDiscrete(activity));
+    int src = static_cast<int>(activity_dist.Sample(rng));
     int dst = -1;
     const auto& src_out = out_neighbors[static_cast<size_t>(src)];
-    if (rng.Bernoulli(cfg.triadic_closure_prob) && !src_out.empty()) {
+    if (rng->Bernoulli(cfg.triadic_closure_prob) && !src_out.empty()) {
       // Friend-of-friend: pick a neighbour w, then one of w's neighbours.
-      int w = src_out[static_cast<size_t>(rng.NextBounded(src_out.size()))];
+      int w = src_out[static_cast<size_t>(rng->NextBounded(src_out.size()))];
       const auto& w_out = out_neighbors[static_cast<size_t>(w)];
       if (!w_out.empty()) {
-        dst = w_out[static_cast<size_t>(rng.NextBounded(w_out.size()))];
+        dst = w_out[static_cast<size_t>(rng->NextBounded(w_out.size()))];
       }
     }
     if (dst < 0) {
-      bool intra = rng.Bernoulli(cfg.intra_community_prob);
+      bool intra = rng->Bernoulli(cfg.intra_community_prob);
       const AttachmentPool& pool =
           intra ? community_pools[static_cast<size_t>(
-                      ds.communities[static_cast<size_t>(src)])]
+                      ds->communities[static_cast<size_t>(src)])]
                 : global_pool;
-      if (rng.Bernoulli(cfg.preferential_attachment)) {
-        dst = pool.Sample(&rng);
+      if (rng->Bernoulli(cfg.preferential_attachment)) {
+        dst = pool.Sample(rng);
       } else if (intra) {
         const auto& members = community_members[static_cast<size_t>(
-            ds.communities[static_cast<size_t>(src)])];
-        dst = members[static_cast<size_t>(rng.NextBounded(members.size()))];
+            ds->communities[static_cast<size_t>(src)])];
+        dst = members[static_cast<size_t>(rng->NextBounded(members.size()))];
       } else {
-        dst = static_cast<int>(rng.NextBounded(cfg.num_users));
+        dst = static_cast<int>(rng->NextBounded(cfg.num_users));
       }
     }
     if (!add_edge(src, dst)) continue;
-    if (ds.trust_edges.size() < target_edges &&
-        rng.Bernoulli(cfg.reciprocation_prob)) {
+    if (emitted < target_edges && rng->Bernoulli(cfg.reciprocation_prob)) {
       add_edge(dst, src);
     }
   }
+
+  SocialPhaseResult result;
+  result.activity = std::move(activity);
+  result.num_edges = emitted;
+  return result;
+}
+
+}  // namespace
+
+SocialDataset SocialNetworkGenerator::Generate() const {
+  const GeneratorConfig& cfg = config_;
+  Rng rng(cfg.seed);
+
+  SocialDataset ds;
+  SocialPhaseResult social = RunSocialPhases(
+      cfg, &rng, &ds,
+      [&ds](const StreamedEdge& e) { ds.trust_edges.push_back({e.src, e.dst}); });
+  const std::vector<double>& activity = social.activity;
 
   // Normalized insertion order doubles as the edge creation time (the
   // preferential-attachment process is itself temporal).
@@ -213,11 +253,13 @@ SocialDataset SocialNetworkGenerator::Generate() const {
     for (size_t u = 0; u < cfg.num_users; ++u) {
       double expected = cfg.avg_purchases_per_user * activity[u] /
                         std::exp(0.5);  // lognormal mean correction
-      size_t count = static_cast<size_t>(std::max(1.0, rng.Normal(expected, expected * 0.3)));
+      size_t count = static_cast<size_t>(
+          std::max(1.0, rng.Normal(expected, expected * 0.3)));
       const auto& prefs = preferred[static_cast<size_t>(ds.communities[u])];
       for (size_t k = 0; k < count; ++k) {
         int item = -1;
-        bool preferred_draw = rng.Bernoulli(cfg.category_affinity) && !prefs.empty();
+        bool preferred_draw =
+            rng.Bernoulli(cfg.category_affinity) && !prefs.empty();
         if (preferred_draw) {
           const auto& bucket = items_by_category[static_cast<size_t>(
               prefs[static_cast<size_t>(rng.NextBounded(prefs.size()))])];
@@ -240,6 +282,54 @@ SocialDataset SocialNetworkGenerator::Generate() const {
 
   AHNTP_CHECK_OK(ds.Validate());
   return ds;
+}
+
+size_t SocialNetworkGenerator::StreamTrustEdges(
+    const EdgeSink& sink, std::vector<int>* communities_out) const {
+  AHNTP_CHECK(sink != nullptr);
+  Rng rng(config_.seed);
+  // The scratch dataset holds only the O(N) metadata columns the social
+  // phases must materialize anyway (communities, attributes) — no edges.
+  SocialDataset scratch;
+  SocialPhaseResult social = RunSocialPhases(config_, &rng, &scratch, sink);
+  if (communities_out != nullptr) {
+    *communities_out = std::move(scratch.communities);
+  }
+  return social.num_edges;
+}
+
+ShardedEdgeBuffer::ShardedEdgeBuffer(int num_shards, size_t capacity,
+                                     FlushFn flush)
+    : capacity_(std::max<size_t>(1, capacity)), flush_(std::move(flush)) {
+  AHNTP_CHECK_GE(num_shards, 1);
+  AHNTP_CHECK(flush_ != nullptr);
+  buffers_.resize(static_cast<size_t>(num_shards));
+  for (auto& buf : buffers_) buf.reserve(capacity_);
+}
+
+void ShardedEdgeBuffer::Route(const StreamedEdge& edge, int src_shard,
+                              int dst_shard) {
+  Append(src_shard, edge);
+  if (dst_shard != src_shard) Append(dst_shard, edge);
+}
+
+void ShardedEdgeBuffer::Append(int shard, const StreamedEdge& edge) {
+  AHNTP_CHECK(shard >= 0 && static_cast<size_t>(shard) < buffers_.size());
+  auto& buf = buffers_[static_cast<size_t>(shard)];
+  buf.push_back(edge);
+  if (buf.size() >= capacity_) {
+    flush_(shard, buf);
+    buf.clear();
+  }
+}
+
+void ShardedEdgeBuffer::FlushAll() {
+  for (size_t s = 0; s < buffers_.size(); ++s) {
+    if (!buffers_[s].empty()) {
+      flush_(static_cast<int>(s), buffers_[s]);
+      buffers_[s].clear();
+    }
+  }
 }
 
 }  // namespace ahntp::data

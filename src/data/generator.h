@@ -1,7 +1,10 @@
 #ifndef AHNTP_DATA_GENERATOR_H_
 #define AHNTP_DATA_GENERATOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 
@@ -50,9 +53,10 @@ struct GeneratorConfig {
 
   uint64_t seed = 42;
 
-  /// Preset matching the Epinions row of Table III, scaled down by `scale`
+  /// Preset matching the Epinions row of Table III, scaled by `scale`
   /// (1.0 = full size: 8935 users / 21335 items / 220673 purchases /
-  /// 65948 trust relations).
+  /// 65948 trust relations). scale > 1.0 upscales the population for
+  /// out-of-core stress sweeps (bench_scale drives this past 1M users).
   static GeneratorConfig EpinionsLike(double scale = 0.125);
 
   /// Preset matching the Ciao row of Table III (4104 users / 75071 items /
@@ -60,6 +64,20 @@ struct GeneratorConfig {
   /// has far more items per user.
   static GeneratorConfig CiaoLike(double scale = 0.125);
 };
+
+/// One trust edge as delivered by the streaming generation path. `index` is
+/// the edge's global insertion index in the generation sequence — it doubles
+/// as the temporal key (Generate() derives trust_edge_times from it) and as
+/// the dedup key when an edge is routed to both endpoint shards.
+struct StreamedEdge {
+  int src = 0;
+  int dst = 0;
+  int64_t index = 0;
+};
+
+/// Consumer of streamed edges, called once per accepted edge in insertion
+/// order.
+using EdgeSink = std::function<void(const StreamedEdge&)>;
 
 /// Deterministic synthetic social-network generator.
 class SocialNetworkGenerator {
@@ -70,10 +88,54 @@ class SocialNetworkGenerator {
   /// Generates a full dataset; deterministic for a fixed config.
   SocialDataset Generate() const;
 
+  /// Streaming variant of the social phases: runs the community, attribute,
+  /// and trust-edge phases on the *same RNG stream* as Generate(), but
+  /// delivers each accepted edge through `sink` in insertion order instead
+  /// of accumulating a full edge list. Only the generator's working state
+  /// (adjacency-shaped, O(E) ints) stays in RAM, so the caller can spill
+  /// edges to per-shard storage and build graphs out of core. The edge
+  /// sequence is element-for-element identical to Generate()'s trust_edges
+  /// (and `index` reproduces trust_edge_times via index / (count - 1)).
+  /// Items and purchases are not generated. When `communities_out` is
+  /// non-null it receives the per-user community assignment.
+  /// Returns the number of edges emitted.
+  size_t StreamTrustEdges(const EdgeSink& sink,
+                          std::vector<int>* communities_out = nullptr) const;
+
   const GeneratorConfig& config() const { return config_; }
 
  private:
   GeneratorConfig config_;
+};
+
+/// Bounded per-shard edge buffering for the streaming path: edges are routed
+/// into per-shard buffers of at most `capacity` edges; a full buffer is
+/// handed to `flush(shard, edges)` and cleared, so peak buffered memory is
+/// num_shards * capacity edges regardless of graph size. An edge whose
+/// endpoints fall in two different shards is delivered to both (each shard's
+/// subgraph needs its halo edges); consumers deduplicate by StreamedEdge::
+/// index where global uniqueness matters. Call FlushAll() once the stream
+/// ends to drain partial buffers.
+class ShardedEdgeBuffer {
+ public:
+  using FlushFn =
+      std::function<void(int shard, const std::vector<StreamedEdge>& edges)>;
+
+  /// capacity is clamped to >= 1; flush must be callable.
+  ShardedEdgeBuffer(int num_shards, size_t capacity, FlushFn flush);
+
+  /// Routes one edge to src_shard (and dst_shard when different).
+  void Route(const StreamedEdge& edge, int src_shard, int dst_shard);
+
+  /// Drains every non-empty buffer through flush, in shard order.
+  void FlushAll();
+
+ private:
+  void Append(int shard, const StreamedEdge& edge);
+
+  size_t capacity_ = 1;
+  std::vector<std::vector<StreamedEdge>> buffers_;
+  FlushFn flush_;
 };
 
 }  // namespace ahntp::data

@@ -1,12 +1,69 @@
 #include "models/inference_plan.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
 #include "common/check.h"
+#include "common/fileio.h"
+#include "common/flags.h"
 #include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
 #include "models/trust_predictor.h"
 #include "nn/infer.h"
 #include "tensor/kernels.h"
 
 namespace ahntp::models {
+
+namespace {
+
+/// The tape-equivalent scoring chain from gathered tower inputs. Shared by
+/// InferencePlan and ShardedInferencePlan so their kernel sequences cannot
+/// drift: identical inputs give bit-identical probabilities on both paths.
+std::vector<float> RunScoringChain(const TrustPredictor& predictor,
+                                   tensor::Workspace* ws,
+                                   const tensor::Matrix& src_emb,
+                                   const tensor::Matrix& dst_emb) {
+  using tensor::Matrix;
+  const size_t n = src_emb.rows();
+  Matrix& t_src = nn::InferMlp(predictor.tower_src(), src_emb, ws);
+  Matrix& t_dst = nn::InferMlp(predictor.tower_dst(), dst_emb, ws);
+
+  // PairwiseCosine: row-L2-normalize both sides (epsilon matches the tape
+  // default), then row-wise dot.
+  Matrix* norms = ws->Acquire(n, 1);
+  tensor::RowNormsInto(norms, t_src, 1e-12f);
+  Matrix* n_src = ws->Acquire(n, t_src.cols());
+  tensor::DivRowsByNormsInto(n_src, t_src, *norms);
+  tensor::RowNormsInto(norms, t_dst, 1e-12f);
+  Matrix* n_dst = ws->Acquire(n, t_dst.cols());
+  tensor::DivRowsByNormsInto(n_dst, t_dst, *norms);
+  Matrix* cosine = ws->Acquire(n, 1);
+  tensor::RowwiseDotInto(cosine, *n_src, *n_dst);
+
+  // p = (1 + cos) / 2 as the tape computes it: Scale then AddScalar, two
+  // separately rounded kernel passes.
+  Matrix* prob = ws->Acquire(n, 1);
+  tensor::ScaleInto(prob, *cosine, 0.5f);
+  tensor::AddScalarInto(prob, *prob, 0.5f);
+
+  std::vector<float> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = prob->At(i, 0);
+  return out;
+}
+
+void RecordWorkspaceBytes(const tensor::Workspace& ws) {
+  if (metrics::Enabled()) {
+    static metrics::Gauge& ws_bytes =
+        metrics::GetGauge("infer.workspace_bytes");
+    ws_bytes.Set(static_cast<double>(ws.bytes()));
+  }
+}
+
+}  // namespace
 
 InferencePlan::InferencePlan(TrustPredictor* predictor)
     : predictor_(predictor) {
@@ -47,35 +104,258 @@ std::vector<float> InferencePlan::Score(
   tensor::GatherRowsInto(src_emb, embeddings_, src_idx_);
   Matrix* dst_emb = ws_.Acquire(n, embeddings_.cols());
   tensor::GatherRowsInto(dst_emb, embeddings_, dst_idx_);
-  Matrix& t_src = nn::InferMlp(predictor_->tower_src(), *src_emb, &ws_);
-  Matrix& t_dst = nn::InferMlp(predictor_->tower_dst(), *dst_emb, &ws_);
-
-  // PairwiseCosine: row-L2-normalize both sides (epsilon matches the tape
-  // default), then row-wise dot.
-  Matrix* norms = ws_.Acquire(n, 1);
-  tensor::RowNormsInto(norms, t_src, 1e-12f);
-  Matrix* n_src = ws_.Acquire(n, t_src.cols());
-  tensor::DivRowsByNormsInto(n_src, t_src, *norms);
-  tensor::RowNormsInto(norms, t_dst, 1e-12f);
-  Matrix* n_dst = ws_.Acquire(n, t_dst.cols());
-  tensor::DivRowsByNormsInto(n_dst, t_dst, *norms);
-  Matrix* cosine = ws_.Acquire(n, 1);
-  tensor::RowwiseDotInto(cosine, *n_src, *n_dst);
-
-  // p = (1 + cos) / 2 as the tape computes it: Scale then AddScalar, two
-  // separately rounded kernel passes.
-  Matrix* prob = ws_.Acquire(n, 1);
-  tensor::ScaleInto(prob, *cosine, 0.5f);
-  tensor::AddScalarInto(prob, *prob, 0.5f);
-
-  std::vector<float> out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = prob->At(i, 0);
+  std::vector<float> out = RunScoringChain(*predictor_, &ws_, *src_emb, *dst_emb);
   ws_.Reset();
-  if (metrics::Enabled()) {
-    static metrics::Gauge& ws_bytes =
-        metrics::GetGauge("infer.workspace_bytes");
-    ws_bytes.Set(static_cast<double>(ws_.bytes()));
+  RecordWorkspaceBytes(ws_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardEmbeddingStore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kBlockMagic = 0x42534841u;  // "AHSB" little-endian
+
+void AppendU32(std::string* buf, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof(v));
+  buf->append(bytes, sizeof(v));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ShardEmbeddingStore::ShardEmbeddingStore(graph::UserSharding sharding,
+                                         size_t dim, std::string spill_dir,
+                                         int max_resident)
+    : sharding_(std::move(sharding)),
+      dim_(dim),
+      spill_dir_(std::move(spill_dir)),
+      max_resident_(max_resident) {
+  AHNTP_CHECK_GE(max_resident_, 1) << "resident-shard cap must be positive";
+  AHNTP_CHECK_GT(dim_, 0u);
+  AHNTP_CHECK(!spill_dir_.empty()) << "shard store needs a spill directory";
+}
+
+std::string ShardEmbeddingStore::BlockPath(int shard) const {
+  return spill_dir_ + "/shard_" + std::to_string(shard) + ".emb";
+}
+
+Status ShardEmbeddingStore::SpillShard(int shard, const tensor::Matrix& rows) {
+  trace::TraceSpan span("infer.shard.spill");
+  if (shard < 0 || shard >= sharding_.num_shards()) {
+    return Status::InvalidArgument(
+        StrFormat("shard %d out of range for %d shards", shard,
+                  sharding_.num_shards()));
   }
+  const std::vector<int>& owned = sharding_.UsersOf(shard);
+  if (rows.rows() != owned.size() || rows.cols() != dim_) {
+    return Status::InvalidArgument(StrFormat(
+        "shard %d block must be %zux%zu, got %zux%zu", shard, owned.size(),
+        dim_, rows.rows(), rows.cols()));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create spill directory " + spill_dir_ +
+                           ": " + ec.message());
+  }
+  const size_t payload_bytes = rows.size() * sizeof(float);
+  std::string buf;
+  buf.reserve(16 + payload_bytes + 4);
+  AppendU32(&buf, kBlockMagic);
+  AppendU32(&buf, static_cast<uint32_t>(shard));
+  AppendU32(&buf, static_cast<uint32_t>(rows.rows()));
+  AppendU32(&buf, static_cast<uint32_t>(rows.cols()));
+  buf.append(reinterpret_cast<const char*>(rows.data()), payload_bytes);
+  AppendU32(&buf, Crc32(rows.data(), payload_bytes));
+  AHNTP_RETURN_IF_ERROR(WriteFileAtomic(BlockPath(shard), buf));
+  // The on-disk block is now the truth; a resident copy of the old
+  // generation must not serve.
+  auto it = resident_.find(shard);
+  if (it != resident_.end()) {
+    resident_.erase(it);
+    lru_.remove(shard);
+  }
+  return Status::Ok();
+}
+
+Status ShardEmbeddingStore::SpillAll(const tensor::Matrix& embeddings) {
+  if (embeddings.rows() != sharding_.num_users() || embeddings.cols() != dim_) {
+    return Status::InvalidArgument(StrFormat(
+        "embedding table must be %zux%zu, got %zux%zu", sharding_.num_users(),
+        dim_, embeddings.rows(), embeddings.cols()));
+  }
+  for (int s = 0; s < sharding_.num_shards(); ++s) {
+    const std::vector<int>& owned = sharding_.UsersOf(s);
+    tensor::Matrix block(owned.size(), dim_);
+    for (size_t r = 0; r < owned.size(); ++r) {
+      std::memcpy(block.RowPtr(r),
+                  embeddings.RowPtr(static_cast<size_t>(owned[r])),
+                  dim_ * sizeof(float));
+    }
+    AHNTP_RETURN_IF_ERROR(SpillShard(s, block));
+  }
+  resident_.clear();
+  lru_.clear();
+  if (metrics::Enabled()) {
+    metrics::GetGauge("infer.shard_resident_bytes").Set(0.0);
+  }
+  return Status::Ok();
+}
+
+void ShardEmbeddingStore::Touch(int shard) {
+  lru_.remove(shard);
+  lru_.push_front(shard);
+}
+
+size_t ShardEmbeddingStore::resident_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [shard, block] : resident_) {
+    bytes += block.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+Result<const tensor::Matrix*> ShardEmbeddingStore::Block(int shard) {
+  if (shard < 0 || shard >= sharding_.num_shards()) {
+    return Status::InvalidArgument(
+        StrFormat("shard %d out of range for %d shards", shard,
+                  sharding_.num_shards()));
+  }
+  auto it = resident_.find(shard);
+  if (it != resident_.end()) {
+    AHNTP_METRIC_COUNT("infer.shard_hits", 1);
+    Touch(shard);
+    return &it->second;
+  }
+
+  trace::TraceSpan span("infer.shard.fault");
+  AHNTP_METRIC_COUNT("infer.shard_faults", 1);
+  std::string buf;
+  AHNTP_RETURN_IF_ERROR(ReadFileToString(BlockPath(shard), &buf));
+  const size_t rows = sharding_.UsersOf(shard).size();
+  const size_t payload_bytes = rows * dim_ * sizeof(float);
+  if (buf.size() != 16 + payload_bytes + 4 ||
+      ReadU32(buf.data()) != kBlockMagic ||
+      ReadU32(buf.data() + 4) != static_cast<uint32_t>(shard) ||
+      ReadU32(buf.data() + 8) != static_cast<uint32_t>(rows) ||
+      ReadU32(buf.data() + 12) != static_cast<uint32_t>(dim_)) {
+    return Status::Corruption("bad shard block header: " + BlockPath(shard));
+  }
+  if (ReadU32(buf.data() + 16 + payload_bytes) !=
+      Crc32(buf.data() + 16, payload_bytes)) {
+    return Status::Corruption("shard block CRC mismatch: " + BlockPath(shard));
+  }
+  tensor::Matrix block(rows, dim_);
+  std::memcpy(block.data(), buf.data() + 16, payload_bytes);
+
+  while (static_cast<int>(resident_.size()) >= max_resident_) {
+    int victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+    AHNTP_METRIC_COUNT("infer.shard_evictions", 1);
+  }
+  auto [inserted, ok] = resident_.emplace(shard, std::move(block));
+  AHNTP_CHECK(ok);
+  lru_.push_front(shard);
+  if (metrics::Enabled()) {
+    metrics::GetGauge("infer.shard_resident_bytes")
+        .Set(static_cast<double>(resident_bytes()));
+  }
+  return &inserted->second;
+}
+
+Status ShardEmbeddingStore::CopyUserRow(int user, float* out) {
+  const int shard = sharding_.ShardOf(user);
+  auto block = Block(shard);
+  AHNTP_RETURN_IF_ERROR(block.status());
+  const std::vector<int>& owned = sharding_.UsersOf(shard);
+  auto it = std::lower_bound(owned.begin(), owned.end(), user);
+  AHNTP_CHECK(it != owned.end() && *it == user);
+  const size_t row = static_cast<size_t>(it - owned.begin());
+  std::memcpy(out, block.value()->RowPtr(row), dim_ * sizeof(float));
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedInferencePlan
+// ---------------------------------------------------------------------------
+
+ShardedInferencePlan::ShardedInferencePlan(TrustPredictor* predictor,
+                                           ShardedPlanOptions options)
+    : predictor_(predictor), options_(std::move(options)) {
+  AHNTP_CHECK(predictor_ != nullptr);
+  AHNTP_CHECK_GE(options_.num_shards, 1);
+  AHNTP_CHECK(!options_.spill_dir.empty())
+      << "sharded inference needs a spill directory";
+  // A process-unique subdirectory per plan instance: a staged reload's
+  // freshly spilled blocks must never be faulted in by the still-serving
+  // plan of the previous generation.
+  static std::atomic<uint64_t> plan_counter{0};
+  plan_spill_dir_ =
+      options_.spill_dir + "/plan_" +
+      std::to_string(plan_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+Status ShardedInferencePlan::EnsureBuilt() {
+  if (built_) {
+    AHNTP_METRIC_COUNT("infer.cache_hits", 1);
+    return Status::Ok();
+  }
+  trace::TraceSpan span("infer.shard.plan_build");
+  AHNTP_METRIC_COUNT("infer.cache_misses", 1);
+  AHNTP_METRIC_COUNT("infer.shard_plan_builds", 1);
+  // Encode into a throwaway arena (as InferencePlan does), then spill the
+  // table and let it die with this scope — steady state holds at most
+  // max_resident_shards blocks.
+  tensor::Matrix embeddings;
+  {
+    tensor::Workspace encode_ws;
+    embeddings = predictor_->encoder().InferUsers(&encode_ws);
+  }
+  auto sharding = graph::UserSharding::Create(
+      embeddings.rows(),
+      {.num_shards = options_.num_shards, .mode = options_.mode});
+  AHNTP_RETURN_IF_ERROR(sharding.status());
+  const int max_resident = options_.max_resident_shards > 0
+                               ? options_.max_resident_shards
+                               : MaxResidentShards();
+  store_ = std::make_unique<ShardEmbeddingStore>(
+      std::move(sharding).value(), embeddings.cols(), plan_spill_dir_,
+      max_resident);
+  AHNTP_RETURN_IF_ERROR(store_->SpillAll(embeddings));
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<float>> ShardedInferencePlan::Score(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_CHECK(!pairs.empty());
+  AHNTP_RETURN_IF_ERROR(EnsureBuilt());
+  ws_.Reset();
+  const size_t n = pairs.size();
+  const size_t d = store_->dim();
+  using tensor::Matrix;
+  // Same arena discipline as InferencePlan::Score: the gathered inputs are
+  // filled row-by-row from the resident blocks instead of GatherRowsInto,
+  // which copies the identical float32 values.
+  Matrix* src_emb = ws_.Acquire(n, d);
+  Matrix* dst_emb = ws_.Acquire(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    AHNTP_RETURN_IF_ERROR(store_->CopyUserRow(pairs[i].src, src_emb->RowPtr(i)));
+    AHNTP_RETURN_IF_ERROR(store_->CopyUserRow(pairs[i].dst, dst_emb->RowPtr(i)));
+  }
+  std::vector<float> out = RunScoringChain(*predictor_, &ws_, *src_emb, *dst_emb);
+  ws_.Reset();
+  RecordWorkspaceBytes(ws_);
   return out;
 }
 

@@ -1,9 +1,14 @@
 #ifndef AHNTP_MODELS_INFERENCE_PLAN_H_
 #define AHNTP_MODELS_INFERENCE_PLAN_H_
 
+#include <list>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/split.h"
+#include "graph/sharding.h"
 #include "tensor/matrix.h"
 #include "tensor/workspace.h"
 
@@ -57,6 +62,117 @@ class InferencePlan {
   tensor::Matrix embeddings_;   // all-user embedding cache
   std::vector<int> src_idx_;    // reused per batch
   std::vector<int> dst_idx_;
+  bool built_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// The shard-aware inference path (DESIGN.md §14): the embedding table is
+// split by UserSharding into per-shard blocks spilled to disk, and a
+// bounded LRU keeps at most max_resident_shards blocks in RAM. A score
+// request faults in only the shards of its (src, dst) users. Because a
+// float32 survives the disk round-trip bit-exactly and the scoring kernels
+// are shared with InferencePlan, scores are bit-identical to the monolithic
+// plan at any (shard count, residency cap, thread count) combination.
+// ---------------------------------------------------------------------------
+
+/// Options for ShardedInferencePlan.
+struct ShardedPlanOptions {
+  int num_shards = 1;
+  /// RAM residency cap in shards; 0 = use the process-wide
+  /// MaxResidentShards() value (--max_resident_shards /
+  /// AHNTP_MAX_RESIDENT_SHARDS, default 2).
+  int max_resident_shards = 0;
+  graph::ShardingMode mode = graph::ShardingMode::kContiguous;
+  /// Directory for the per-shard block files; created if missing. Each plan
+  /// instance spills into its own subdirectory, so a staged reload never
+  /// clobbers the live plan's blocks.
+  std::string spill_dir;
+};
+
+/// Disk-backed per-shard embedding blocks behind a bounded LRU.
+///
+/// Blocks are raw float32 rows (one per owned user, ascending user order)
+/// with a small header and a CRC32 footer; Fault-in validates both.
+/// Counters: infer.shard_faults (disk loads), infer.shard_hits (already
+/// resident), infer.shard_evictions; gauge infer.shard_resident_bytes.
+/// Not thread-safe (same contract as InferencePlan).
+class ShardEmbeddingStore {
+ public:
+  /// `max_resident` >= 1 (CHECK). The directory is created on first spill.
+  ShardEmbeddingStore(graph::UserSharding sharding, size_t dim,
+                      std::string spill_dir, int max_resident);
+
+  /// Writes every shard's block from the full (num_users x dim) table and
+  /// drops all residency (the table is the caller's to free). Atomic per
+  /// block file.
+  Status SpillAll(const tensor::Matrix& embeddings);
+
+  /// Writes one shard's block; `rows` must be (owned-count x dim) in
+  /// ascending owned-user order. Lets builders stream blocks without ever
+  /// materializing the full table.
+  Status SpillShard(int shard, const tensor::Matrix& rows);
+
+  /// The resident block for `shard` (rows in ascending owned-user order),
+  /// faulting it in from disk — and evicting the least recently used block
+  /// past the cap — as needed.
+  Result<const tensor::Matrix*> Block(int shard);
+
+  /// Copies `user`'s embedding row into out[0..dim). Faults like Block().
+  Status CopyUserRow(int user, float* out);
+
+  const graph::UserSharding& sharding() const { return sharding_; }
+  size_t dim() const { return dim_; }
+  int num_resident() const { return static_cast<int>(resident_.size()); }
+  int max_resident() const { return max_resident_; }
+  size_t resident_bytes() const;
+
+ private:
+  std::string BlockPath(int shard) const;
+  void Touch(int shard);
+
+  graph::UserSharding sharding_;
+  size_t dim_;
+  std::string spill_dir_;
+  int max_resident_;
+  /// shard -> resident block; lru_ front is most recently used.
+  std::map<int, tensor::Matrix> resident_;
+  std::list<int> lru_;
+};
+
+/// Shard-aware analogue of InferencePlan. EnsureBuilt() encodes all users,
+/// spills the table into per-shard blocks, and frees the full table; each
+/// Score() then touches only the shards its pairs live in, with RAM bounded
+/// by max_resident_shards blocks. Scores are bit-identical to
+/// InferencePlan::Score at any configuration. Not thread-safe.
+class ShardedInferencePlan {
+ public:
+  /// `predictor` must outlive the plan. options.num_shards >= 1 and
+  /// options.spill_dir non-empty (CHECK).
+  ShardedInferencePlan(TrustPredictor* predictor, ShardedPlanOptions options);
+
+  /// Encode + spill when stale. InvalidArgument propagates from a bad
+  /// shard/user combination; IoError from spill failures.
+  Status EnsureBuilt();
+
+  void Invalidate() { built_ = false; }
+  bool built() const { return built_; }
+
+  /// Probabilities for a batch, faulting in only the shards of the pairs'
+  /// endpoints.
+  Result<std::vector<float>> Score(const std::vector<data::TrustPair>& pairs);
+
+  /// The block store; valid after EnsureBuilt() (null before).
+  const ShardEmbeddingStore* store() const { return store_.get(); }
+  ShardEmbeddingStore* mutable_store() { return store_.get(); }
+
+  const ShardedPlanOptions& options() const { return options_; }
+
+ private:
+  TrustPredictor* predictor_;
+  ShardedPlanOptions options_;
+  std::string plan_spill_dir_;  // per-instance subdirectory of spill_dir
+  std::unique_ptr<ShardEmbeddingStore> store_;
+  tensor::Workspace ws_;
   bool built_ = false;
 };
 

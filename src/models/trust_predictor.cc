@@ -32,6 +32,7 @@ TrustPredictor::PairOutput TrustPredictor::Forward(
   // embeddings are about to go stale. (SetTraining now recurses through
   // Submodules(), so the per-call flag pushes are gone.)
   if (training_ && plan_) plan_->Invalidate();
+  if (training_ && sharded_plan_) sharded_plan_->Invalidate();
   Variable embeddings = encoder_->EncodeUsers();
   std::vector<int> src_idx;
   std::vector<int> dst_idx;
@@ -58,16 +59,38 @@ std::vector<float> TrustPredictor::PredictProbabilities(
     const std::vector<data::TrustPair>& pairs) {
   bool was_training = training();
   SetTraining(false);
-  std::vector<float> probs = Plan().Score(pairs);
+  std::vector<float> probs;
+  if (sharded_plan_) {
+    // Spill-file I/O errors are environment failures, not model state; fail
+    // loudly rather than serve from a half-resident store.
+    auto result = sharded_plan_->Score(pairs);
+    AHNTP_CHECK_OK(result.status());
+    probs = std::move(result).value();
+  } else {
+    probs = Plan().Score(pairs);
+  }
   SetTraining(was_training);
   return probs;
 }
 
-void TrustPredictor::WarmInferencePlan() { Plan().EnsureBuilt(); }
+void TrustPredictor::WarmInferencePlan() {
+  if (sharded_plan_) {
+    AHNTP_CHECK_OK(sharded_plan_->EnsureBuilt());
+    return;
+  }
+  Plan().EnsureBuilt();
+}
+
+void TrustPredictor::EnableShardedInference(const ShardedPlanOptions& options) {
+  sharded_plan_ = std::make_unique<ShardedInferencePlan>(this, options);
+}
+
+void TrustPredictor::DisableShardedInference() { sharded_plan_.reset(); }
 
 void TrustPredictor::InvalidateCaches() {
   nn::Module::InvalidateCaches();
   if (plan_) plan_->Invalidate();
+  if (sharded_plan_) sharded_plan_->Invalidate();
 }
 
 InferencePlan& TrustPredictor::Plan() {

@@ -10,6 +10,8 @@
 namespace ahntp::models {
 
 class InferencePlan;
+class ShardedInferencePlan;
+struct ShardedPlanOptions;
 
 /// Configuration of the pairwise head shared by all models.
 struct TrustPredictorConfig {
@@ -52,8 +54,24 @@ class TrustPredictor : public nn::Module {
 
   /// Builds the inference plan eagerly (encodes all users) so the first
   /// PredictProbabilities call is cheap. serve::ModelBackend calls this
-  /// before publishing a predictor.
+  /// before publishing a predictor. When sharded inference is enabled this
+  /// warms the sharded plan (encode + spill) instead.
   void WarmInferencePlan();
+
+  /// Switches PredictProbabilities to the shard-aware out-of-core plan
+  /// (models/inference_plan.h): per-shard embedding blocks on disk behind a
+  /// bounded resident-set LRU, bit-identical scores to the monolithic plan.
+  /// Takes effect at the next prediction; the plan spills lazily. Invalid
+  /// options (num_shards < 1, empty spill_dir) abort via CHECK.
+  void EnableShardedInference(const ShardedPlanOptions& options);
+
+  /// Reverts PredictProbabilities to the monolithic in-RAM plan.
+  void DisableShardedInference();
+
+  /// The sharded plan, or null when sharded inference is disabled.
+  const ShardedInferencePlan* sharded_plan() const {
+    return sharded_plan_.get();
+  }
 
   /// Drops the cached embeddings/plan in addition to the recursive module
   /// default. Called after parameter loads and restores.
@@ -76,6 +94,7 @@ class TrustPredictor : public nn::Module {
   std::unique_ptr<nn::Mlp> tower_src_;
   std::unique_ptr<nn::Mlp> tower_dst_;
   std::unique_ptr<InferencePlan> plan_;
+  std::unique_ptr<ShardedInferencePlan> sharded_plan_;
 };
 
 }  // namespace ahntp::models

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "data/split.h"
 #include "graph/digraph.h"
 #include "models/heuristics.h"
+#include "models/inference_plan.h"
 #include "models/trust_predictor.h"
 
 namespace ahntp::serve {
@@ -61,8 +63,13 @@ class ModelBackend : public ScoreBackend {
 
   /// `factory` builds architecture-identical instances for reload staging;
   /// `initial` is the model served until the first successful Reload().
-  ModelBackend(Factory factory,
-               std::unique_ptr<models::TrustPredictor> initial);
+  /// When `sharded` is set, the initial model and every staged reload run
+  /// the shard-aware inference plan (models/inference_plan.h): embeddings
+  /// live in per-shard disk blocks behind a bounded LRU, and a score
+  /// request faults in only the shards of its (src, dst) users — scores
+  /// stay bit-identical to the monolithic plan.
+  ModelBackend(Factory factory, std::unique_ptr<models::TrustPredictor> initial,
+               std::optional<models::ShardedPlanOptions> sharded = std::nullopt);
 
   Result<std::vector<float>> ScoreBatch(
       const std::vector<data::TrustPair>& pairs) override;
@@ -79,6 +86,7 @@ class ModelBackend : public ScoreBackend {
 
  private:
   Factory factory_;
+  std::optional<models::ShardedPlanOptions> sharded_;
   mutable std::mutex mu_;
   std::shared_ptr<models::TrustPredictor> model_;
   int64_t generation_ = 0;

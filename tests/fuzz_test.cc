@@ -19,6 +19,7 @@
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/split.h"
+#include "graph/sharding.h"
 #include "hypergraph/hypergraph.h"
 #include "nn/serialization.h"
 #include "serve/backend.h"
@@ -471,6 +472,61 @@ TEST(IoFailureTest, WrongRowWidthRejected) {
   EXPECT_FALSE(loaded.ok());
   std::filesystem::remove_all(dir);
 }
+
+// ---------------------------------------------------------------------------
+// Partitioner fuzz: degenerate (num_users, num_shards) requests must come
+// back as InvalidArgument, never crash — and every accepted partition must
+// cover each user exactly once.
+// ---------------------------------------------------------------------------
+
+class ShardingFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardingFuzzTest, DegenerateRequestsRejectedValidOnesCover) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919u + 17u);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Bias toward the degenerate boundary: tiny populations, shard counts
+    // straddling N, zero and negative values.
+    size_t num_users = rng.NextBounded(8);  // 0..7, often < K
+    if (rng.NextBounded(4) == 0) num_users += 1000;
+    int num_shards = static_cast<int>(rng.NextBounded(12)) - 2;  // -2..9
+    graph::ShardingOptions options;
+    options.num_shards = num_shards;
+    options.mode = rng.NextBounded(2) == 0 ? graph::ShardingMode::kContiguous
+                                           : graph::ShardingMode::kHashed;
+    auto sharding = graph::UserSharding::Create(num_users, options);
+    bool degenerate = num_shards <= 0 || num_users == 0 ||
+                      static_cast<size_t>(num_shards) > num_users;
+    if (degenerate) {
+      ASSERT_FALSE(sharding.ok())
+          << "N=" << num_users << " K=" << num_shards;
+      EXPECT_EQ(sharding.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    // Hashed partitions may legitimately reject a K that leaves a shard
+    // empty; anything accepted must be a complete, disjoint cover.
+    if (!sharding.ok()) {
+      EXPECT_EQ(sharding.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_EQ(options.mode, graph::ShardingMode::kHashed);
+      continue;
+    }
+    std::vector<int> seen(num_users, 0);
+    for (int k = 0; k < num_shards; ++k) {
+      const std::vector<int>& owned = sharding.value().UsersOf(k);
+      EXPECT_FALSE(owned.empty()) << "accepted partitions have no empty shard";
+      for (int u : owned) {
+        ASSERT_GE(u, 0);
+        ASSERT_LT(static_cast<size_t>(u), num_users);
+        EXPECT_EQ(sharding.value().ShardOf(u), k);
+        ++seen[static_cast<size_t>(u)];
+      }
+    }
+    for (size_t u = 0; u < num_users; ++u) {
+      EXPECT_EQ(seen[u], 1) << "user " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardingFuzzTest, ::testing::Range(1, 5));
 
 }  // namespace
 }  // namespace ahntp

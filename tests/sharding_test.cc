@@ -1,0 +1,547 @@
+// Sharded build + shard-aware inference (DESIGN.md §14): the partitioner,
+// halo subgraphs, sharded analytics and hypergroup builders, the streaming
+// generator, and the out-of-core inference plan. The load-bearing property
+// throughout is *bitwise* parity with the monolithic (K=1) path at every
+// combination of shard count, sharding mode, and thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "core/model_zoo.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "graph/motifs.h"
+#include "graph/pagerank.h"
+#include "graph/sharding.h"
+#include "hypergraph/builders.h"
+#include "models/inference_plan.h"
+#include "models/trust_predictor.h"
+#include "serve/backend.h"
+#include "tensor/csr.h"
+
+namespace ahntp {
+namespace {
+
+using graph::Digraph;
+using graph::ShardingMode;
+using graph::ShardingOptions;
+using graph::UserSharding;
+using tensor::CsrMatrix;
+
+/// Bitwise CSR equality: structure and float bits, not approximate values.
+void ExpectCsrBitwiseEqual(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values().size(), b.values().size());
+  for (size_t i = 0; i < a.values().size(); ++i) {
+    EXPECT_EQ(a.values()[i], b.values()[i]) << "value " << i;
+  }
+}
+
+void ExpectHypergraphEqual(const hypergraph::Hypergraph& a,
+                           const hypergraph::Hypergraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.EdgeVertices(e), b.EdgeVertices(e)) << "edge " << e;
+    EXPECT_EQ(a.EdgeWeight(e), b.EdgeWeight(e)) << "edge " << e;
+  }
+}
+
+Digraph TestGraph(double scale = 0.05) {
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(data::GeneratorConfig::EpinionsLike(scale))
+          .Generate();
+  auto graph = dataset.GraphFromEdges(dataset.trust_edges);
+  AHNTP_CHECK_OK(graph.status());
+  return std::move(graph).value();
+}
+
+/// The parity sweep every sharded component runs under: contiguous and
+/// hashed partitions, K in {1, 3}, threads in {1, 2, 8}.
+std::vector<ShardingOptions> ShardingSweep() {
+  return {{1, ShardingMode::kContiguous},
+          {3, ShardingMode::kContiguous},
+          {3, ShardingMode::kHashed}};
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+TEST(UserShardingTest, ContiguousPartitionIsBalancedAndComplete) {
+  auto sharding = UserSharding::Create(10, {3, ShardingMode::kContiguous});
+  ASSERT_TRUE(sharding.ok());
+  const UserSharding& s = sharding.value();
+  // 10 = 4 + 3 + 3; first N % K shards take the extra user.
+  EXPECT_EQ(s.UsersOf(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.UsersOf(1), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(s.UsersOf(2), (std::vector<int>{7, 8, 9}));
+  for (int u = 0; u < 10; ++u) {
+    const std::vector<int>& owned = s.UsersOf(s.ShardOf(u));
+    EXPECT_TRUE(std::find(owned.begin(), owned.end(), u) != owned.end());
+  }
+}
+
+TEST(UserShardingTest, HashedPartitionCoversEveryUserExactlyOnce) {
+  auto sharding = UserSharding::Create(257, {4, ShardingMode::kHashed});
+  ASSERT_TRUE(sharding.ok());
+  const UserSharding& s = sharding.value();
+  std::vector<int> seen(257, 0);
+  for (int k = 0; k < 4; ++k) {
+    int prev = -1;
+    for (int u : s.UsersOf(k)) {
+      EXPECT_GT(u, prev) << "owned lists must ascend";
+      prev = u;
+      EXPECT_EQ(s.ShardOf(u), k);
+      ++seen[static_cast<size_t>(u)];
+    }
+  }
+  for (int u = 0; u < 257; ++u) EXPECT_EQ(seen[static_cast<size_t>(u)], 1);
+}
+
+TEST(UserShardingTest, DeterministicAcrossInstances) {
+  for (ShardingMode mode :
+       {ShardingMode::kContiguous, ShardingMode::kHashed}) {
+    auto a = UserSharding::Create(100, {5, mode});
+    auto b = UserSharding::Create(100, {5, mode});
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (int u = 0; u < 100; ++u) {
+      EXPECT_EQ(a.value().ShardOf(u), b.value().ShardOf(u));
+    }
+  }
+}
+
+TEST(UserShardingTest, RejectsDegenerateRequests) {
+  EXPECT_FALSE(UserSharding::Create(10, {0, ShardingMode::kContiguous}).ok());
+  EXPECT_FALSE(UserSharding::Create(10, {-3, ShardingMode::kContiguous}).ok());
+  EXPECT_FALSE(UserSharding::Create(0, {1, ShardingMode::kContiguous}).ok());
+  // K > N would manufacture empty shards.
+  EXPECT_FALSE(UserSharding::Create(3, {5, ShardingMode::kContiguous}).ok());
+  EXPECT_FALSE(UserSharding::Create(3, {5, ShardingMode::kHashed}).ok());
+  // Single user, single shard is fine.
+  auto single = UserSharding::Create(1, {1, ShardingMode::kContiguous});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value().ShardOf(0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shard subgraphs
+// ---------------------------------------------------------------------------
+
+TEST(ShardSubgraphTest, LocalIdsAscendAndEdgesMatchGlobal) {
+  Digraph graph = TestGraph();
+  for (const ShardingOptions& opts : ShardingSweep()) {
+    auto sharding = UserSharding::Create(graph.num_nodes(), opts);
+    ASSERT_TRUE(sharding.ok());
+    size_t owned_total = 0;
+    for (int k = 0; k < opts.num_shards; ++k) {
+      auto sub_result =
+          graph::BuildShardSubgraph(graph, sharding.value(), k, 1);
+      ASSERT_TRUE(sub_result.ok());
+      const graph::ShardSubgraph& sub = sub_result.value();
+      owned_total += sub.num_owned;
+      // local_to_global ascends; is_owned marks exactly the shard's users.
+      for (size_t i = 1; i < sub.local_to_global.size(); ++i) {
+        EXPECT_LT(sub.local_to_global[i - 1], sub.local_to_global[i]);
+      }
+      for (size_t i = 0; i < sub.local_to_global.size(); ++i) {
+        EXPECT_EQ(sub.is_owned[i] != 0,
+                  sharding.value().ShardOf(sub.local_to_global[i]) == k);
+      }
+      // Every local edge maps to the same global edge it indexes.
+      ASSERT_EQ(sub.graph.num_edges(), sub.global_edge_index.size());
+      for (size_t e = 0; e < sub.graph.num_edges(); ++e) {
+        const graph::Edge& local = sub.graph.edges()[e];
+        const graph::Edge& global =
+            graph.edges()[static_cast<size_t>(sub.global_edge_index[e])];
+        EXPECT_EQ(sub.GlobalId(local.src), global.src);
+        EXPECT_EQ(sub.GlobalId(local.dst), global.dst);
+      }
+      // Halo closure: every global edge among subgraph vertices is present.
+      size_t expected = 0;
+      for (const graph::Edge& ge : graph.edges()) {
+        if (sub.LocalId(ge.src) >= 0 && sub.LocalId(ge.dst) >= 0) ++expected;
+      }
+      EXPECT_EQ(sub.graph.num_edges(), expected);
+    }
+    EXPECT_EQ(owned_total, graph.num_nodes());
+  }
+}
+
+TEST(ShardSubgraphTest, RejectsBadArguments) {
+  Digraph graph = TestGraph();
+  auto sharding =
+      UserSharding::Create(graph.num_nodes(), {2, ShardingMode::kContiguous});
+  ASSERT_TRUE(sharding.ok());
+  EXPECT_FALSE(graph::BuildShardSubgraph(graph, sharding.value(), -1, 1).ok());
+  EXPECT_FALSE(graph::BuildShardSubgraph(graph, sharding.value(), 2, 1).ok());
+  EXPECT_FALSE(graph::BuildShardSubgraph(graph, sharding.value(), 0, -1).ok());
+  Digraph wrong_size(graph.num_nodes() + 1);
+  EXPECT_FALSE(
+      graph::BuildShardSubgraph(wrong_size, sharding.value(), 0, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded analytics: bitwise vs monolithic at threads 1/2/8
+// ---------------------------------------------------------------------------
+
+TEST(ShardedAnalyticsTest, AdjacencyAndMotifBitwiseAcrossThreads) {
+  Digraph graph = TestGraph();
+  const CsrMatrix mono_adj = graph.Adjacency();
+  const CsrMatrix mono_motif =
+      graph::MotifAdjacency(mono_adj, graph::Motif::kM6);
+  for (const ShardingOptions& opts : ShardingSweep()) {
+    auto sharding = UserSharding::Create(graph.num_nodes(), opts);
+    ASSERT_TRUE(sharding.ok());
+    for (int threads : {1, 2, 8}) {
+      SetNumThreads(threads);
+      ExpectCsrBitwiseEqual(graph::ShardedAdjacency(graph, sharding.value()),
+                            mono_adj);
+      ExpectCsrBitwiseEqual(
+          graph::ShardedMotifAdjacency(graph, sharding.value(),
+                                       graph::Motif::kM6),
+          mono_motif);
+    }
+    SetNumThreads(0);
+  }
+}
+
+TEST(ShardedAnalyticsTest, PageRankBitwiseAcrossThreads) {
+  Digraph graph = TestGraph();
+  const std::vector<double> mono_pr = graph::PageRank(graph.Adjacency());
+  const graph::MotifPageRankResult mono_mpr =
+      graph::MotifPageRank(graph.Adjacency());
+  for (const ShardingOptions& opts : ShardingSweep()) {
+    auto sharding = UserSharding::Create(graph.num_nodes(), opts);
+    ASSERT_TRUE(sharding.ok());
+    for (int threads : {1, 2, 8}) {
+      SetNumThreads(threads);
+      std::vector<double> pr = graph::ShardedPageRank(graph, sharding.value());
+      ASSERT_EQ(pr.size(), mono_pr.size());
+      for (size_t i = 0; i < pr.size(); ++i) {
+        EXPECT_EQ(pr[i], mono_pr[i]) << "PageRank node " << i;
+      }
+      graph::MotifPageRankResult mpr =
+          graph::ShardedMotifPageRank(graph, sharding.value());
+      ASSERT_EQ(mpr.scores.size(), mono_mpr.scores.size());
+      for (size_t i = 0; i < mpr.scores.size(); ++i) {
+        EXPECT_EQ(mpr.scores[i], mono_mpr.scores[i]) << "MPR node " << i;
+      }
+      ExpectCsrBitwiseEqual(mpr.combined_weights, mono_mpr.combined_weights);
+      ExpectCsrBitwiseEqual(mpr.motif_adjacency, mono_mpr.motif_adjacency);
+    }
+    SetNumThreads(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded hypergroup builders: bitwise vs monolithic at threads 1/2/8
+// ---------------------------------------------------------------------------
+
+TEST(ShardedBuildersTest, AllFourHypergroupsBitwiseAcrossThreads) {
+  data::SocialDataset dataset = data::SocialNetworkGenerator(
+                                    data::GeneratorConfig::EpinionsLike(0.05))
+                                    .Generate();
+  auto graph_result = dataset.GraphFromEdges(dataset.trust_edges);
+  ASSERT_TRUE(graph_result.ok());
+  Digraph graph = std::move(graph_result).value();
+  std::vector<std::vector<int>> attributes = {dataset.communities};
+
+  hypergraph::SocialInfluenceOptions social_opts;
+  hypergraph::MultiHopOptions multihop_opts;
+  multihop_opts.num_hops = 2;
+  const hypergraph::Hypergraph mono_social =
+      hypergraph::BuildSocialInfluenceHypergroup(graph, social_opts);
+  const hypergraph::Hypergraph mono_attr =
+      hypergraph::BuildAttributeHypergroup(dataset.num_users, attributes);
+  const hypergraph::Hypergraph mono_pair =
+      hypergraph::BuildPairwiseHypergroup(graph);
+  const hypergraph::Hypergraph mono_hop =
+      hypergraph::BuildMultiHopHypergroup(graph, multihop_opts);
+
+  for (const ShardingOptions& opts : ShardingSweep()) {
+    auto sharding = UserSharding::Create(dataset.num_users, opts);
+    ASSERT_TRUE(sharding.ok());
+    for (int threads : {1, 2, 8}) {
+      SetNumThreads(threads);
+      ExpectHypergraphEqual(hypergraph::BuildSocialInfluenceHypergroupSharded(
+                                graph, sharding.value(), social_opts),
+                            mono_social);
+      ExpectHypergraphEqual(hypergraph::BuildAttributeHypergroupSharded(
+                                sharding.value(), attributes),
+                            mono_attr);
+      ExpectHypergraphEqual(
+          hypergraph::BuildPairwiseHypergroupSharded(graph, sharding.value()),
+          mono_pair);
+      ExpectHypergraphEqual(hypergraph::BuildMultiHopHypergroupSharded(
+                                graph, sharding.value(), multihop_opts),
+                            mono_hop);
+    }
+    SetNumThreads(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generation
+// ---------------------------------------------------------------------------
+
+TEST(StreamingGeneratorTest, StreamReassemblesToGenerateExactly) {
+  data::GeneratorConfig config = data::GeneratorConfig::EpinionsLike(0.05);
+  data::SocialDataset dataset = data::SocialNetworkGenerator(config).Generate();
+
+  std::vector<data::StreamedEdge> streamed;
+  std::vector<int> communities;
+  size_t count = data::SocialNetworkGenerator(config).StreamTrustEdges(
+      [&](const data::StreamedEdge& e) { streamed.push_back(e); },
+      &communities);
+  ASSERT_EQ(count, dataset.trust_edges.size());
+  ASSERT_EQ(streamed.size(), dataset.trust_edges.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].index, static_cast<int64_t>(i));
+    EXPECT_EQ(streamed[i].src, dataset.trust_edges[i].src);
+    EXPECT_EQ(streamed[i].dst, dataset.trust_edges[i].dst);
+  }
+  EXPECT_EQ(communities, dataset.communities);
+}
+
+TEST(StreamingGeneratorTest, ShardedEdgeBufferRoutesAndBoundsBuffering) {
+  // Capacity 4: every flush before FlushAll must carry at most 4 edges.
+  std::vector<std::vector<data::StreamedEdge>> delivered(3);
+  size_t flushes = 0;
+  bool draining = false;
+  data::ShardedEdgeBuffer buffer(
+      3, 4, [&](int shard, const std::vector<data::StreamedEdge>& edges) {
+        ++flushes;
+        if (!draining) {
+          EXPECT_LE(edges.size(), 4u);
+        }
+        auto& out = delivered[static_cast<size_t>(shard)];
+        out.insert(out.end(), edges.begin(), edges.end());
+      });
+  std::vector<std::vector<int64_t>> expected(3);
+  for (int64_t i = 0; i < 100; ++i) {
+    int src_shard = static_cast<int>(i % 3);
+    int dst_shard = static_cast<int>((i / 3) % 3);
+    buffer.Route({static_cast<int>(i), static_cast<int>(i + 1), i}, src_shard,
+                 dst_shard);
+    expected[static_cast<size_t>(src_shard)].push_back(i);
+    if (dst_shard != src_shard) {
+      expected[static_cast<size_t>(dst_shard)].push_back(i);
+    }
+  }
+  draining = true;
+  buffer.FlushAll();
+  EXPECT_GT(flushes, 3u);  // bounded capacity forced intermediate flushes
+  for (int k = 0; k < 3; ++k) {
+    const auto& got = delivered[static_cast<size_t>(k)];
+    const auto& want = expected[static_cast<size_t>(k)];
+    ASSERT_EQ(got.size(), want.size()) << "shard " << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, want[i]) << "shard " << k << " pos " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core inference plan
+// ---------------------------------------------------------------------------
+
+struct PredictorFixture {
+  data::SocialDataset dataset;
+  data::TrustSplit split;
+  Digraph graph;
+  tensor::Matrix features;
+  Rng rng{1234};
+  std::unique_ptr<models::TrustPredictor> predictor;
+
+  explicit PredictorFixture(double scale = 0.04)
+      : dataset(data::SocialNetworkGenerator(
+                    data::GeneratorConfig::EpinionsLike(scale))
+                    .Generate()),
+        split(data::MakeSplit(dataset)) {
+    auto graph_result = dataset.GraphFromEdges(split.train_positive);
+    AHNTP_CHECK_OK(graph_result.status());
+    graph = std::move(graph_result).value();
+    features = data::BuildFeatureMatrix(dataset);
+    models::ModelInputs inputs;
+    inputs.features = &features;
+    inputs.graph = &graph;
+    inputs.dataset = &dataset;
+    inputs.rng = &rng;
+    auto created = core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+    AHNTP_CHECK_OK(created.status());
+    predictor = std::move(created).value();
+    predictor->SetTraining(false);
+  }
+
+  std::vector<data::TrustPair> Pairs(size_t n) const {
+    std::vector<data::TrustPair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(split.test_pairs[i % split.test_pairs.size()]);
+    }
+    return pairs;
+  }
+};
+
+class ShardedPlanTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::filesystem::remove_all("sharding_test_spill");
+  }
+};
+
+TEST_F(ShardedPlanTest, ScoresBitIdenticalToMonolithicPlan) {
+  PredictorFixture fx;
+  std::vector<data::TrustPair> pairs = fx.Pairs(64);
+  std::vector<float> mono = fx.predictor->PredictProbabilities(pairs);
+  for (const ShardingOptions& opts : ShardingSweep()) {
+    for (int resident : {1, 2}) {
+      for (int threads : {1, 2, 8}) {
+        SetNumThreads(threads);
+        models::ShardedPlanOptions plan_opts;
+        plan_opts.num_shards = opts.num_shards;
+        plan_opts.mode = opts.mode;
+        plan_opts.max_resident_shards = resident;
+        plan_opts.spill_dir = "sharding_test_spill";
+        fx.predictor->EnableShardedInference(plan_opts);
+        std::vector<float> sharded =
+            fx.predictor->PredictProbabilities(pairs);
+        ASSERT_EQ(sharded.size(), mono.size());
+        for (size_t i = 0; i < mono.size(); ++i) {
+          EXPECT_EQ(sharded[i], mono[i])
+              << "pair " << i << " K=" << opts.num_shards
+              << " resident=" << resident << " threads=" << threads;
+        }
+      }
+      SetNumThreads(0);
+    }
+  }
+  fx.predictor->DisableShardedInference();
+}
+
+TEST_F(ShardedPlanTest, BoundedResidencyEvictsAndCountsFaults) {
+  metrics::Enable();
+  metrics::Reset();
+  PredictorFixture fx;
+  models::ShardedPlanOptions plan_opts;
+  plan_opts.num_shards = 4;
+  plan_opts.max_resident_shards = 1;
+  plan_opts.spill_dir = "sharding_test_spill";
+  fx.predictor->EnableShardedInference(plan_opts);
+  fx.predictor->WarmInferencePlan();
+  const models::ShardedInferencePlan* plan = fx.predictor->sharded_plan();
+  ASSERT_NE(plan, nullptr);
+  ASSERT_NE(plan->store(), nullptr);
+  EXPECT_EQ(plan->store()->max_resident(), 1);
+
+  int64_t faults_before = metrics::GetCounter("infer.shard_faults").Value();
+  int64_t evictions_before =
+      metrics::GetCounter("infer.shard_evictions").Value();
+  // Pairs spanning all users force cross-shard faults under a 1-block cap.
+  (void)fx.predictor->PredictProbabilities(fx.Pairs(32));
+  EXPECT_LE(plan->store()->num_resident(), 1);
+  EXPECT_GT(metrics::GetCounter("infer.shard_faults").Value(), faults_before);
+  EXPECT_GT(metrics::GetCounter("infer.shard_evictions").Value(),
+            evictions_before);
+  // Residency never exceeds one block's bytes (plus slack for dim rounding).
+  EXPECT_LE(plan->store()->resident_bytes(),
+            (fx.dataset.num_users / 4 + 1) * sizeof(float) * 4096);
+  fx.predictor->DisableShardedInference();
+  metrics::Disable();
+}
+
+TEST_F(ShardedPlanTest, CorruptBlockSurfacesAsCorruption) {
+  PredictorFixture fx;
+  models::ShardedPlanOptions plan_opts;
+  plan_opts.num_shards = 2;
+  plan_opts.max_resident_shards = 1;
+  plan_opts.spill_dir = "sharding_test_spill";
+  fx.predictor->EnableShardedInference(plan_opts);
+  fx.predictor->WarmInferencePlan();
+  // Flip a payload byte in every spilled block; the next fault of either
+  // shard must fail the CRC, not serve garbage embeddings.
+  size_t flipped = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           "sharding_test_spill")) {
+    if (!entry.is_regular_file()) continue;
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(20);  // past magic + shard + rows + cols, into the payload
+    char byte = 0;
+    f.get(byte);
+    f.seekp(20);
+    f.put(static_cast<char>(byte ^ 0x5A));
+    ++flipped;
+  }
+  ASSERT_GT(flipped, 0u);
+  auto* plan = const_cast<models::ShardedInferencePlan*>(
+      fx.predictor->sharded_plan());
+  // Drop residency so Score must fault from the corrupt files.
+  ASSERT_TRUE(plan->mutable_store() != nullptr);
+  auto result = plan->mutable_store()->Block(0);
+  // Block 0 may still be resident from the warm; fault the other shard too.
+  auto result1 = plan->mutable_store()->Block(1);
+  EXPECT_TRUE(!result.ok() || !result1.ok());
+  StatusCode code = !result.ok() ? result.status().code()
+                                 : result1.status().code();
+  EXPECT_EQ(code, StatusCode::kCorruption);
+  fx.predictor->DisableShardedInference();
+}
+
+TEST_F(ShardedPlanTest, InvalidationRebuildsAfterWeightChange) {
+  metrics::Enable();
+  metrics::Reset();
+  PredictorFixture fx;
+  models::ShardedPlanOptions plan_opts;
+  plan_opts.num_shards = 2;
+  plan_opts.spill_dir = "sharding_test_spill";
+  fx.predictor->EnableShardedInference(plan_opts);
+  std::vector<data::TrustPair> pairs = fx.Pairs(8);
+  std::vector<float> before = fx.predictor->PredictProbabilities(pairs);
+  int64_t builds_before =
+      metrics::GetCounter("infer.shard_plan_builds").Value();
+  fx.predictor->InvalidateCaches();
+  std::vector<float> after = fx.predictor->PredictProbabilities(pairs);
+  EXPECT_EQ(metrics::GetCounter("infer.shard_plan_builds").Value(),
+            builds_before + 1);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "same weights must re-encode identically";
+  }
+  fx.predictor->DisableShardedInference();
+  metrics::Disable();
+}
+
+TEST_F(ShardedPlanTest, ModelBackendShardedScoresMatchMonolithic) {
+  PredictorFixture mono_fx;
+  std::vector<data::TrustPair> pairs = mono_fx.Pairs(32);
+  std::vector<float> mono = mono_fx.predictor->PredictProbabilities(pairs);
+
+  PredictorFixture sharded_fx;
+  models::ShardedPlanOptions plan_opts;
+  plan_opts.num_shards = 3;
+  plan_opts.max_resident_shards = 2;
+  plan_opts.spill_dir = "sharding_test_spill";
+  // The factory matters only for Reload; scoring uses the initial model.
+  serve::ModelBackend backend([]() { return nullptr; },
+                              std::move(sharded_fx.predictor), plan_opts);
+  auto result = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), mono.size());
+  for (size_t i = 0; i < mono.size(); ++i) {
+    EXPECT_EQ(result.value()[i], mono[i]) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ahntp
