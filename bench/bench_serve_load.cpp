@@ -1,24 +1,41 @@
-// Serving-path micro-benchmark: offered-load sweep against the online
-// inference substrate (src/serve). For each execution-substrate thread
-// count and each burst size, submits a closed-loop burst to a
-// TrustServer fronting a trained-architecture AHNTP predictor and
-// reports p50/p99 response latency and the rejection rate produced by
-// queue backpressure. Emits a `BENCH_serve_load.json` result file (via
-// the atomic writer) alongside the usual BENCH_META line; pass
-// --metrics for a metrics sidecar with the serve.* counters.
+// Serving-path overload benchmark: a multi-tenant lane mix at 4x offered
+// load against the online inference substrate (src/serve). Per execution
+// thread count, submits `--serve_waves` closed-loop waves of a steady
+// strict tenant, two bursty degraded-eligible tenants, and an adversarial
+// hot-key best-effort tenant, with priority admission (strict
+// reservation), request coalescing, and a generation-keyed score cache
+// shared across the waves. Reports per-lane offered/admitted/shed rows
+// with p50/p99 latency plus a per-lane FNV-1a digest over (status code,
+// degraded/cached/coalesced flags, score bits) in submission order — the
+// digest must be bit-identical at any thread count, with and without an
+// AHNTP_FAULTS spec, because wall-clock never enters it.
 //
-//   ./build/bench/bench_serve_load [--scale=0.03] [--serve_queue_capacity=128]
+// Emits `BENCH_serve_load.json` (schema_version 2, one row per
+// (threads, lane)) via the atomic writer alongside the usual BENCH_META
+// line; pass --metrics for a serve.* counter sidecar.
+//
+//   ./build/bench/bench_serve_load [--scale=0.03]
+//       [--serve_queue_capacity=128] [--strict_reserve=32]
+//       [--serve_waves=2] [--serve_load_multiplier=4]
+//       [--fault_spec='serve.infer@~0.75' --fault_seed=42]
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault.h"
 #include "common/fileio.h"
 #include "core/model_zoo.h"
 #include "data/features.h"
 #include "data/split.h"
+#include "serve/admission.h"
 #include "serve/backend.h"
+#include "serve/score_cache.h"
 #include "serve/server.h"
 
 namespace {
@@ -33,15 +50,85 @@ double Percentile(std::vector<double> sorted_ms, double p) {
   return sorted_ms[index];
 }
 
-struct LoadRow {
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvByte(uint64_t h, uint8_t byte) { return (h ^ byte) * kFnvPrime; }
+
+uint64_t FnvU32(uint64_t h, uint32_t word) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = FnvByte(h, static_cast<uint8_t>(word >> shift));
+  }
+  return h;
+}
+
+/// Per-(threads, lane) accounting. Latency percentiles are reported but
+/// excluded from the digest, which folds only deterministic outcome bits.
+struct LaneRow {
   int threads = 0;
+  serve::Lane lane = serve::Lane::kStrict;
   int offered = 0;
-  int served = 0;
+  int admitted = 0;
+  int ok = 0;
+  int degraded = 0;
   int rejected = 0;
+  int expired = 0;
+  int failed = 0;
+  int cached = 0;
+  int coalesced = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
-  double rejection_rate = 0.0;
+  double shed_rate = 0.0;
+  uint64_t digest = kFnvOffset;
+  std::vector<double> latencies;
+
+  void Absorb(const serve::TrustResponse& response) {
+    ++offered;
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else {
+      ++admitted;
+      latencies.push_back(response.latency_ms);
+      if (response.status.ok()) {
+        response.degraded ? ++degraded : ++ok;
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++expired;
+      } else {
+        ++failed;
+      }
+    }
+    if (response.cached) ++cached;
+    if (response.coalesced) ++coalesced;
+    digest = FnvByte(digest, static_cast<uint8_t>(response.status.code()));
+    digest = FnvByte(digest, static_cast<uint8_t>((response.degraded << 2) |
+                                                  (response.cached << 1) |
+                                                  response.coalesced));
+    uint32_t bits = 0;
+    if (response.status.ok()) {
+      static_assert(sizeof(bits) == sizeof(response.score));
+      std::memcpy(&bits, &response.score, sizeof(bits));
+    }
+    digest = FnvU32(digest, bits);
+  }
+
+  void Finish() {
+    p50_ms = Percentile(latencies, 0.5);
+    p99_ms = Percentile(latencies, 0.99);
+    shed_rate = offered > 0
+                    ? static_cast<double>(rejected) / offered
+                    : 0.0;
+  }
 };
+
+/// Tenant mix by submission index: one steady strict tenant, two bursty
+/// degraded-eligible tenants, one hot-key best-effort tenant.
+serve::Lane LaneFor(int i) {
+  switch (i % 4) {
+    case 0: return serve::Lane::kStrict;
+    case 3: return serve::Lane::kBesteffort;
+    default: return serve::Lane::kDegradedEligible;
+  }
+}
 
 }  // namespace
 
@@ -49,11 +136,30 @@ int main(int argc, char** argv) {
   FlagParser flags;
   AHNTP_CHECK_OK(flags.Parse(argc, argv));
   bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
-  size_t capacity = static_cast<size_t>(
+  const size_t capacity = static_cast<size_t>(
       flags.GetInt("serve_queue_capacity", 128));
-  size_t batch = static_cast<size_t>(flags.GetInt("serve_batch", 16));
-  bench::PrintBanner("serve_load",
-                     "serving latency / rejection vs offered load", options);
+  const size_t batch = static_cast<size_t>(flags.GetInt("serve_batch", 16));
+  const size_t strict_reserve = static_cast<size_t>(
+      flags.GetInt("strict_reserve", static_cast<int64_t>(capacity) / 4));
+  const int waves = static_cast<int>(flags.GetInt("serve_waves", 2));
+  const int multiplier =
+      static_cast<int>(flags.GetInt("serve_load_multiplier", 4));
+  const int per_wave =
+      static_cast<int>(capacity) * multiplier / std::max(waves, 1);
+  const uint64_t fault_seed =
+      static_cast<uint64_t>(flags.GetInt("fault_seed", 0));
+  // The active spec, whether it arrived via --fault_spec or AHNTP_FAULTS:
+  // each thread-count section re-installs it so per-site hit counters
+  // restart and every section replays the identical fault stream.
+  std::string fault_spec = flags.GetString("fault_spec", "");
+  if (fault_spec.empty()) {
+    const char* env = std::getenv("AHNTP_FAULTS");
+    if (env != nullptr) fault_spec = env;
+  }
+  bench::PrintBanner(
+      "serve_load",
+      "per-lane latency / shed under a 4x multi-tenant overload mix",
+      options);
 
   data::SocialDataset dataset =
       data::SocialNetworkGenerator(
@@ -78,83 +184,135 @@ int main(int argc, char** argv) {
     return std::move(created).value();
   };
 
-  const std::vector<int> thread_counts = {1, 2, 8};
-  const std::vector<int> bursts = {32, 128, 512};
-  std::vector<LoadRow> rows;
+  // The adversarial tenant hammers a handful of hot keys; everyone else
+  // cycles the held-out pairs. The mapping depends only on the submission
+  // index, so wave 2 re-offers wave 1's pairs and the shared score cache
+  // absorbs the repeats.
+  const size_t hot_keys = 8;
+  auto pair_for = [&](int i) -> const data::TrustPair& {
+    if (LaneFor(i) == serve::Lane::kBesteffort) {
+      return split.test_pairs[(static_cast<size_t>(i) / 4) % hot_keys];
+    }
+    return split.test_pairs[static_cast<size_t>(i) % split.test_pairs.size()];
+  };
 
-  std::printf("%7s %8s %8s %9s %10s %10s %10s\n", "threads", "offered",
-              "served", "rejected", "rej_rate", "p50_ms", "p99_ms");
-  std::printf("%s\n", std::string(68, '-').c_str());
+  const std::vector<int> thread_counts = {1, 2, 8};
+  std::vector<LaneRow> rows;
+
+  std::printf("%7s %9s %8s %9s %9s %9s %9s %10s %10s\n", "threads", "lane",
+              "offered", "admitted", "rejected", "cached", "coalesced",
+              "p50_ms", "p99_ms");
+  std::printf("%s\n", std::string(88, '-').c_str());
   for (int threads : thread_counts) {
     SetNumThreads(threads);
+    if (!fault_spec.empty()) {
+      fault::SetSeed(fault_seed);
+      AHNTP_CHECK_OK(fault::EnableFromSpec(fault_spec));
+    }
     serve::ModelBackend primary(factory, factory());
-    for (int offered : bursts) {
+    serve::HeuristicBackend fallback(&graph, models::Heuristic::kJaccard);
+    serve::ScoreCache cache(capacity * 4);
+
+    LaneRow section[serve::kNumLanes];
+    for (int lane = 0; lane < serve::kNumLanes; ++lane) {
+      section[lane].threads = threads;
+      section[lane].lane = static_cast<serve::Lane>(lane);
+    }
+
+    for (int wave = 0; wave < waves; ++wave) {
       serve::ServeOptions serve_options;
       serve_options.queue_capacity = capacity;
       serve_options.max_batch_size = batch;
-      serve::TrustServer server(serve_options, &primary, nullptr);
+      serve_options.retry.max_attempts = 2;
+      serve_options.retry.seed = fault_seed;
+      serve_options.sleep_on_backoff = false;
+      serve_options.admission.strict_reserve = strict_reserve;
+      serve_options.coalesce = true;
+      serve_options.shared_score_cache = &cache;
+      serve::TrustServer server(serve_options, &primary, &fallback);
 
       std::vector<std::future<serve::TrustResponse>> futures;
-      for (int i = 0; i < offered; ++i) {
-        const data::TrustPair& pair =
-            split.test_pairs[static_cast<size_t>(i) %
-                             split.test_pairs.size()];
+      futures.reserve(static_cast<size_t>(per_wave));
+      for (int i = 0; i < per_wave; ++i) {
+        const data::TrustPair& pair = pair_for(i);
         serve::TrustQuery query;
         query.src = pair.src;
         query.dst = pair.dst;
+        query.lane = LaneFor(i);
         futures.push_back(server.Submit(query));
       }
       server.Start();
-
-      LoadRow row;
-      row.threads = threads;
-      row.offered = offered;
-      std::vector<double> latencies;
-      for (auto& f : futures) {
-        serve::TrustResponse response = f.get();
-        if (response.status.ok()) {
-          ++row.served;
-          latencies.push_back(response.latency_ms);
-        } else {
-          AHNTP_CHECK(response.status.code() ==
-                      StatusCode::kResourceExhausted)
-              << response.status.ToString();
-          ++row.rejected;
-        }
+      for (int i = 0; i < per_wave; ++i) {
+        section[static_cast<int>(LaneFor(i))].Absorb(futures[
+            static_cast<size_t>(i)].get());
       }
       server.Shutdown();
-      row.p50_ms = Percentile(latencies, 0.5);
-      row.p99_ms = Percentile(latencies, 0.99);
-      row.rejection_rate =
-          static_cast<double>(row.rejected) / static_cast<double>(offered);
+    }
+
+    for (int lane = 0; lane < serve::kNumLanes; ++lane) {
+      LaneRow& row = section[lane];
+      row.Finish();
       rows.push_back(row);
-      std::printf("%7d %8d %8d %9d %9.1f%% %10.3f %10.3f\n", row.threads,
-                  row.offered, row.served, row.rejected,
-                  row.rejection_rate * 100.0, row.p50_ms, row.p99_ms);
+      std::printf("%7d %9s %8d %9d %9d %9d %9d %10.3f %10.3f\n", row.threads,
+                  serve::LaneName(row.lane), row.offered, row.admitted,
+                  row.rejected, row.cached, row.coalesced, row.p50_ms,
+                  row.p99_ms);
       std::fflush(stdout);
     }
   }
   SetNumThreads(0);
+  if (!fault_spec.empty()) fault::Disable();
 
-  std::string json = "{\n  \"bench\": \"serve_load\",\n  \"queue_capacity\": " +
-                     std::to_string(capacity) + ",\n  \"rows\": [\n";
+  // Deterministic digest lines for scripts/check_serve_load.sh: one per
+  // (threads, lane), wall-clock excluded, so the digest for a lane must
+  // match across thread counts byte for byte.
+  for (const LaneRow& row : rows) {
+    std::printf("SERVE_LANE_DIGEST threads=%d lane=%s digest=%016llx\n",
+                row.threads, serve::LaneName(row.lane),
+                static_cast<unsigned long long>(row.digest));
+  }
+
+  // No-rejection-cliff acceptance: the strict lane must stay under 5%
+  // shed even at 4x offered load, because the reservation shields it.
+  int violations = 0;
+  for (const LaneRow& row : rows) {
+    if (row.lane == serve::Lane::kStrict && row.shed_rate > 0.05) {
+      std::fprintf(stderr,
+                   "FAIL: strict lane shed %.1f%% at threads=%d "
+                   "(reservation must hold it under 5%%)\n",
+                   row.shed_rate * 100.0, row.threads);
+      ++violations;
+    }
+  }
+
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"serve_load\",\n  \"schema_version\": 2,\n"
+      "  \"queue_capacity\": %zu,\n  \"strict_reserve\": %zu,\n"
+      "  \"waves\": %d,\n  \"load_multiplier\": %d,\n  \"rows\": [\n",
+      capacity, strict_reserve, waves, multiplier);
   for (size_t i = 0; i < rows.size(); ++i) {
-    const LoadRow& row = rows[i];
+    const LaneRow& row = rows[i];
     json += StrFormat(
-        "    {\"threads\": %d, \"offered\": %d, \"served\": %d, "
-        "\"rejected\": %d, \"rejection_rate\": %.4f, \"p50_ms\": %.4f, "
-        "\"p99_ms\": %.4f}%s\n",
-        row.threads, row.offered, row.served, row.rejected,
-        row.rejection_rate, row.p50_ms, row.p99_ms,
+        "    {\"threads\": %d, \"lane\": \"%s\", \"offered\": %d, "
+        "\"admitted\": %d, \"ok\": %d, \"degraded\": %d, \"rejected\": %d, "
+        "\"expired\": %d, \"failed\": %d, \"cached\": %d, "
+        "\"coalesced\": %d, \"shed_rate\": %.4f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"digest\": \"%016llx\"}%s\n",
+        row.threads, serve::LaneName(row.lane), row.offered, row.admitted,
+        row.ok, row.degraded, row.rejected, row.expired, row.failed,
+        row.cached, row.coalesced, row.shed_rate, row.p50_ms, row.p99_ms,
+        static_cast<unsigned long long>(row.digest),
         i + 1 < rows.size() ? "," : "");
   }
   json += "  ]\n}\n";
   AHNTP_CHECK_OK(WriteFileAtomic("BENCH_serve_load.json", json));
   std::printf("\nwrote BENCH_serve_load.json (%zu rows)\n", rows.size());
   std::printf(
-      "Expected shape: rejection rate is 0 while offered <= queue capacity\n"
-      "(%zu) and grows with the overflow beyond it; p50/p99 reflect batch\n"
-      "position in the closed-loop burst, so deeper bursts stretch p99.\n",
-      capacity);
-  return 0;
+      "Expected shape: best-effort sheds first and coalesces its hot keys,\n"
+      "degraded-eligible rides the heuristic fallback under pressure, and\n"
+      "the strict reservation (%zu of %zu slots) keeps strict shed at 0%%\n"
+      "even at %dx offered load; wave 2 repeats wave 1's pairs, so the\n"
+      "shared score cache absorbs most of it.\n",
+      strict_reserve, capacity, multiplier);
+  return violations == 0 ? 0 : 1;
 }

@@ -1,11 +1,14 @@
 // serve_demo: drives the online inference substrate (src/serve) end to end
 // and verifies its robustness invariants — overload backpressure, deadline
 // expiry, deterministic retry/backoff under injected faults, circuit
-// breaker trip/probe/recover with degraded-mode fallback, and corrupt
-// checkpoint hot-reload — exiting non-zero if any invariant breaks.
+// breaker trip/probe/recover with degraded-mode fallback, corrupt
+// checkpoint hot-reload, and the overload-control layer (priority
+// admission lanes, request coalescing, generation-keyed score cache) —
+// exiting non-zero if any invariant breaks.
 //
 //   ./build/examples/serve_demo --serve_requests=96
 //       --serve_queue_capacity=48 --serve_batch=8
+//       --strict_reserve=12 --score_cache_entries=256
 //       --fault_spec='serve.infer@~0.75' --fault_seed=42 --threads=8
 //
 // Run closed-loop (all requests enqueued before the dispatcher starts), so
@@ -15,7 +18,9 @@
 // --trace_out) apply as everywhere else; see common/flags.h.
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <string>
 #include <vector>
@@ -29,7 +34,9 @@
 #include "data/generator.h"
 #include "data/split.h"
 #include "nn/serialization.h"
+#include "serve/admission.h"
 #include "serve/backend.h"
+#include "serve/score_cache.h"
 #include "serve/server.h"
 
 namespace {
@@ -61,7 +68,34 @@ serve::ServerStats Add(const serve::ServerStats& a,
   s.breaker_trips = a.breaker_trips + b.breaker_trips;
   s.breaker_probes = a.breaker_probes + b.breaker_probes;
   s.breaker_recoveries = a.breaker_recoveries + b.breaker_recoveries;
+  for (int lane = 0; lane < serve::kNumLanes; ++lane) {
+    s.lane_admitted[lane] = a.lane_admitted[lane] + b.lane_admitted[lane];
+    s.lane_rejected[lane] = a.lane_rejected[lane] + b.lane_rejected[lane];
+  }
+  s.downgraded = a.downgraded + b.downgraded;
+  s.coalesced = a.coalesced + b.coalesced;
+  s.coalesced_expired = a.coalesced_expired + b.coalesced_expired;
+  s.cache_hits = a.cache_hits + b.cache_hits;
+  s.cache_misses = a.cache_misses + b.cache_misses;
+  s.cache_flushes = a.cache_flushes + b.cache_flushes;
   return s;
+}
+
+/// FNV-1a over the deterministic response fields (status code, the
+/// degraded/cached/coalesced flags, score bits); wall-clock latency is
+/// deliberately excluded so the digest matches at any --threads=N.
+uint64_t FoldResponse(uint64_t h, const serve::TrustResponse& r) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto byte = [&](uint8_t b) { h = (h ^ b) * kPrime; };
+  byte(static_cast<uint8_t>(r.status.code()));
+  byte(static_cast<uint8_t>((r.degraded << 2) | (r.cached << 1) |
+                            r.coalesced));
+  uint32_t bits = 0;
+  if (r.status.ok()) std::memcpy(&bits, &r.score, sizeof(bits));
+  for (int shift = 0; shift < 32; shift += 8) {
+    byte(static_cast<uint8_t>(bits >> shift));
+  }
+  return h;
 }
 
 /// Every response must be terminal and self-consistent regardless of which
@@ -104,6 +138,10 @@ int main(int argc, char** argv) {
       flags.GetString("serve_checkpoint", "/tmp/ahntp_serve_demo.ckpt");
   const int train_epochs =
       static_cast<int>(flags.GetInt("serve_train_epochs", 0));
+  const size_t strict_reserve = static_cast<size_t>(flags.GetInt(
+      "strict_reserve", static_cast<int64_t>(capacity) / 4));
+  const size_t score_cache_entries =
+      static_cast<size_t>(flags.GetInt("score_cache_entries", 256));
 
   serve::ServeOptions options;
   options.queue_capacity = capacity;
@@ -294,8 +332,94 @@ int main(int argc, char** argv) {
         static_cast<long long>(reload_failures));
   }
 
+  // --- Phase 3: overload control — lanes, coalescing, score cache ---------
+  // Two closed-loop waves of a multi-tenant mix (steady strict tenant,
+  // bursty degraded-eligible tenants, hot-key best-effort tenant) at 2x
+  // queue capacity each, sharing one score cache so wave 2 is absorbed by
+  // wave 1's fills. One follower per wave carries an already-expired
+  // deadline onto a hot key to exercise the coalesced-expiry path.
+  serve::ServerStats phase3;
+  uint64_t lanes_digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  {
+    serve::ServeOptions lane_options = options;
+    lane_options.admission.strict_reserve = strict_reserve;
+    lane_options.coalesce = true;
+    serve::ScoreCache cache(score_cache_entries);
+    lane_options.shared_score_cache = &cache;
+
+    auto lane_for = [](int i) {
+      switch (i % 4) {
+        case 0: return serve::Lane::kStrict;
+        case 3: return serve::Lane::kBesteffort;
+        default: return serve::Lane::kDegradedEligible;
+      }
+    };
+    auto lane_query = [&](int i) {
+      // The best-effort tenant hammers six hot keys; everyone else cycles
+      // the test pairs. Index-only mapping, so wave 2 repeats wave 1.
+      serve::TrustQuery q = lane_for(i) == serve::Lane::kBesteffort
+                                ? query_at((i / 4) % 6)
+                                : query_at(i);
+      q.lane = lane_for(i);
+      return q;
+    };
+
+    const int per_wave = 2 * static_cast<int>(capacity);
+    for (int wave = 0; wave < 2; ++wave) {
+      serve::TrustServer server(lane_options, &primary, &fallback);
+      std::vector<std::future<serve::TrustResponse>> futures;
+      for (int i = 0; i < per_wave; ++i) {
+        futures.push_back(server.Submit(lane_query(i)));
+      }
+      serve::TrustQuery expired_follower = lane_query(3);  // a hot key
+      expired_follower.deadline = Deadline::AfterMillis(0);
+      futures.push_back(server.Submit(expired_follower));
+      server.Start();
+      std::vector<serve::TrustResponse> responses;
+      CheckResponses(&futures, &responses);
+      server.Shutdown();
+      phase3 = Add(phase3, server.Stats());
+      for (const auto& r : responses) {
+        lanes_digest = FoldResponse(lanes_digest, r);
+      }
+    }
+
+    Expect(phase3.lane_rejected[static_cast<int>(serve::Lane::kStrict)] == 0,
+           "the strict reservation must shed no strict traffic at 2x load");
+    Expect(phase3.coalesced > 0,
+           "hot-key duplicates must coalesce onto in-flight leaders");
+    Expect(phase3.coalesced_expired >= 1,
+           "an expired follower must resolve DeadlineExceeded while "
+           "coalesced");
+    Expect(phase3.cache_hits > 0,
+           "the repeat wave must be partially absorbed by the score cache");
+    Expect(phase3.lane_rejected[static_cast<int>(
+               serve::Lane::kBesteffort)] +
+                   phase3.coalesced + phase3.cache_hits >
+               0,
+           "the best-effort lane must shed, coalesce, or hit cache first");
+    std::printf(
+        "phase 3 (lanes): admitted s/d/b %lld/%lld/%lld, rejected s/d/b "
+        "%lld/%lld/%lld, downgraded %lld, coalesced %lld, cache hits %lld\n",
+        static_cast<long long>(
+            phase3.lane_admitted[static_cast<int>(serve::Lane::kStrict)]),
+        static_cast<long long>(phase3.lane_admitted[static_cast<int>(
+            serve::Lane::kDegradedEligible)]),
+        static_cast<long long>(
+            phase3.lane_admitted[static_cast<int>(serve::Lane::kBesteffort)]),
+        static_cast<long long>(
+            phase3.lane_rejected[static_cast<int>(serve::Lane::kStrict)]),
+        static_cast<long long>(phase3.lane_rejected[static_cast<int>(
+            serve::Lane::kDegradedEligible)]),
+        static_cast<long long>(
+            phase3.lane_rejected[static_cast<int>(serve::Lane::kBesteffort)]),
+        static_cast<long long>(phase3.downgraded),
+        static_cast<long long>(phase3.coalesced),
+        static_cast<long long>(phase3.cache_hits));
+  }
+
   // --- Summary + invariants ------------------------------------------------
-  serve::ServerStats total = Add(phase1, phase2);
+  serve::ServerStats total = Add(Add(phase1, phase2), phase3);
   const int64_t accepted = total.submitted - total.rejected;
   Expect(accepted == total.expired + total.ok + total.degraded + total.failed,
          "accepted requests must partition into expired+ok+degraded+failed");
@@ -309,7 +433,9 @@ int main(int argc, char** argv) {
       "\"failed\": %lld, \"retries\": %lld, \"nonfinite\": %lld, "
       "\"batches\": %lld, \"breaker_trips\": %lld, \"breaker_probes\": %lld, "
       "\"breaker_recoveries\": %lld, \"reload_failures\": %lld, "
-      "\"reload_success\": %lld}\n",
+      "\"reload_success\": %lld, \"downgraded\": %lld, \"coalesced\": %lld, "
+      "\"coalesced_expired\": %lld, \"cache_hits\": %lld, "
+      "\"cache_misses\": %lld, \"cache_flushes\": %lld}\n",
       static_cast<long long>(total.submitted),
       static_cast<long long>(total.rejected),
       static_cast<long long>(total.expired),
@@ -323,7 +449,40 @@ int main(int argc, char** argv) {
       static_cast<long long>(total.breaker_probes),
       static_cast<long long>(total.breaker_recoveries),
       static_cast<long long>(reload_failures),
-      static_cast<long long>(reload_success));
+      static_cast<long long>(reload_success),
+      static_cast<long long>(total.downgraded),
+      static_cast<long long>(total.coalesced),
+      static_cast<long long>(total.coalesced_expired),
+      static_cast<long long>(total.cache_hits),
+      static_cast<long long>(total.cache_misses),
+      static_cast<long long>(total.cache_flushes));
+  std::printf(
+      "SERVE_LANES {\"strict_admitted\": %lld, \"strict_rejected\": %lld, "
+      "\"degraded_admitted\": %lld, \"degraded_rejected\": %lld, "
+      "\"besteffort_admitted\": %lld, \"besteffort_rejected\": %lld, "
+      "\"downgraded\": %lld, \"coalesced\": %lld, "
+      "\"coalesced_expired\": %lld, \"cache_hits\": %lld, "
+      "\"cache_misses\": %lld, \"cache_flushes\": %lld, "
+      "\"digest\": \"%016llx\"}\n",
+      static_cast<long long>(
+          phase3.lane_admitted[static_cast<int>(serve::Lane::kStrict)]),
+      static_cast<long long>(
+          phase3.lane_rejected[static_cast<int>(serve::Lane::kStrict)]),
+      static_cast<long long>(phase3.lane_admitted[static_cast<int>(
+          serve::Lane::kDegradedEligible)]),
+      static_cast<long long>(phase3.lane_rejected[static_cast<int>(
+          serve::Lane::kDegradedEligible)]),
+      static_cast<long long>(
+          phase3.lane_admitted[static_cast<int>(serve::Lane::kBesteffort)]),
+      static_cast<long long>(
+          phase3.lane_rejected[static_cast<int>(serve::Lane::kBesteffort)]),
+      static_cast<long long>(phase3.downgraded),
+      static_cast<long long>(phase3.coalesced),
+      static_cast<long long>(phase3.coalesced_expired),
+      static_cast<long long>(phase3.cache_hits),
+      static_cast<long long>(phase3.cache_misses),
+      static_cast<long long>(phase3.cache_flushes),
+      static_cast<unsigned long long>(lanes_digest));
   std::printf("SERVE_SCORES");
   for (size_t i = 0; i < wave2.size() && i < 8; ++i) {
     std::printf(" %a%s", static_cast<double>(wave2[i].score),

@@ -22,6 +22,9 @@ scripts/check_inference.sh
 echo "================ serving ================"
 scripts/check_serve.sh
 
+echo "================ serve overload: per-lane digests ================"
+scripts/check_serve_load.sh
+
 echo "================ sharded scale ================"
 scripts/check_scale.sh
 

@@ -3,14 +3,18 @@
 # under env-injected faults (AHNTP_FAULTS) at --threads=1/2/8, and checks
 # the robustness invariants end to end:
 #   - the demo's own invariant checks pass (exit 0, no crash);
-#   - SERVE_SUMMARY and SERVE_SCORES digests are byte-identical across
-#     thread counts (the serving determinism contract);
+#   - SERVE_SUMMARY, SERVE_SCORES, and SERVE_LANES digests are
+#     byte-identical across thread counts (the serving determinism
+#     contract, now covering admission lanes, coalescing, and the score
+#     cache);
 #   - the fault stream actually exercised the machinery (breaker tripped
 #     and recovered, degraded responses served, exactly one reload
-#     rejected);
-#   - the metrics sidecar carries the serve.* counter schema;
+#     rejected, hot keys coalesced, repeat wave cache-absorbed);
+#   - the metrics sidecar carries the serve.* counter schema including
+#     the per-lane counters;
 #   - serve_test comes back clean under TSan (the queue/dispatcher
-#     hand-off is the concurrency-sensitive surface).
+#     hand-off is the concurrency-sensitive surface), and the hot-key
+#     overload mix runs clean under TSan too (via check_serve_load.sh).
 # Usage:
 #   scripts/check_serve.sh [build-dir]   (default: build)
 set -eu
@@ -37,7 +41,7 @@ run_demo() {  # <threads> <tag>
       --fault_seed=42 --threads="$1" --scale=0.03 \
       --serve_checkpoint="$workdir/serve_$2.ckpt" \
       --metrics_out="$workdir/metrics_$2.json" > "$workdir/stdout_$2.txt"
-  grep -E '^SERVE_(SUMMARY|SCORES)' "$workdir/stdout_$2.txt" \
+  grep -E '^SERVE_(SUMMARY|SCORES|LANES)' "$workdir/stdout_$2.txt" \
       > "$workdir/digest_$2.txt"
 }
 run_demo 1 t1
@@ -50,7 +54,7 @@ for tag in t2 t8; do
     exit 1
   fi
 done
-echo "SERVE_SUMMARY and SERVE_SCORES identical at --threads=1/2/8"
+echo "SERVE_SUMMARY, SERVE_SCORES, and SERVE_LANES identical at --threads=1/2/8"
 
 # The run must have exercised every robustness path, and the metrics
 # sidecar must carry the serve.* counter schema. python3 is the arbiter
@@ -68,14 +72,28 @@ assert summary["breaker_recoveries"] >= 1, "breaker never recovered"
 assert summary["degraded"] >= 1, "no degraded responses served"
 assert summary["reload_failures"] == 1, "corrupt reload not rejected once"
 assert summary["reload_success"] == 1, "pristine reload did not succeed"
+assert summary["coalesced"] > 0, "hot keys never coalesced"
+assert summary["cache_hits"] > 0, "the repeat wave never hit the score cache"
+assert summary["coalesced_expired"] >= 1, "coalesced-expiry path not taken"
+lanes_line = [l for l in open(f"{workdir}/stdout_t8.txt")
+              if l.startswith("SERVE_LANES ")][0]
+lanes = json.loads(lanes_line[len("SERVE_LANES "):])
+assert lanes["strict_rejected"] == 0, "the strict reservation leaked"
+assert lanes["besteffort_admitted"] > 0, "best-effort lane starved entirely"
 metrics = json.load(open(f"{workdir}/metrics_t8.json"))
 counters = metrics["counters"]
 for key in ["serve.submitted", "serve.ok", "serve.retries",
             "serve.degraded", "serve.breaker_trips",
-            "serve.reload_failures", "serve.reload_success"]:
+            "serve.reload_failures", "serve.reload_success",
+            "serve.coalesced", "serve.cache_hits", "serve.downgraded",
+            "serve.lane.strict.admitted", "serve.lane.degraded.admitted",
+            "serve.lane.besteffort.admitted"]:
     assert key in counters, f"metrics sidecar missing {key}"
+gauges = metrics.get("gauges", {})
+assert "serve.breaker_state" in gauges, "breaker state gauge not exported"
 print(f"summary OK ({summary['ok']} ok / {summary['degraded']} degraded / "
-      f"{summary['retries']} retries), "
+      f"{summary['retries']} retries / {summary['coalesced']} coalesced / "
+      f"{summary['cache_hits']} cache hits), "
       f"sidecar OK ({len(counters)} counters)")
 EOF
 else
@@ -96,5 +114,8 @@ cmake --build "$tsan_dir" -j"$(nproc 2>/dev/null || echo 2)" --target serve_test
 AHNTP_THREADS="${AHNTP_THREADS:-8}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
     "$tsan_dir/tests/serve_test"
+
+echo "########## overload bench: schema, per-lane digests, TSan mix ##########"
+SERVE_LOAD_TSAN=1 scripts/check_serve_load.sh "$build_dir"
 
 echo "serving checks passed"

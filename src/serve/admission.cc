@@ -1,0 +1,80 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ahntp::serve {
+
+const char* LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kStrict:
+      return "strict";
+    case Lane::kDegradedEligible:
+      return "degraded";
+    case Lane::kBesteffort:
+      return "besteffort";
+  }
+  return "unknown";
+}
+
+bool LaneFromString(const std::string& name, Lane* out) {
+  if (name == "strict") {
+    *out = Lane::kStrict;
+  } else if (name == "degraded") {
+    *out = Lane::kDegradedEligible;
+  } else if (name == "besteffort") {
+    *out = Lane::kBesteffort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Lane DefaultLaneFromEnv() {
+  static const Lane lane = [] {
+    const char* value = std::getenv("AHNTP_SERVE_LANE");
+    if (value == nullptr || value[0] == '\0') return Lane::kStrict;
+    Lane parsed;
+    AHNTP_CHECK(LaneFromString(value, &parsed))
+        << "AHNTP_SERVE_LANE must be strict, degraded, or besteffort; got \""
+        << value << "\"";
+    return parsed;
+  }();
+  return lane;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : resolved_(options) {
+  AHNTP_CHECK_GT(resolved_.queue_capacity, 0u)
+      << "admission needs a positive queue capacity";
+  resolved_.strict_reserve =
+      std::min(resolved_.strict_reserve, resolved_.queue_capacity);
+  const size_t shared = resolved_.queue_capacity - resolved_.strict_reserve;
+  if (resolved_.besteffort_limit == 0) {
+    resolved_.besteffort_limit = (shared + 1) / 2;
+  }
+  resolved_.besteffort_limit = std::min(resolved_.besteffort_limit, shared);
+  if (resolved_.degrade_pressure == 0) {
+    resolved_.degrade_pressure = resolved_.besteffort_limit;
+  }
+}
+
+size_t AdmissionController::LimitFor(Lane lane) const {
+  switch (lane) {
+    case Lane::kStrict:
+      return resolved_.queue_capacity;
+    case Lane::kDegradedEligible:
+      return resolved_.queue_capacity - resolved_.strict_reserve;
+    case Lane::kBesteffort:
+      return resolved_.besteffort_limit;
+  }
+  return 0;
+}
+
+bool AdmissionController::ShouldDowngrade(Lane lane, size_t depth) const {
+  return lane == Lane::kDegradedEligible && depth >= resolved_.degrade_pressure;
+}
+
+}  // namespace ahntp::serve

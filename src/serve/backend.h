@@ -32,6 +32,14 @@ class ScoreBackend {
       const std::vector<data::TrustPair>& pairs) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Monotonic model generation: bumps whenever the scores this backend
+  /// would produce may have changed (hot reload, training, sharded-plan
+  /// rebuild). The serving layer keys its score cache and request
+  /// coalescing on it, so a bump makes every cached/in-flight score from
+  /// the previous generation unreachable. Backends with immutable scores
+  /// (e.g. HeuristicBackend) keep the default constant 0.
+  virtual int64_t generation() const { return 0; }
 };
 
 /// The primary backend: a TrustPredictor behind an atomically swappable
@@ -82,7 +90,7 @@ class ModelBackend : public ScoreBackend {
 
   /// Number of successful reloads since construction; unchanged by failed
   /// ones (the hot-reload regression tests key on this).
-  int64_t generation() const;
+  int64_t generation() const override;
 
  private:
   Factory factory_;

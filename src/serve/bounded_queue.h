@@ -30,12 +30,24 @@ class BoundedQueue {
   /// Enqueues `item` if there is room. ResourceExhausted when full,
   /// FailedPrecondition after Close(); the item is untouched on failure
   /// (callers can still complete it with the returned status).
-  Status TryPush(T& item) {
+  Status TryPush(T& item) { return TryPushIfBelow(item, capacity_); }
+
+  /// Enqueues `item` only while the current depth is strictly below
+  /// `limit` (clamped to capacity). The depth check and the push are one
+  /// critical section, so a lane's admission limit (serve/admission.h)
+  /// can never be overshot by concurrent producers.
+  Status TryPushIfBelow(T& item, size_t limit) {
+    const size_t effective = limit < capacity_ ? limit : capacity_;
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) {
       return Status::FailedPrecondition("queue is closed");
     }
-    if (items_.size() >= capacity_) {
+    if (items_.size() >= effective) {
+      if (effective < capacity_) {
+        return Status::ResourceExhausted(
+            "queue full (admission limit " + std::to_string(effective) +
+            " of capacity " + std::to_string(capacity_) + ")");
+      }
       return Status::ResourceExhausted("queue full (capacity " +
                                        std::to_string(capacity_) + ")");
     }
@@ -49,6 +61,9 @@ class BoundedQueue {
   /// and empty), then moves up to `max_items` into `*out` in FIFO order.
   /// Returns the number of items appended; 0 means closed-and-drained.
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    // A zero budget would return 0 — indistinguishable from
+    // closed-and-drained — so it is operator error worth failing loudly on.
+    AHNTP_CHECK_GT(max_items, 0u) << "PopBatch needs a positive batch size";
     std::unique_lock<std::mutex> lock(mu_);
     ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
     size_t taken = 0;

@@ -15,13 +15,20 @@ CircuitBreaker::Decision CircuitBreaker::Admit() {
   if (++admissions_since_probe_ >= options_.probe_interval) {
     admissions_since_probe_ = 0;
     ++probes_;
+    probe_in_flight_ = true;
     return Decision::kProbe;
   }
   return Decision::kFallback;
 }
 
+CircuitBreaker::State CircuitBreaker::state() const {
+  if (!open_) return State::kClosed;
+  return probe_in_flight_ ? State::kHalfOpen : State::kOpen;
+}
+
 void CircuitBreaker::OnSuccess() {
   consecutive_failures_ = 0;
+  probe_in_flight_ = false;
   if (open_) {
     open_ = false;
     admissions_since_probe_ = 0;
@@ -31,6 +38,7 @@ void CircuitBreaker::OnSuccess() {
 
 void CircuitBreaker::OnFailure() {
   ++consecutive_failures_;
+  probe_in_flight_ = false;
   if (!open_ && consecutive_failures_ >= options_.failure_threshold) {
     open_ = true;
     admissions_since_probe_ = 0;

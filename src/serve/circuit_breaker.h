@@ -36,6 +36,15 @@ class CircuitBreaker {
     kFallback,  // open: degrade without touching the primary
   };
 
+  /// Coarse state for the `serve.breaker_state` gauge: the classic
+  /// closed / open / half-open triple, where half-open means a probe has
+  /// been admitted to the primary and its outcome is still pending.
+  enum class State : int {
+    kClosed = 0,
+    kOpen = 1,
+    kHalfOpen = 2,
+  };
+
   /// Routing decision for the next batch. Advances the probe counter when
   /// open.
   Decision Admit();
@@ -46,6 +55,9 @@ class CircuitBreaker {
   void OnFailure();
 
   bool open() const { return open_; }
+  /// Current gauge state; kHalfOpen between a kProbe admission and its
+  /// OnSuccess/OnFailure report.
+  State state() const;
   int consecutive_failures() const { return consecutive_failures_; }
   /// Lifetime transition counts (closed->open and open->closed).
   int64_t trips() const { return trips_; }
@@ -55,6 +67,7 @@ class CircuitBreaker {
  private:
   CircuitBreakerOptions options_;
   bool open_ = false;
+  bool probe_in_flight_ = false;
   int consecutive_failures_ = 0;
   int admissions_since_probe_ = 0;
   int64_t trips_ = 0;

@@ -1,0 +1,48 @@
+#include "serve/score_cache.h"
+
+#include "common/check.h"
+
+namespace ahntp::serve {
+
+ScoreCache::ScoreCache(size_t max_entries) : max_entries_(max_entries) {
+  AHNTP_CHECK_GT(max_entries, 0u) << "score cache capacity must be positive";
+}
+
+std::optional<float> ScoreCache::Get(const ScoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ScoreCache::Put(const ScoreKey& key, float score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = score;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, score);
+  index_[key] = lru_.begin();
+  if (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t ScoreCache::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = lru_.size();
+  index_.clear();
+  lru_.clear();
+  return dropped;
+}
+
+size_t ScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace ahntp::serve

@@ -1,0 +1,85 @@
+#ifndef AHNTP_SERVE_SCORE_CACHE_H_
+#define AHNTP_SERVE_SCORE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace ahntp::serve {
+
+/// Cache key: one (src, dst) user pair under one model generation. The
+/// generation is part of the key, not an invalidation side channel, so a
+/// stale score is *unreachable* after a reload bumps the generation —
+/// even before the owning server notices and flushes (score_cache.h is
+/// flushed by TrustServer when it observes a generation change; the flush
+/// is memory hygiene, never a correctness requirement).
+struct ScoreKey {
+  int src = 0;
+  int dst = 0;
+  int64_t generation = 0;
+
+  bool operator==(const ScoreKey& other) const {
+    return src == other.src && dst == other.dst &&
+           generation == other.generation;
+  }
+};
+
+struct ScoreKeyHash {
+  size_t operator()(const ScoreKey& key) const {
+    // SplitMix64 finalizer over the packed fields: cheap and well mixed.
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(key.src)) << 32) |
+                 static_cast<uint64_t>(static_cast<uint32_t>(key.dst));
+    x ^= static_cast<uint64_t>(key.generation) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Bounded LRU of model scores keyed on (src, dst, generation). Thread
+/// safe: producers probe it at Submit time while the dispatcher fills and
+/// flushes it. Only primary-model scores belong here — degraded
+/// (heuristic) answers are never cached, so a cache hit is always a real
+/// model score for the generation in its key.
+class ScoreCache {
+ public:
+  /// `max_entries` must be positive; the cache never exceeds it.
+  explicit ScoreCache(size_t max_entries);
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Returns the cached score and promotes the entry to most recent, or
+  /// nullopt on a miss.
+  std::optional<float> Get(const ScoreKey& key);
+
+  /// Inserts or refreshes `key`, evicting the least recently used entry
+  /// beyond capacity.
+  void Put(const ScoreKey& key, float score);
+
+  /// Drops every entry; returns how many were dropped.
+  size_t Flush();
+
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  using Entry = std::pair<ScoreKey, float>;
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<ScoreKey, std::list<Entry>::iterator, ScoreKeyHash>
+      index_;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_SCORE_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -27,6 +28,24 @@ bool AllFinite(const std::vector<float>& values) {
   return true;
 }
 
+/// Per-lane admission counters carry the lane name, which varies at
+/// runtime, so they go through the registry lookup instead of the
+/// static-caching AHNTP_METRIC_COUNT macro.
+void CountLaneMetric(Lane lane, const char* outcome) {
+  if (metrics::Enabled()) {
+    metrics::GetCounter(std::string("serve.lane.") + LaneName(lane) + "." +
+                        outcome)
+        .Increment();
+  }
+}
+
+void ObserveLatency(double latency_ms) {
+  if (metrics::Enabled()) {
+    metrics::GetHistogram("serve.request_latency_seconds")
+        .Observe(latency_ms * 1e-3);
+  }
+}
+
 }  // namespace
 
 TrustServer::TrustServer(const ServeOptions& options, ScoreBackend* primary,
@@ -34,10 +53,22 @@ TrustServer::TrustServer(const ServeOptions& options, ScoreBackend* primary,
     : options_(options),
       primary_(primary),
       fallback_(fallback),
+      admission_([&options] {
+        AdmissionOptions resolved = options.admission;
+        resolved.queue_capacity = options.queue_capacity;
+        return resolved;
+      }()),
       queue_(options.queue_capacity),
       breaker_(options.breaker) {
   AHNTP_CHECK(primary_ != nullptr) << "TrustServer needs a primary backend";
   AHNTP_CHECK_GT(options_.max_batch_size, 0u);
+  if (options_.shared_score_cache != nullptr) {
+    cache_ = options_.shared_score_cache;
+  } else if (options_.score_cache_entries > 0) {
+    owned_cache_ = std::make_unique<ScoreCache>(options_.score_cache_entries);
+    cache_ = owned_cache_.get();
+  }
+  cache_generation_ = primary_->generation();
 }
 
 TrustServer::~TrustServer() { Shutdown(); }
@@ -45,17 +76,79 @@ TrustServer::~TrustServer() { Shutdown(); }
 std::future<TrustResponse> TrustServer::Submit(const TrustQuery& query) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   AHNTP_METRIC_COUNT("serve.submitted", 1);
+  const Lane lane = query.lane;
+  const int lane_index = static_cast<int>(lane);
+  AHNTP_CHECK(lane_index >= 0 && lane_index < kNumLanes)
+      << "invalid lane " << lane_index;
+
   Request request;
   request.query = query;
   std::future<TrustResponse> future = request.promise.get_future();
-  Status pushed = queue_.TryPush(request);
+  request.key = {query.src, query.dst, primary_->generation()};
+
+  // Fast path: a repeat lookup for the live generation is answered from
+  // the cache without occupying a queue slot or touching any backend.
+  if (cache_ != nullptr && !queue_.closed() && !query.deadline.Expired()) {
+    if (std::optional<float> hit = cache_->Get(request.key)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.cache_hits", 1);
+      stats_.lane_admitted[lane_index].fetch_add(1, std::memory_order_relaxed);
+      CountLaneMetric(lane, "admitted");
+      TrustResponse response;
+      response.score = *hit;
+      response.cached = true;
+      CountOutcome(response);
+      Complete(&request, std::move(response));
+      return future;
+    }
+  }
+
+  Status pushed;
+  if (options_.coalesce) {
+    // The map registration and the queue push form one critical section:
+    // a follower can only attach to a leader that is (or will be)
+    // enqueued. Lock order here and in Complete() is coalesce_mu_ before
+    // the group mutex.
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    auto it = inflight_.find(request.key);
+    if (it != inflight_.end()) {
+      std::lock_guard<std::mutex> group_lock(it->second->mu);
+      if (!it->second->done) {
+        it->second->followers.push_back(
+            Follower{query.deadline, std::move(request.promise), request.queued});
+        stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
+        AHNTP_METRIC_COUNT("serve.coalesced", 1);
+        stats_.lane_admitted[lane_index].fetch_add(1,
+                                                   std::memory_order_relaxed);
+        CountLaneMetric(lane, "admitted");
+        return future;
+      }
+    }
+    request.group = std::make_shared<CoalesceGroup>();
+    request.downgrade = fallback_ != nullptr &&
+                        admission_.ShouldDowngrade(lane, queue_.size());
+    std::shared_ptr<CoalesceGroup> group = request.group;
+    const ScoreKey key = request.key;
+    pushed = queue_.TryPushIfBelow(request, admission_.LimitFor(lane));
+    if (pushed.ok()) inflight_[key] = std::move(group);
+  } else {
+    request.downgrade = fallback_ != nullptr &&
+                        admission_.ShouldDowngrade(lane, queue_.size());
+    pushed = queue_.TryPushIfBelow(request, admission_.LimitFor(lane));
+  }
+
   if (!pushed.ok()) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     AHNTP_METRIC_COUNT("serve.rejected", 1);
+    stats_.lane_rejected[lane_index].fetch_add(1, std::memory_order_relaxed);
+    CountLaneMetric(lane, "rejected");
     TrustResponse response;
     response.status = pushed;
     request.promise.set_value(std::move(response));
+    return future;
   }
+  stats_.lane_admitted[lane_index].fetch_add(1, std::memory_order_relaxed);
+  CountLaneMetric(lane, "admitted");
   return future;
 }
 
@@ -69,7 +162,7 @@ void TrustServer::Shutdown() {
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
   // Never started: drain whatever sits in the queue so every future
-  // completes.
+  // completes (coalesced followers ride their leader's fan-out).
   std::vector<Request> leftover;
   while (queue_.PopBatch(&leftover, options_.max_batch_size) > 0) {
     for (Request& request : leftover) {
@@ -96,6 +189,17 @@ ServerStats TrustServer::Stats() const {
   out.breaker_trips = stats_.trips.load(std::memory_order_relaxed);
   out.breaker_probes = stats_.probes.load(std::memory_order_relaxed);
   out.breaker_recoveries = stats_.recoveries.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumLanes; ++i) {
+    out.lane_admitted[i] = stats_.lane_admitted[i].load(std::memory_order_relaxed);
+    out.lane_rejected[i] = stats_.lane_rejected[i].load(std::memory_order_relaxed);
+  }
+  out.downgraded = stats_.downgraded.load(std::memory_order_relaxed);
+  out.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+  out.coalesced_expired =
+      stats_.coalesced_expired.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  out.cache_flushes = stats_.cache_flushes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -107,12 +211,67 @@ void TrustServer::DispatchLoop() {
   }
 }
 
-void TrustServer::Complete(Request* request, TrustResponse response) {
-  response.latency_ms = request->queued.ElapsedMillis();
-  if (metrics::Enabled()) {
-    metrics::GetHistogram("serve.request_latency_seconds")
-        .Observe(response.latency_ms * 1e-3);
+void TrustServer::CountOutcome(const TrustResponse& response) {
+  if (response.status.ok()) {
+    if (response.degraded) {
+      stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.degraded", 1);
+    } else {
+      stats_.ok.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.ok", 1);
+    }
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    stats_.expired.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.expired", 1);
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.failed", 1);
   }
+}
+
+void TrustServer::PublishBreakerState() {
+  if (metrics::Enabled()) {
+    metrics::GetGauge("serve.breaker_state")
+        .Set(static_cast<double>(static_cast<int>(breaker_.state())));
+  }
+}
+
+void TrustServer::Complete(Request* request, TrustResponse response) {
+  std::vector<Follower> followers;
+  if (request->group != nullptr) {
+    {
+      // Unregister first (same lock order as Submit: coalesce_mu_ before
+      // the group mutex), so late duplicates start a fresh leader instead
+      // of attaching to a completed one.
+      std::lock_guard<std::mutex> lock(coalesce_mu_);
+      auto it = inflight_.find(request->key);
+      if (it != inflight_.end() && it->second == request->group) {
+        inflight_.erase(it);
+      }
+    }
+    std::lock_guard<std::mutex> group_lock(request->group->mu);
+    request->group->done = true;
+    followers = std::move(request->group->followers);
+  }
+  for (Follower& follower : followers) {
+    TrustResponse fanned = response;
+    if (follower.deadline.Expired()) {
+      // The follower's own budget ran out while it rode the leader; it
+      // resolves DeadlineExceeded without cancelling the leader.
+      fanned = TrustResponse{};
+      fanned.status =
+          Status::DeadlineExceeded("deadline expired while coalesced");
+      stats_.coalesced_expired.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.coalesced_expired", 1);
+    }
+    fanned.coalesced = true;
+    fanned.latency_ms = follower.queued.ElapsedMillis();
+    ObserveLatency(fanned.latency_ms);
+    CountOutcome(fanned);
+    follower.promise.set_value(std::move(fanned));
+  }
+  response.latency_ms = request->queued.ElapsedMillis();
+  ObserveLatency(response.latency_ms);
   request->promise.set_value(std::move(response));
 }
 
@@ -128,28 +287,70 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
   }
   const uint64_t batch_key = batch_ordinal_++;
 
+  // One generation observation per batch: a bump since the last batch
+  // (hot reload, training, sharded-plan rebuild) flushes the cache. The
+  // flush is hygiene — stale entries are already unreachable because the
+  // generation is part of every key.
+  const int64_t generation = primary_->generation();
+  if (cache_ != nullptr && generation != cache_generation_) {
+    cache_->Flush();
+    cache_generation_ = generation;
+    stats_.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.cache_flushes", 1);
+  }
+
   // Deadlines are enforced here, at the batch boundary: expired requests
-  // complete as DeadlineExceeded instead of being silently computed.
+  // complete as DeadlineExceeded instead of being silently computed. The
+  // survivors split into the admission-downgraded slice (fallback-bound),
+  // batch-time cache hits, and the primary slice.
   std::vector<Request*> live;
   std::vector<data::TrustPair> pairs;
+  std::vector<Request*> downgraded;
+  std::vector<data::TrustPair> downgraded_pairs;
   live.reserve(batch->size());
   pairs.reserve(batch->size());
   for (Request& request : *batch) {
     if (request.query.deadline.Expired()) {
-      stats_.expired.fetch_add(1, std::memory_order_relaxed);
-      AHNTP_METRIC_COUNT("serve.expired", 1);
       TrustResponse response;
       response.status =
           Status::DeadlineExceeded("deadline expired before inference");
+      CountOutcome(response);
       Complete(&request, std::move(response));
       continue;
+    }
+    if (request.downgrade && fallback_ != nullptr) {
+      stats_.downgraded.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.downgraded", 1);
+      downgraded.push_back(&request);
+      downgraded_pairs.push_back({request.query.src, request.query.dst, 0.0f});
+      continue;
+    }
+    if (cache_ != nullptr) {
+      ScoreKey key{request.query.src, request.query.dst, generation};
+      if (std::optional<float> hit = cache_->Get(key)) {
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        AHNTP_METRIC_COUNT("serve.cache_hits", 1);
+        TrustResponse response;
+        response.score = *hit;
+        response.cached = true;
+        CountOutcome(response);
+        Complete(&request, std::move(response));
+        continue;
+      }
+      stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      AHNTP_METRIC_COUNT("serve.cache_misses", 1);
     }
     live.push_back(&request);
     pairs.push_back({request.query.src, request.query.dst, 0.0f});
   }
+  if (!downgraded.empty()) {
+    Degrade(downgraded, downgraded_pairs,
+            Status::Unavailable("downgraded by admission pressure"), 0);
+  }
   if (live.empty()) return;
 
   CircuitBreaker::Decision decision = breaker_.Admit();
+  PublishBreakerState();
   if (decision == CircuitBreaker::Decision::kProbe) {
     stats_.probes.fetch_add(1, std::memory_order_relaxed);
     AHNTP_METRIC_COUNT("serve.breaker_probes", 1);
@@ -188,17 +389,20 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
       break;  // deterministic corruption; retrying cannot help
     }
     breaker_.OnSuccess();
+    PublishBreakerState();
     if (decision == CircuitBreaker::Decision::kProbe) {
       stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
       AHNTP_METRIC_COUNT("serve.breaker_recoveries", 1);
       AHNTP_LOG(Info) << "serve: probe succeeded, circuit breaker closed";
     }
     for (size_t i = 0; i < live.size(); ++i) {
-      stats_.ok.fetch_add(1, std::memory_order_relaxed);
-      AHNTP_METRIC_COUNT("serve.ok", 1);
+      if (cache_ != nullptr) {
+        cache_->Put({pairs[i].src, pairs[i].dst, generation}, (*scores)[i]);
+      }
       TrustResponse response;
       response.score = (*scores)[i];
       response.attempts = attempts;
+      CountOutcome(response);
       Complete(live[i], std::move(response));
     }
     return;
@@ -206,6 +410,7 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
 
   const bool was_open = breaker_.open();
   breaker_.OnFailure();
+  PublishBreakerState();
   if (breaker_.open() && !was_open) {
     stats_.trips.fetch_add(1, std::memory_order_relaxed);
     AHNTP_METRIC_COUNT("serve.breaker_trips", 1);
@@ -225,12 +430,11 @@ void TrustServer::Degrade(const std::vector<Request*>& live,
     Result<std::vector<float>> scores = fallback_->ScoreBatch(pairs);
     if (scores.ok()) {
       for (size_t i = 0; i < live.size(); ++i) {
-        stats_.degraded.fetch_add(1, std::memory_order_relaxed);
-        AHNTP_METRIC_COUNT("serve.degraded", 1);
         TrustResponse response;
         response.score = (*scores)[i];
         response.degraded = true;
         response.attempts = attempts;
+        CountOutcome(response);
         Complete(live[i], std::move(response));
       }
       return;
@@ -239,13 +443,12 @@ void TrustServer::Degrade(const std::vector<Request*>& live,
                        << scores.status().ToString();
   }
   for (Request* request : live) {
-    stats_.failed.fetch_add(1, std::memory_order_relaxed);
-    AHNTP_METRIC_COUNT("serve.failed", 1);
     TrustResponse response;
     response.status = reason.ok()
                           ? Status::Unavailable("primary backend unavailable")
                           : reason;
     response.attempts = attempts;
+    CountOutcome(response);
     Complete(request, std::move(response));
   }
 }

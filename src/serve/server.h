@@ -5,17 +5,22 @@
 #include <cstdint>
 #include <future>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "data/split.h"
+#include "serve/admission.h"
 #include "serve/backend.h"
 #include "serve/bounded_queue.h"
 #include "serve/circuit_breaker.h"
 #include "serve/retry.h"
+#include "serve/score_cache.h"
 
 namespace ahntp::serve {
 
@@ -26,18 +31,30 @@ struct TrustQuery {
   /// Checked cooperatively at batch boundaries; expired requests complete
   /// as DeadlineExceeded instead of being silently computed.
   Deadline deadline;
+  /// Priority lane for overload control (serve/admission.h). Strict by
+  /// default, which preserves the pre-lane behaviour: admitted while any
+  /// queue slot is free, never downgraded.
+  Lane lane = Lane::kStrict;
 };
 
 /// The terminal answer every submitted query eventually receives.
 struct TrustResponse {
-  /// Ok, or why no score was computed: ResourceExhausted (queue full),
-  /// DeadlineExceeded, Unavailable / IoError (primary kept failing and no
-  /// fallback was configured), FailedPrecondition (server shut down).
+  /// Ok, or why no score was computed: ResourceExhausted (queue full /
+  /// lane shed), DeadlineExceeded, Unavailable / IoError (primary kept
+  /// failing and no fallback was configured), FailedPrecondition (server
+  /// shut down).
   Status status;
   float score = std::numeric_limits<float>::quiet_NaN();
   /// True when the score came from the degraded-mode fallback backend
-  /// (stale-but-sane heuristic) instead of the model.
+  /// (stale-but-sane heuristic) instead of the model — whether via the
+  /// circuit breaker or an admission downgrade under pressure.
   bool degraded = false;
+  /// True when the score was served from the generation-keyed score cache
+  /// without touching the backend.
+  bool cached = false;
+  /// True when this request rode another in-flight request for the same
+  /// (src, dst, generation) instead of occupying a queue slot.
+  bool coalesced = false;
   /// Primary inference attempts spent on this request's batch.
   int attempts = 0;
   /// Submit-to-completion wall time (queue wait + compute).
@@ -52,6 +69,19 @@ struct ServeOptions {
   size_t max_batch_size = 32;
   RetryPolicy retry;
   CircuitBreakerOptions breaker;
+  /// Lane thresholds (serve/admission.h). `queue_capacity` above wins over
+  /// the copy inside this struct. Defaults keep strict-lane-only traffic
+  /// byte-identical to the pre-admission server.
+  AdmissionOptions admission;
+  /// Attach duplicate in-flight (src, dst, generation) requests to the
+  /// first one's future instead of occupying queue slots.
+  bool coalesce = false;
+  /// LRU score cache entries keyed on (src, dst, generation); 0 disables.
+  /// Ignored when `shared_score_cache` is set.
+  size_t score_cache_entries = 0;
+  /// Optional externally owned cache, shared across server instances (and
+  /// so across closed-loop waves); must outlive the server.
+  ScoreCache* shared_score_cache = nullptr;
   /// Sleep the computed backoff between retries. Tests that only assert
   /// on the deterministic schedule/counters can turn the actual sleeping
   /// off.
@@ -60,7 +90,8 @@ struct ServeOptions {
 
 /// Monotonic totals since construction. `submitted - rejected` accepted
 /// requests partition into `expired + ok + degraded + failed` once the
-/// server drains.
+/// server drains; coalesced followers and cache hits are accepted
+/// requests like any other and land in the same partition.
 struct ServerStats {
   int64_t submitted = 0;
   int64_t rejected = 0;
@@ -74,18 +105,36 @@ struct ServerStats {
   int64_t breaker_trips = 0;
   int64_t breaker_probes = 0;
   int64_t breaker_recoveries = 0;
+  /// Per-lane admission outcomes, indexed by Lane. `admitted` includes
+  /// queue slots, coalesced followers, and submit-time cache hits.
+  int64_t lane_admitted[kNumLanes] = {0, 0, 0};
+  int64_t lane_rejected[kNumLanes] = {0, 0, 0};
+  /// Degraded-eligible requests admitted under pressure and routed to the
+  /// fallback without touching the primary.
+  int64_t downgraded = 0;
+  /// Followers attached to an in-flight leader.
+  int64_t coalesced = 0;
+  /// Followers whose own deadline expired before the leader completed
+  /// (they resolve DeadlineExceeded; the leader is unaffected).
+  int64_t coalesced_expired = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_flushes = 0;
 };
 
 /// The online inference substrate: a bounded MPMC queue feeding batched
 /// TrustPredictor inference, with per-request deadlines, deterministic
-/// retry/backoff for transient failures, and a circuit breaker that
-/// degrades to the heuristic fallback (DESIGN.md §12).
+/// retry/backoff for transient failures, a circuit breaker that degrades
+/// to the heuristic fallback, and an overload-control layer — priority
+/// admission lanes, duplicate-request coalescing, and a generation-keyed
+/// score cache (DESIGN.md §12).
 ///
 /// Thread model: any number of producer threads call Submit(); one
 /// dispatcher thread (spawned by Start()) drains the queue in FIFO
 /// batches and runs inference, which itself parallelizes on the common/
-/// parallel pool. All serve counters are updated on the dispatcher
-/// thread, so a closed-loop run (enqueue everything, then Start) yields
+/// parallel pool. Admission decisions, coalescing leadership, and cache
+/// fills are all pure functions of the submission sequence and the fault
+/// seed, so a closed-loop run (enqueue everything, then Start) yields
 /// bit-identical counters and scores at any --threads=N.
 ///
 /// The server does not own its backends: `primary` (and optional
@@ -101,8 +150,9 @@ class TrustServer {
   TrustServer& operator=(const TrustServer&) = delete;
 
   /// Enqueues a query; never blocks. The future always completes: with a
-  /// score once served, or immediately with ResourceExhausted /
-  /// FailedPrecondition when the queue is full / the server is shut down.
+  /// score once served (possibly immediately, from the score cache), or
+  /// immediately with ResourceExhausted / FailedPrecondition when the
+  /// lane's admission limit is exhausted / the server is shut down.
   std::future<TrustResponse> Submit(const TrustQuery& query);
 
   /// Spawns the dispatcher. Submitting before Start() is allowed (the
@@ -119,10 +169,30 @@ class TrustServer {
   ServerStats Stats() const;
 
  private:
+  /// Followers share their leader's backend answer but keep their own
+  /// promise, deadline, and latency clock.
+  struct Follower {
+    Deadline deadline;
+    std::promise<TrustResponse> promise;
+    Stopwatch queued;
+  };
+  struct CoalesceGroup {
+    std::mutex mu;
+    bool done = false;
+    std::vector<Follower> followers;
+  };
+
   struct Request {
     TrustQuery query;
     std::promise<TrustResponse> promise;
     Stopwatch queued;
+    /// Admission decided this request is served by the fallback (degraded-
+    /// eligible lane under pressure). Ignored when no fallback exists.
+    bool downgrade = false;
+    /// Coalescing identity at submit time; followers submitted later for
+    /// the same key attach to `group`.
+    ScoreKey key;
+    std::shared_ptr<CoalesceGroup> group;  // null unless coalescing
   };
 
   void DispatchLoop();
@@ -133,23 +203,39 @@ class TrustServer {
                const std::vector<data::TrustPair>& pairs,
                const Status& reason, int attempts);
   void Complete(Request* request, TrustResponse response);
+  /// Folds `response` into the ok/degraded/failed/expired counters (the
+  /// terminal-outcome partition); used for leaders, followers, and
+  /// submit-time cache hits alike.
+  void CountOutcome(const TrustResponse& response);
+  void PublishBreakerState();
 
   ServeOptions options_;
   ScoreBackend* primary_;
   ScoreBackend* fallback_;  // nullable
+  AdmissionController admission_;
   BoundedQueue<Request> queue_;
   CircuitBreaker breaker_;  // dispatcher-thread only
+  std::unique_ptr<ScoreCache> owned_cache_;
+  ScoreCache* cache_ = nullptr;  // nullable; owned_cache_ or shared
+  int64_t cache_generation_ = 0;  // dispatcher-thread only
+  std::mutex coalesce_mu_;
+  std::unordered_map<ScoreKey, std::shared_ptr<CoalesceGroup>, ScoreKeyHash>
+      inflight_;
   std::thread dispatcher_;
   bool started_ = false;
   uint64_t batch_ordinal_ = 0;  // dispatcher-thread only; retry jitter key
 
-  /// Counters live in atomics (written by the dispatcher, except
-  /// submitted/rejected by producers) so Stats() is readable from any
+  /// Counters live in atomics (written by the dispatcher, except the
+  /// submission-side ones by producers) so Stats() is readable from any
   /// thread while serving.
   struct AtomicStats {
     std::atomic<int64_t> submitted{0}, rejected{0}, expired{0}, ok{0},
         degraded{0}, failed{0}, retries{0}, nonfinite{0}, batches{0},
         trips{0}, probes{0}, recoveries{0};
+    std::atomic<int64_t> lane_admitted[kNumLanes] = {};
+    std::atomic<int64_t> lane_rejected[kNumLanes] = {};
+    std::atomic<int64_t> downgraded{0}, coalesced{0}, coalesced_expired{0},
+        cache_hits{0}, cache_misses{0}, cache_flushes{0};
   };
   AtomicStats stats_;
 };

@@ -2,10 +2,14 @@
 // differences, sparse-algebra identities, hypergraph invariants, and
 // failure injection for the IO paths.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -394,6 +398,78 @@ TEST_P(ServeReloadFuzzTest, CorruptReloadKeepsOldWeightsServing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServeReloadFuzzTest, ::testing::Range(1, 3));
+
+// ---------------------------------------------------------------------------
+// BoundedQueue shutdown races: concurrent producers and batch consumers
+// with Close() arriving mid-stream. Every accepted item must be delivered
+// to exactly one consumer (no loss, no double delivery), every producer
+// must see FailedPrecondition after the close, and every thread must wake
+// up and join — a lost wakeup would hang the test.
+// ---------------------------------------------------------------------------
+
+class BoundedQueueCloseFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedQueueCloseFuzzTest, CloseRacingPushPopDeliversExactlyOnce) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const size_t capacity = 1 + seed % 7;
+  const int num_producers = 2 + static_cast<int>(seed % 3);
+  const int num_consumers = 2 + static_cast<int>((seed / 3) % 3);
+  const size_t batch_max = 1 + seed % 5;
+  const int items_per_producer = 200;
+
+  serve::BoundedQueue<int> queue(capacity);
+  std::vector<std::vector<int>> accepted(num_producers);
+  std::vector<std::vector<int>> delivered(num_consumers);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < num_producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < items_per_producer; ++i) {
+        int value = p * items_per_producer + i;
+        for (;;) {
+          Status status = queue.TryPush(value);
+          if (status.ok()) {
+            accepted[p].push_back(p * items_per_producer + i);
+            break;
+          }
+          if (status.code() == StatusCode::kFailedPrecondition) return;
+          // Full: back off and retry; consumers keep draining until the
+          // close lands, so this always makes progress.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < num_consumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<int> batch;
+      while (queue.PopBatch(&batch, batch_max) > 0) {
+        delivered[c].insert(delivered[c].end(), batch.begin(), batch.end());
+        batch.clear();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50 + 37 * seed));
+  queue.Close();
+  for (std::thread& t : threads) t.join();
+
+  std::vector<int> pushed;
+  for (const auto& ids : accepted) {
+    pushed.insert(pushed.end(), ids.begin(), ids.end());
+  }
+  std::vector<int> popped;
+  for (const auto& ids : delivered) {
+    popped.insert(popped.end(), ids.begin(), ids.end());
+  }
+  std::sort(pushed.begin(), pushed.end());
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(pushed, popped)
+      << "every accepted item must be delivered exactly once";
+  EXPECT_EQ(queue.PopBatch(&popped, 1), 0u) << "closed queue must be drained";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedQueueCloseFuzzTest,
+                         ::testing::Range(1, 9));
 
 // ---------------------------------------------------------------------------
 // Dataset CSV corruption: random byte mutations in any of the saved CSV

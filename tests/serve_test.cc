@@ -4,6 +4,7 @@
 // hot-reload, and the thread-count invariance of the whole pipeline
 // (extending the tests/parallel_test.cc determinism pattern).
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -17,6 +18,7 @@
 #include "common/deadline.h"
 #include "common/fault.h"
 #include "common/fileio.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "core/model_zoo.h"
 #include "data/features.h"
@@ -264,11 +266,15 @@ class FakeBackend : public serve::ScoreBackend {
 
   std::string name() const override { return "fake"; }
 
+  int64_t generation() const override { return generation_; }
+  void set_generation(int64_t generation) { generation_ = generation; }
+
   int calls() const { return calls_; }
 
  private:
   Fn fn_;
   int calls_ = 0;
+  std::atomic<int64_t> generation_{0};
 };
 
 FakeBackend::Fn ConstantScores(float value) {
@@ -673,6 +679,510 @@ TEST(ServeDeterminismTest, CountersAndScoresBitIdenticalAcrossThreadCounts) {
   }
   // The injected fault stream actually exercised the retry path.
   EXPECT_GT(r1.stats.retries, 0);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController: lane limits, reservation, downgrade pressure
+// ---------------------------------------------------------------------------
+
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::Lane;
+
+TEST(AdmissionControllerTest, DefaultsResolveFromCapacityAndReserve) {
+  AdmissionOptions options;
+  options.queue_capacity = 16;
+  options.strict_reserve = 4;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.LimitFor(Lane::kStrict), 16u);
+  EXPECT_EQ(admission.LimitFor(Lane::kDegradedEligible), 12u);
+  EXPECT_EQ(admission.LimitFor(Lane::kBesteffort), 6u);  // (12 + 1) / 2
+  EXPECT_EQ(admission.resolved().degrade_pressure, 6u);
+}
+
+TEST(AdmissionControllerTest, ReserveClampsToCapacity) {
+  AdmissionOptions options;
+  options.queue_capacity = 8;
+  options.strict_reserve = 100;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.LimitFor(Lane::kStrict), 8u);
+  EXPECT_EQ(admission.LimitFor(Lane::kDegradedEligible), 0u);
+  EXPECT_EQ(admission.LimitFor(Lane::kBesteffort), 0u);
+}
+
+TEST(AdmissionControllerTest, DowngradeOnlyForDegradedLaneUnderPressure) {
+  AdmissionOptions options;
+  options.queue_capacity = 8;
+  options.degrade_pressure = 4;
+  AdmissionController admission(options);
+  EXPECT_FALSE(admission.ShouldDowngrade(Lane::kDegradedEligible, 3));
+  EXPECT_TRUE(admission.ShouldDowngrade(Lane::kDegradedEligible, 4));
+  EXPECT_FALSE(admission.ShouldDowngrade(Lane::kStrict, 7));
+  EXPECT_FALSE(admission.ShouldDowngrade(Lane::kBesteffort, 7));
+}
+
+TEST(AdmissionControllerTest, LaneNamesRoundTrip) {
+  for (Lane lane : {Lane::kStrict, Lane::kDegradedEligible,
+                    Lane::kBesteffort}) {
+    Lane parsed;
+    ASSERT_TRUE(serve::LaneFromString(serve::LaneName(lane), &parsed));
+    EXPECT_EQ(parsed, lane);
+  }
+  Lane ignored;
+  EXPECT_FALSE(serve::LaneFromString("premium", &ignored));
+}
+
+// ---------------------------------------------------------------------------
+// ScoreCache: LRU semantics and generation keying
+// ---------------------------------------------------------------------------
+
+using serve::ScoreCache;
+using serve::ScoreKey;
+
+TEST(ScoreCacheTest, HitReturnsCachedScoreMissReturnsNothing) {
+  ScoreCache cache(4);
+  cache.Put({1, 2, 0}, 0.5f);
+  auto hit = cache.Get({1, 2, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FLOAT_EQ(*hit, 0.5f);
+  EXPECT_FALSE(cache.Get({2, 1, 0}).has_value());
+}
+
+TEST(ScoreCacheTest, GenerationIsPartOfTheKey) {
+  ScoreCache cache(4);
+  cache.Put({1, 2, 0}, 0.5f);
+  EXPECT_FALSE(cache.Get({1, 2, 1}).has_value())
+      << "a generation bump must make the old score unreachable";
+}
+
+TEST(ScoreCacheTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  ScoreCache cache(2);
+  cache.Put({1, 0, 0}, 0.1f);
+  cache.Put({2, 0, 0}, 0.2f);
+  ASSERT_TRUE(cache.Get({1, 0, 0}).has_value());  // 1 is now most recent
+  cache.Put({3, 0, 0}, 0.3f);                     // evicts 2
+  EXPECT_TRUE(cache.Get({1, 0, 0}).has_value());
+  EXPECT_FALSE(cache.Get({2, 0, 0}).has_value());
+  EXPECT_TRUE(cache.Get({3, 0, 0}).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCacheTest, FlushDropsEverythingAndReportsCount) {
+  ScoreCache cache(8);
+  cache.Put({1, 0, 0}, 0.1f);
+  cache.Put({2, 0, 0}, 0.2f);
+  EXPECT_EQ(cache.Flush(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get({1, 0, 0}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker gauge state
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, StateTracksProbeLifecycle) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.probe_interval = 2;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.OnFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ASSERT_EQ(breaker.Admit(), CircuitBreaker::Decision::kFallback);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ASSERT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.OnFailure();  // failed probe: open again, no longer half-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ASSERT_EQ(breaker.Admit(), CircuitBreaker::Decision::kFallback);
+  ASSERT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(TrustServerTest, BreakerStateGaugeExported) {
+  metrics::Reset();
+  metrics::Enable();
+  FakeBackend primary(
+      [](const std::vector<data::TrustPair>&,
+         int) -> Result<std::vector<float>> {
+        return Status::Unavailable("down");
+      });
+  FakeBackend fallback(ConstantScores(0.25f));
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 1;
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.probe_interval = 8;
+  TrustServer server(options, &primary, &fallback);
+  RunClosedLoop(&server, 4);
+  metrics::Snapshot snapshot = metrics::Collect();
+  double state = -1.0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "serve.breaker_state") state = gauge.value;
+  }
+  EXPECT_EQ(state, 1.0) << "breaker tripped open must publish state=1";
+  EXPECT_GE(snapshot.CounterValue("serve.breaker_trips", 0), 1);
+  metrics::Disable();
+}
+
+// ---------------------------------------------------------------------------
+// Priority admission lanes
+// ---------------------------------------------------------------------------
+
+TEST(TrustServerLaneTest, BesteffortShedsFirstStrictHoldsTheReservation) {
+  FakeBackend backend(ConstantScores(0.5f));
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 8;
+  options.admission.strict_reserve = 2;
+  // Resolved: besteffort_limit = 3, degraded limit = 6, strict limit = 8.
+  TrustServer server(options, &backend, nullptr);
+
+  std::vector<std::future<TrustResponse>> futures;
+  auto submit = [&](int i, Lane lane) {
+    TrustQuery q;
+    q.src = i;
+    q.dst = i + 1;
+    q.lane = lane;
+    futures.push_back(server.Submit(q));
+  };
+  int i = 0;
+  for (int k = 0; k < 4; ++k) submit(i++, Lane::kBesteffort);
+  for (int k = 0; k < 6; ++k) submit(i++, Lane::kDegradedEligible);
+  for (int k = 0; k < 4; ++k) submit(i++, Lane::kStrict);
+  server.Start();
+  for (auto& f : futures) f.get();
+  server.Shutdown();
+
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.lane_admitted[static_cast<int>(Lane::kBesteffort)], 3);
+  EXPECT_EQ(stats.lane_rejected[static_cast<int>(Lane::kBesteffort)], 1);
+  EXPECT_EQ(stats.lane_admitted[static_cast<int>(Lane::kDegradedEligible)], 3);
+  EXPECT_EQ(stats.lane_rejected[static_cast<int>(Lane::kDegradedEligible)], 3);
+  // Only strict traffic may use the last `strict_reserve` slots.
+  EXPECT_EQ(stats.lane_admitted[static_cast<int>(Lane::kStrict)], 2);
+  EXPECT_EQ(stats.lane_rejected[static_cast<int>(Lane::kStrict)], 2);
+  EXPECT_EQ(stats.rejected, 6);
+}
+
+TEST(TrustServerLaneTest, DegradedEligibleDowngradesUnderPressure) {
+  FakeBackend primary(ConstantScores(0.75f));
+  FakeBackend fallback(ConstantScores(0.25f));
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 8;
+  options.max_batch_size = 8;
+  // Resolved: degrade_pressure = besteffort_limit = 4.
+  TrustServer server(options, &primary, &fallback);
+
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    TrustQuery q;
+    q.src = i;
+    q.dst = i + 1;
+    q.lane = Lane::kDegradedEligible;
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  std::vector<TrustResponse> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+  server.Shutdown();
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(responses[i].status.ok());
+    if (i < 4) {
+      EXPECT_FALSE(responses[i].degraded) << "request " << i;
+      EXPECT_FLOAT_EQ(responses[i].score, 0.75f);
+    } else {
+      EXPECT_TRUE(responses[i].degraded)
+          << "request " << i << " arrived above the pressure threshold";
+      EXPECT_FLOAT_EQ(responses[i].score, 0.25f);
+    }
+  }
+  EXPECT_EQ(server.Stats().downgraded, 4);
+  EXPECT_EQ(server.Stats().degraded, 4);
+  EXPECT_EQ(server.Stats().ok, 4);
+}
+
+TEST(TrustServerLaneTest, DowngradeIsIgnoredWithoutAFallback) {
+  FakeBackend primary(ConstantScores(0.75f));
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 8;
+  options.max_batch_size = 8;
+  TrustServer server(options, &primary, nullptr);
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    TrustQuery q;
+    q.src = i;
+    q.dst = i + 1;
+    q.lane = Lane::kDegradedEligible;
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.degraded);
+    EXPECT_FLOAT_EQ(r.score, 0.75f);
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().downgraded, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Request coalescing
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingTest, DuplicatesAttachToOneLeaderAndOneBackendCall) {
+  FakeBackend backend(ConstantScores(0.625f));
+  ServeOptions options = FastOptions();
+  options.coalesce = true;
+  options.max_batch_size = 8;
+  TrustServer server(options, &backend, nullptr);
+
+  std::vector<std::future<TrustResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    TrustQuery q;
+    q.src = 3;
+    q.dst = 4;
+    futures.push_back(server.Submit(q));
+  }
+  EXPECT_EQ(server.queue_depth(), 1u) << "duplicates must not occupy slots";
+  server.Start();
+  int coalesced = 0;
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FLOAT_EQ(r.score, 0.625f);
+    if (r.coalesced) ++coalesced;
+  }
+  server.Shutdown();
+  EXPECT_EQ(coalesced, 7);
+  EXPECT_EQ(backend.calls(), 1) << "one inference serves all duplicates";
+  EXPECT_EQ(server.Stats().coalesced, 7);
+  EXPECT_EQ(server.Stats().ok, 8);
+}
+
+TEST(CoalescingTest, DistinctPairsDoNotCoalesce) {
+  FakeBackend backend(ConstantScores(0.5f));
+  ServeOptions options = FastOptions();
+  options.coalesce = true;
+  TrustServer server(options, &backend, nullptr);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 6);
+  for (const TrustResponse& r : responses) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.coalesced);
+  }
+  EXPECT_EQ(server.Stats().coalesced, 0);
+}
+
+TEST(CoalescingTest, FollowerDeadlineExpiryDoesNotCancelTheLeader) {
+  FakeBackend backend(ConstantScores(0.5f));
+  ServeOptions options = FastOptions();
+  options.coalesce = true;
+  TrustServer server(options, &backend, nullptr);
+
+  TrustQuery leader;
+  leader.src = 1;
+  leader.dst = 2;
+  std::future<TrustResponse> leader_future = server.Submit(leader);
+
+  TrustQuery follower = leader;
+  follower.deadline = Deadline::AfterMillis(0);  // expired while coalesced
+  std::future<TrustResponse> follower_future = server.Submit(follower);
+
+  server.Start();
+  TrustResponse leader_response = leader_future.get();
+  TrustResponse follower_response = follower_future.get();
+  server.Shutdown();
+
+  EXPECT_TRUE(leader_response.status.ok())
+      << "an expired follower must not cancel its leader";
+  EXPECT_FLOAT_EQ(leader_response.score, 0.5f);
+  EXPECT_EQ(follower_response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(follower_response.coalesced);
+  EXPECT_EQ(backend.calls(), 1);
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.coalesced_expired, 1);
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_EQ(stats.ok, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Generation-keyed score cache behind the server
+// ---------------------------------------------------------------------------
+
+TEST(ServerScoreCacheTest, RepeatWaveIsServedFromASharedCache) {
+  FakeBackend backend(ConstantScores(0.375f));
+  ScoreCache cache(64);
+  ServeOptions options = FastOptions();
+  options.shared_score_cache = &cache;
+
+  {
+    TrustServer first(options, &backend, nullptr);
+    std::vector<TrustResponse> wave = RunClosedLoop(&first, 6);
+    for (const TrustResponse& r : wave) EXPECT_FALSE(r.cached);
+    EXPECT_EQ(first.Stats().cache_hits, 0);
+    EXPECT_EQ(first.Stats().cache_misses, 6);
+  }
+  const int calls_after_first = backend.calls();
+
+  TrustServer second(options, &backend, nullptr);
+  std::vector<TrustResponse> wave = RunClosedLoop(&second, 6);
+  for (const TrustResponse& r : wave) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.cached);
+    EXPECT_FLOAT_EQ(r.score, 0.375f);
+  }
+  EXPECT_EQ(backend.calls(), calls_after_first)
+      << "a repeat wave must not touch the backend";
+  EXPECT_EQ(second.Stats().cache_hits, 6);
+  EXPECT_EQ(second.Stats().ok, 6);
+}
+
+TEST(ServerScoreCacheTest, GenerationBumpFlushesAndRescores) {
+  FakeBackend backend(ConstantScores(0.875f));
+  ServeOptions options = FastOptions();
+  options.score_cache_entries = 16;
+  TrustServer server(options, &backend, nullptr);
+  server.Start();
+
+  TrustQuery q;
+  q.src = 7;
+  q.dst = 8;
+  TrustResponse first = server.Submit(q).get();
+  EXPECT_FALSE(first.cached);
+  TrustResponse second = server.Submit(q).get();
+  EXPECT_TRUE(second.cached) << "repeat lookup within a generation hits";
+
+  backend.set_generation(1);  // as after a hot reload or retrain
+  TrustResponse third = server.Submit(q).get();
+  EXPECT_FALSE(third.cached)
+      << "a generation bump must invalidate the cached score";
+  server.Shutdown();
+
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.cache_flushes, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(backend.calls(), 2);
+}
+
+TEST(ServerScoreCacheTest, DegradedScoresAreNeverCached) {
+  FakeBackend primary(
+      [](const std::vector<data::TrustPair>&,
+         int) -> Result<std::vector<float>> {
+        return Status::Unavailable("down");
+      });
+  FakeBackend fallback(ConstantScores(0.125f));
+  ServeOptions options = FastOptions();
+  options.max_batch_size = 8;
+  options.score_cache_entries = 16;
+  TrustServer server(options, &primary, &fallback);
+  std::vector<TrustResponse> responses = RunClosedLoop(&server, 4);
+  for (const TrustResponse& r : responses) {
+    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.cached);
+  }
+  EXPECT_EQ(server.Stats().cache_hits, 0)
+      << "fallback answers must never be served as cached model scores";
+}
+
+// ---------------------------------------------------------------------------
+// Overload-control determinism: lanes + coalescing + cache under faults,
+// bit-identical at 1, 2, and 8 threads.
+// ---------------------------------------------------------------------------
+
+struct OverloadRun {
+  serve::ServerStats stats;
+  std::vector<int> codes;
+  std::vector<float> scores;
+  std::vector<bool> degraded, cached, coalesced;
+};
+
+OverloadRun RunOverloadServe(const ServingFixture& fixture, int threads) {
+  ThreadGuard guard(threads);
+  fault::SetSeed(4321);
+  EXPECT_TRUE(fault::EnableFromSpec("serve.infer@~0.5").ok());
+
+  auto factory = fixture.MakeFactory(5);
+  serve::ModelBackend primary(factory, factory());
+  serve::HeuristicBackend fallback(&fixture.graph,
+                                   models::Heuristic::kJaccard);
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch_size = 4;
+  options.retry.max_attempts = 2;
+  options.retry.seed = 4321;
+  options.sleep_on_backoff = false;
+  options.breaker.failure_threshold = 2;
+  options.breaker.probe_interval = 2;
+  options.admission.strict_reserve = 8;
+  options.coalesce = true;
+  options.score_cache_entries = 128;
+  TrustServer server(options, &primary, &fallback);
+
+  std::vector<data::TrustPair> queries = fixture.Queries(96);
+  std::vector<std::future<TrustResponse>> futures;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // A hot key every 5th request plus a three-way lane rotation: the mix
+    // exercises shedding, downgrade, and coalescing in one stream.
+    const data::TrustPair& p = i % 5 == 0 ? queries[0] : queries[i];
+    TrustQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    q.lane = static_cast<Lane>(i % serve::kNumLanes);
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  OverloadRun run;
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    run.codes.push_back(static_cast<int>(r.status.code()));
+    run.scores.push_back(r.status.ok() ? r.score : -1.0f);
+    run.degraded.push_back(r.degraded);
+    run.cached.push_back(r.cached);
+    run.coalesced.push_back(r.coalesced);
+  }
+  server.Shutdown();
+  run.stats = server.Stats();
+  fault::Disable();
+  return run;
+}
+
+TEST(ServeDeterminismTest, OverloadControlBitIdenticalAcrossThreadCounts) {
+  ServingFixture fixture = ServingFixture::Make();
+  OverloadRun r1 = RunOverloadServe(fixture, 1);
+  OverloadRun r2 = RunOverloadServe(fixture, 2);
+  OverloadRun r8 = RunOverloadServe(fixture, 8);
+
+  for (const OverloadRun* other : {&r2, &r8}) {
+    EXPECT_EQ(r1.stats.ok, other->stats.ok);
+    EXPECT_EQ(r1.stats.degraded, other->stats.degraded);
+    EXPECT_EQ(r1.stats.failed, other->stats.failed);
+    EXPECT_EQ(r1.stats.rejected, other->stats.rejected);
+    EXPECT_EQ(r1.stats.retries, other->stats.retries);
+    EXPECT_EQ(r1.stats.batches, other->stats.batches);
+    EXPECT_EQ(r1.stats.downgraded, other->stats.downgraded);
+    EXPECT_EQ(r1.stats.coalesced, other->stats.coalesced);
+    EXPECT_EQ(r1.stats.cache_hits, other->stats.cache_hits);
+    EXPECT_EQ(r1.stats.cache_misses, other->stats.cache_misses);
+    for (int lane = 0; lane < serve::kNumLanes; ++lane) {
+      EXPECT_EQ(r1.stats.lane_admitted[lane], other->stats.lane_admitted[lane]);
+      EXPECT_EQ(r1.stats.lane_rejected[lane], other->stats.lane_rejected[lane]);
+    }
+    EXPECT_EQ(r1.codes, other->codes);
+    ASSERT_EQ(r1.scores.size(), other->scores.size());
+    EXPECT_EQ(std::memcmp(r1.scores.data(), other->scores.data(),
+                          r1.scores.size() * sizeof(float)),
+              0)
+        << "scores must be bit-identical across thread counts";
+    EXPECT_EQ(r1.degraded, other->degraded);
+    EXPECT_EQ(r1.cached, other->cached);
+    EXPECT_EQ(r1.coalesced, other->coalesced);
+  }
+  // The stream actually exercised the overload-control machinery.
+  EXPECT_GT(r1.stats.coalesced, 0);
+  EXPECT_GT(r1.stats.cache_hits + r1.stats.cache_misses, 0);
 }
 
 }  // namespace
