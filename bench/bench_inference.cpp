@@ -9,19 +9,33 @@
 // through the bounded-LRU fault path, parity-gated against the monolithic
 // plan; the JSON gains a "shards" array.
 //
+// The kernel/precision matrix (DESIGN.md §15) times the batch-64 scoring
+// loop under the scalar oracle, the AVX2 kernels, and the int8-quantized
+// table, reporting resident table bytes per user and CHECKing the two-tier
+// parity contract (scalar-vs-AVX2 on probabilities, fp32-vs-int8 within
+// quantization tolerance). A final AUC guard sweeps the model zoo and
+// CHECKs that int8 moves test AUC by at most 0.002 per model; the JSON
+// gains "kernels" and "auc_guard" arrays.
+//
 //   ./build/bench/bench_inference [--scale=0.06] [--iters=30] [--shards=1,2,4]
+//                                 [--kernel_isa=scalar|avx2|auto]
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpu.h"
 #include "common/fileio.h"
 #include "common/stopwatch.h"
+#include "core/metrics.h"
 #include "core/model_zoo.h"
 #include "data/features.h"
 #include "data/split.h"
+#include "hypergraph/builders.h"
 #include "models/inference_plan.h"
 #include "models/trust_predictor.h"
 
@@ -57,6 +71,30 @@ struct ShardRow {
   double plan_build_ms = 0.0;  // encode + per-shard spill
   double sharded_ms = 0.0;     // median per-batch, LRU fault path included
 };
+
+struct KernelRow {
+  const char* isa = "";
+  const char* precision = "";
+  double score_ms = 0.0;        // batch-64 median, warm plan
+  double bytes_per_user = 0.0;  // resident embedding-table bytes / user
+  double max_delta = 0.0;       // vs the scalar fp32 reference scores
+};
+
+struct AucRow {
+  std::string model;
+  double auc_fp32 = 0.0;
+  double auc_int8 = 0.0;
+  double delta = 0.0;
+};
+
+float MaxAbsDelta(const std::vector<float>& a, const std::vector<float>& b) {
+  AHNTP_CHECK_EQ(a.size(), b.size());
+  float delta = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    delta = std::max(delta, std::fabs(a[i] - b[i]));
+  }
+  return delta;
+}
 
 }  // namespace
 
@@ -194,6 +232,117 @@ int main(int argc, char** argv) {
   predictor->DisableShardedInference();
   std::filesystem::remove_all(spill_dir);
 
+  // Kernel/precision matrix: the same batch-64 scoring loop under the
+  // scalar oracle, the AVX2 kernels, and the int8 table. Each row re-encodes
+  // under its own ISA (the encode feeds the cached table) and is
+  // parity-gated against the scalar fp32 reference.
+  const KernelIsa ambient_isa = ActiveKernelIsa();
+  const bool avx2_ok = KernelIsaSupported(KernelIsa::kAvx2);
+  SetKernelIsa(KernelIsa::kScalar);
+  predictor->SetInferencePrecision(models::PlanPrecision::kFloat32);
+  predictor->InvalidateCaches();
+  predictor->WarmInferencePlan();
+  const std::vector<float> scalar_ref =
+      predictor->PredictProbabilities(shard_pairs);
+
+  struct Combo {
+    KernelIsa isa;
+    models::PlanPrecision precision;
+    double tolerance;  // max |Δprob| vs scalar fp32
+  };
+  std::vector<Combo> combos = {
+      {KernelIsa::kScalar, models::PlanPrecision::kFloat32, 0.0}};
+  if (avx2_ok) {
+    // fp32 AVX2: FMA/reassociation noise only — a few float ulps through
+    // the encode + cosine chain.
+    combos.push_back({KernelIsa::kAvx2, models::PlanPrecision::kFloat32,
+                      2e-4});
+    combos.push_back({KernelIsa::kAvx2, models::PlanPrecision::kInt8, 0.06});
+  }
+  // int8 under the scalar kernels: quantization tolerance, same bound.
+  combos.push_back({KernelIsa::kScalar, models::PlanPrecision::kInt8, 0.06});
+
+  std::vector<KernelRow> kernel_rows;
+  std::printf("\n%7s %5s %10s %15s %12s\n", "isa", "prec", "score_ms",
+              "bytes_per_user", "max_delta");
+  std::printf("%s\n", std::string(54, '-').c_str());
+  for (const Combo& combo : combos) {
+    SetKernelIsa(combo.isa);
+    predictor->SetInferencePrecision(combo.precision);
+    predictor->InvalidateCaches();
+    predictor->WarmInferencePlan();
+    std::vector<float> probs = predictor->PredictProbabilities(shard_pairs);
+    KernelRow krow;
+    krow.isa = KernelIsaName(combo.isa);
+    krow.precision = models::PlanPrecisionName(combo.precision);
+    krow.max_delta = MaxAbsDelta(probs, scalar_ref);
+    AHNTP_CHECK(krow.max_delta <= combo.tolerance)
+        << krow.isa << "/" << krow.precision
+        << " drifted from the scalar fp32 oracle: max |Δprob| = "
+        << krow.max_delta << " > " << combo.tolerance;
+    std::vector<double> score_ms;
+    for (int it = 0; it < iters; ++it) {
+      Stopwatch t;
+      (void)predictor->PredictProbabilities(shard_pairs);
+      score_ms.push_back(t.ElapsedMillis());
+    }
+    krow.score_ms = MedianMs(score_ms);
+    krow.bytes_per_user =
+        static_cast<double>(predictor->inference_plan()->embedding_bytes()) /
+        static_cast<double>(dataset.num_users);
+    kernel_rows.push_back(krow);
+    std::printf("%7s %5s %10.3f %15.1f %12.2e\n", krow.isa, krow.precision,
+                krow.score_ms, krow.bytes_per_user, krow.max_delta);
+    std::fflush(stdout);
+  }
+  SetKernelIsa(ambient_isa);
+  predictor->SetInferencePrecision(models::PlanPrecision::kFloat32);
+
+  // AUC guard: quantization may perturb individual probabilities but must
+  // not change ranking quality. Sweep every zoo model on the test pairs and
+  // CHECK |AUC(int8) - AUC(fp32)| <= 0.002.
+  hypergraph::Hypergraph attr = hypergraph::BuildAttributeHypergroup(
+      dataset.num_users, dataset.attributes);
+  hypergraph::Hypergraph pairwise = hypergraph::BuildPairwiseHypergroup(graph);
+  hypergraph::Hypergraph hypergraph =
+      hypergraph::Hypergraph::Concat(attr, pairwise);
+  models::ModelInputs zoo_inputs = inputs;
+  zoo_inputs.hypergraph = &hypergraph;
+  std::vector<float> labels;
+  labels.reserve(split.test_pairs.size());
+  for (const data::TrustPair& p : split.test_pairs) labels.push_back(p.label);
+  std::vector<AucRow> auc_rows;
+  std::printf("\n%12s %10s %10s %10s\n", "model", "auc_fp32", "auc_int8",
+              "delta");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (const std::string& name : core::AvailableModels()) {
+    Rng model_rng(options.seed);
+    zoo_inputs.rng = &model_rng;
+    auto zoo_created =
+        core::CreatePredictor(name, zoo_inputs, core::AhntpConfig{});
+    AHNTP_CHECK_OK(zoo_created.status());
+    std::unique_ptr<models::TrustPredictor> zoo_model =
+        std::move(zoo_created).value();
+    zoo_model->SetTraining(false);
+    std::vector<float> fp32_probs =
+        zoo_model->PredictProbabilities(split.test_pairs);
+    zoo_model->SetInferencePrecision(models::PlanPrecision::kInt8);
+    std::vector<float> int8_probs =
+        zoo_model->PredictProbabilities(split.test_pairs);
+    AucRow arow;
+    arow.model = name;
+    arow.auc_fp32 = core::EvaluateBinary(fp32_probs, labels).auc;
+    arow.auc_int8 = core::EvaluateBinary(int8_probs, labels).auc;
+    arow.delta = std::fabs(arow.auc_int8 - arow.auc_fp32);
+    AHNTP_CHECK(arow.delta <= 0.002)
+        << name << ": int8 moved test AUC by " << arow.delta
+        << " (fp32=" << arow.auc_fp32 << ", int8=" << arow.auc_int8 << ")";
+    auc_rows.push_back(arow);
+    std::printf("%12s %10.4f %10.4f %10.5f\n", arow.model.c_str(),
+                arow.auc_fp32, arow.auc_int8, arow.delta);
+    std::fflush(stdout);
+  }
+
   std::string json =
       "{\n  \"bench\": \"inference\",\n  \"plan_build_ms\": " +
       StrFormat("%.4f", build_ms) + ",\n  \"rows\": [\n";
@@ -213,6 +362,25 @@ int main(int argc, char** argv) {
         "%.4f}%s\n",
         srow.shards, srow.plan_build_ms, srow.sharded_ms,
         i + 1 < shard_rows.size() ? "," : "");
+  }
+  json += "  ],\n  \"kernel_isa\": \"" +
+          std::string(KernelIsaName(ambient_isa)) + "\",\n  \"kernels\": [\n";
+  for (size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& krow = kernel_rows[i];
+    json += StrFormat(
+        "    {\"isa\": \"%s\", \"precision\": \"%s\", \"score_ms\": %.4f, "
+        "\"bytes_per_user\": %.1f, \"max_delta_vs_scalar_fp32\": %.6g}%s\n",
+        krow.isa, krow.precision, krow.score_ms, krow.bytes_per_user,
+        krow.max_delta, i + 1 < kernel_rows.size() ? "," : "");
+  }
+  json += "  ],\n  \"auc_guard\": [\n";
+  for (size_t i = 0; i < auc_rows.size(); ++i) {
+    const AucRow& arow = auc_rows[i];
+    json += StrFormat(
+        "    {\"model\": \"%s\", \"auc_fp32\": %.5f, \"auc_int8\": %.5f, "
+        "\"delta\": %.6f}%s\n",
+        arow.model.c_str(), arow.auc_fp32, arow.auc_int8, arow.delta,
+        i + 1 < auc_rows.size() ? "," : "");
   }
   json += "  ]\n}\n";
   AHNTP_CHECK_OK(WriteFileAtomic("BENCH_inference.json", json));

@@ -4,34 +4,45 @@
 #   scripts/check_all.sh
 #
 # Stops at the first failing stage (each stage's own script reports the
-# details); a clean exit means every gate passed.
+# details); a clean exit means every gate passed. A gate script that has
+# gone missing (renamed, dropped from a bad merge) is itself a failure —
+# silently skipping it would report "all checks passed" without running it.
 set -eu
 cd "$(dirname "$0")/.."
+
+gates=(
+  "observability:scripts/check_observability.sh"
+  "compiled inference:scripts/check_inference.sh"
+  "serving:scripts/check_serve.sh"
+  "serve overload, per-lane digests:scripts/check_serve_load.sh"
+  "sharded scale:scripts/check_scale.sh"
+  "ASan/UBSan:scripts/check_asan.sh"
+  "TSan:scripts/check_tsan.sh"
+)
+
+missing=0
+for gate in "${gates[@]}"; do
+  script="${gate#*:}"
+  if [ ! -x "$script" ]; then
+    echo "MISSING GATE: $script (not found or not executable)" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "refusing to run with missing gate scripts" >&2
+  exit 1
+fi
 
 echo "================ tier-1: build + ctest ================"
 cmake -B build -S .
 cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
 (cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)")
 
-echo "================ observability ================"
-scripts/check_observability.sh
-
-echo "================ compiled inference ================"
-scripts/check_inference.sh
-
-echo "================ serving ================"
-scripts/check_serve.sh
-
-echo "================ serve overload: per-lane digests ================"
-scripts/check_serve_load.sh
-
-echo "================ sharded scale ================"
-scripts/check_scale.sh
-
-echo "================ ASan/UBSan ================"
-scripts/check_asan.sh
-
-echo "================ TSan ================"
-scripts/check_tsan.sh
+for gate in "${gates[@]}"; do
+  name="${gate%%:*}"
+  script="${gate#*:}"
+  echo "================ ${name} ================"
+  "$script"
+done
 
 echo "all checks passed"

@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Compiled-inference gate: the tape-free scoring path must stay bit-identical
-# to the autograd tape, allocation-free at steady state, and race-free.
+# to the autograd tape, the SIMD kernels must honor the two-tier parity
+# contract against the scalar oracle, int8 quantization must stay inside its
+# tolerance and AUC budget, and the whole path must be allocation-free at
+# steady state and race-free.
+#   - kernel_parity_test: randomized differential tests of every AVX2 kernel
+#     vs the scalar oracle (exact tier bitwise incl. NaN/-0.0 probes, fma
+#     tier to tolerance, thread-count invariance, remainder lanes);
 #   - inference_test: bitwise compiled-vs-tape parity across the full model
-#     zoo at --threads=1/2/8, workspace reuse/reset semantics, the
-#     zero-allocation scoring-loop assertion, and cache invalidation on
-#     training steps, checkpoint loads, and (fault-injected) hot reloads;
-#   - bench_inference: end-to-end parity CHECKs on the EpinionsLike preset
-#     plus the tape-vs-compiled latency rows (BENCH_inference.json);
-#   - inference_test under TSan: one predictor per dispatcher shares no
-#     mutable state, and the reload staging path must stay clean.
+#     zoo at --threads=1/2/8, int8 quantization edge cases, workspace
+#     reuse/reset semantics, the zero-allocation scoring-loop assertion,
+#     and cache invalidation on training steps, checkpoint loads, and
+#     (fault-injected) hot reloads;
+#   - bench_inference: end-to-end parity CHECKs (tape vs compiled,
+#     scalar-vs-AVX2-vs-int8 kernel matrix) and the per-model AUC guard
+#     (|AUC(int8) - AUC(fp32)| <= 0.002), run twice — default ISA and
+#     pinned AHNTP_KERNEL_ISA=scalar — with a JSON schema check on
+#     BENCH_inference.json;
+#   - kernel_parity_test + inference_test under TSan: the dispatch atomics
+#     and per-predictor plans share no unsynchronized mutable state.
 # Usage:
 #   scripts/check_inference.sh [build-dir]   (default: build)
 set -eu
@@ -17,27 +27,87 @@ cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
 cmake -B "$build_dir" -S .
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)" \
-      --target inference_test bench_inference
+      --target kernel_parity_test inference_test bench_inference
 
-echo "########## inference_test (parity + allocation assertions) ##########"
+echo "########## kernel_parity_test (SIMD vs scalar oracle) ##########"
+"$build_dir/tests/kernel_parity_test"
+
+echo "########## inference_test (parity + quantization + allocations) ##########"
 "$build_dir/tests/inference_test"
 
-echo "########## bench_inference parity CHECKs ##########"
-# The bench CHECK-fails on any tape/compiled score mismatch before timing;
-# a tiny iteration count keeps the gate fast while still exercising the
-# warm scoring loop.
+echo "########## bench_inference parity CHECKs (default ISA) ##########"
+# The bench CHECK-fails on any tape/compiled score mismatch, any kernel-row
+# drift past its tolerance, and any model whose AUC moves more than 0.002
+# under int8 — before timing anything. A tiny iteration count keeps the
+# gate fast while still exercising the warm scoring loop.
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 repo_root="$(pwd)"
 (cd "$workdir" && \
  "$repo_root/$build_dir/bench/bench_inference" --iters=3 --scale=0.03)
 
-echo "########## inference_test under TSan ##########"
+echo "########## BENCH_inference.json schema ##########"
+python3 - "$workdir/BENCH_inference.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "plan_build_ms", "rows", "shards", "kernel_isa",
+            "kernels", "auc_guard"):
+    assert key in doc, f"missing key: {key}"
+assert doc["bench"] == "inference"
+assert doc["kernel_isa"] in ("scalar", "avx2")
+assert len(doc["rows"]) > 0 and len(doc["kernels"]) > 0
+for row in doc["rows"]:
+    for key in ("batch", "tape_ms", "compiled_ms", "speedup"):
+        assert key in row, f"rows missing {key}"
+isas = set()
+for row in doc["kernels"]:
+    for key in ("isa", "precision", "score_ms", "bytes_per_user",
+                "max_delta_vs_scalar_fp32"):
+        assert key in row, f"kernels missing {key}"
+    assert row["isa"] in ("scalar", "avx2")
+    assert row["precision"] in ("fp32", "int8")
+    isas.add((row["isa"], row["precision"]))
+assert ("scalar", "fp32") in isas, "scalar fp32 reference row missing"
+assert any(p == "int8" for _, p in isas), "int8 row missing"
+fp32 = next(r for r in doc["kernels"]
+            if r["isa"] == "scalar" and r["precision"] == "fp32")
+for row in doc["kernels"]:
+    if row["precision"] == "int8":
+        ratio = fp32["bytes_per_user"] / row["bytes_per_user"]
+        assert ratio > 3.0, f"int8 table only {ratio:.2f}x smaller"
+assert len(doc["auc_guard"]) > 0
+for row in doc["auc_guard"]:
+    for key in ("model", "auc_fp32", "auc_int8", "delta"):
+        assert key in row, f"auc_guard missing {key}"
+    assert row["delta"] <= 0.002, f"{row['model']}: AUC delta {row['delta']}"
+print(f"schema OK: {len(doc['kernels'])} kernel rows, "
+      f"{len(doc['auc_guard'])} AUC-guarded models")
+EOF
+
+echo "########## bench_inference parity CHECKs (pinned scalar ISA) ##########"
+# Pinning AHNTP_KERNEL_ISA=scalar exercises the env-var resolution path and
+# proves the scalar oracle still passes every gate on its own (the frozen
+# pre-SIMD behaviour).
+(cd "$workdir" && AHNTP_KERNEL_ISA=scalar \
+ "$repo_root/$build_dir/bench/bench_inference" --iters=2 --scale=0.03)
+python3 - "$workdir/BENCH_inference.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["kernel_isa"] == "scalar", doc["kernel_isa"]
+print("pinned-scalar run OK")
+EOF
+
+echo "########## kernel_parity_test + inference_test under TSan ##########"
 tsan_dir="build-threadsan"
 cmake -B "$tsan_dir" -S . -DAHNTP_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$tsan_dir" -j"$(nproc 2>/dev/null || echo 2)" \
-      --target inference_test
+      --target kernel_parity_test inference_test
+AHNTP_THREADS="${AHNTP_THREADS:-8}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+    "$tsan_dir/tests/kernel_parity_test"
 AHNTP_THREADS="${AHNTP_THREADS:-8}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
     "$tsan_dir/tests/inference_test"

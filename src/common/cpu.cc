@@ -1,0 +1,135 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ahntp {
+
+namespace {
+
+CpuFeatures ProbeCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+/// True when kernels_avx2.cc was built with real AVX2+FMA codegen (the
+/// CMake probe defines AHNTP_KERNEL_AVX2 project-wide on success).
+constexpr bool kAvx2Compiled =
+#if defined(AHNTP_KERNEL_AVX2)
+    true;
+#else
+    false;
+#endif
+
+/// -1 = unresolved; otherwise a KernelIsa value. Resolution happens at most
+/// once per explicit SetKernelIsa() (plus the first lazy read), so the hot
+/// path is a single relaxed load.
+std::atomic<int> g_kernel_isa{-1};
+
+KernelIsa ResolveFromEnvironment() {
+  const char* env = std::getenv("AHNTP_KERNEL_ISA");
+  if (env == nullptr || *env == '\0') {
+    return KernelIsaSupported(KernelIsa::kAvx2) ? KernelIsa::kAvx2
+                                                : KernelIsa::kScalar;
+  }
+  Result<KernelIsa> parsed = ParseKernelIsa(env);
+  AHNTP_CHECK(parsed.ok()) << "AHNTP_KERNEL_ISA: "
+                           << parsed.status().ToString();
+  return parsed.value();
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = ProbeCpuFeatures();
+  return features;
+}
+
+std::string CpuFeaturesString() {
+  const CpuFeatures& f = GetCpuFeatures();
+  std::string out;
+  auto append = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(f.sse42, "sse4.2");
+  append(f.avx, "avx");
+  append(f.avx2, "avx2");
+  append(f.fma, "fma");
+  append(f.avx512f, "avx512f");
+  return out.empty() ? "scalar-only" : out;
+}
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool KernelIsaSupported(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2: {
+      const CpuFeatures& f = GetCpuFeatures();
+      return kAvx2Compiled && f.avx2 && f.fma;
+    }
+  }
+  return false;
+}
+
+Result<KernelIsa> ParseKernelIsa(const std::string& name) {
+  KernelIsa isa;
+  if (name == "scalar") {
+    isa = KernelIsa::kScalar;
+  } else if (name == "avx2") {
+    isa = KernelIsa::kAvx2;
+  } else if (name == "auto") {
+    return KernelIsaSupported(KernelIsa::kAvx2) ? KernelIsa::kAvx2
+                                                : KernelIsa::kScalar;
+  } else {
+    return Status::InvalidArgument("unknown kernel ISA '" + name +
+                                   "' (want scalar, avx2, or auto)");
+  }
+  if (!KernelIsaSupported(isa)) {
+    return Status::InvalidArgument(
+        std::string("kernel ISA '") + KernelIsaName(isa) +
+        "' is not supported by this build/CPU (" + CpuFeaturesString() + ")");
+  }
+  return isa;
+}
+
+KernelIsa ActiveKernelIsa() {
+  int resolved = g_kernel_isa.load(std::memory_order_relaxed);
+  if (resolved >= 0) return static_cast<KernelIsa>(resolved);
+  KernelIsa isa = ResolveFromEnvironment();
+  // Racing first reads resolve to the same value (the environment cannot
+  // change mid-race), so a plain store is fine.
+  g_kernel_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+void SetKernelIsa(KernelIsa isa) {
+  AHNTP_CHECK(KernelIsaSupported(isa))
+      << "kernel ISA '" << KernelIsaName(isa)
+      << "' is not supported by this build/CPU (" << CpuFeaturesString()
+      << ")";
+  g_kernel_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+}  // namespace ahntp

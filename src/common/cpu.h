@@ -1,0 +1,68 @@
+#ifndef AHNTP_COMMON_CPU_H_
+#define AHNTP_COMMON_CPU_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace ahntp {
+
+/// Hardware vector capabilities probed once at first use (cpuid-backed on
+/// x86; everything false elsewhere).
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// The cached probe result for this process.
+const CpuFeatures& GetCpuFeatures();
+
+/// Human-readable feature summary, e.g. "sse4.2 avx avx2 fma" ("scalar-only"
+/// when nothing vectorized is available). For banners and diagnostics.
+std::string CpuFeaturesString();
+
+/// Which kernel implementation family the tensor hot loops dispatch to.
+///
+/// kScalar is the bitwise reference oracle: its float operation sequence is
+/// frozen (pre-SIMD digests must reproduce exactly at any --threads=N).
+/// kAvx2 is the vectorized family (AVX2+FMA); elementwise AVX2 kernels are
+/// bitwise-identical to scalar, while FMA/reassociated reductions (MatMul,
+/// dot products, norms) agree only to tolerance — the two-tier parity
+/// contract enforced by tests/kernel_parity_test.cc and
+/// scripts/check_inference.sh.
+enum class KernelIsa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2".
+const char* KernelIsaName(KernelIsa isa);
+
+/// Parses "scalar", "avx2", or "auto" (case-sensitive). "auto" resolves to
+/// the best ISA this build *and* this CPU support. InvalidArgument on any
+/// other string; explicitly requesting an unsupported ISA also returns
+/// InvalidArgument (operator error — the caller CHECKs).
+Result<KernelIsa> ParseKernelIsa(const std::string& name);
+
+/// True when `isa` can execute here: kScalar always; kAvx2 only when the
+/// build compiled the AVX2 kernels and the CPU reports AVX2+FMA.
+bool KernelIsaSupported(KernelIsa isa);
+
+/// The ISA the tensor kernels dispatch on. Resolution order: the last
+/// SetKernelIsa() call, else the AHNTP_KERNEL_ISA environment variable
+/// ("scalar" | "avx2" | "auto"; malformed or unsupported values abort via
+/// CHECK, same contract as malformed typed flags), else auto. Cached after
+/// first resolution; reads are one relaxed atomic load, cheap enough for
+/// per-kernel dispatch. `--kernel_isa=` in ApplyRuntimeFlags routes here.
+KernelIsa ActiveKernelIsa();
+
+/// Installs the dispatch ISA; must be supported (CHECK). Tests flip this
+/// between the scalar oracle and the SIMD candidate.
+void SetKernelIsa(KernelIsa isa);
+
+}  // namespace ahntp
+
+#endif  // AHNTP_COMMON_CPU_H_

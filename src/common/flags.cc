@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/cpu.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -123,6 +124,11 @@ int ApplyRuntimeFlags(const FlagParser& flags) {
         << "--max_resident_shards must be a positive shard count, got "
         << resident;
     SetMaxResidentShards(static_cast<int>(resident));
+  }
+  if (flags.Has("kernel_isa")) {
+    Result<KernelIsa> isa = ParseKernelIsa(flags.GetString("kernel_isa", ""));
+    AHNTP_CHECK(isa.ok()) << "--kernel_isa: " << isa.status().ToString();
+    SetKernelIsa(isa.value());
   }
   if (flags.Has("fault_seed")) {
     fault::SetSeed(static_cast<uint64_t>(flags.GetInt("fault_seed", 0)));

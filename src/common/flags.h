@@ -51,6 +51,8 @@ class FlagParser {
 /// Applies the process-wide runtime flags shared by every binary:
 /// `--threads=N` configures the execution substrate's worker count
 /// (0 or absent keeps the AHNTP_THREADS / hardware default),
+/// `--kernel_isa=scalar|avx2|auto` pins the tensor-kernel dispatch family
+/// (see common/cpu.h; AHNTP_KERNEL_ISA is the env equivalent),
 /// `--fault_spec=` / `--fault_seed=` install a deterministic
 /// fault-injection spec (see common/fault.h; AHNTP_FAULTS is the env
 /// equivalent), and `--metrics_out=<path>` / `--trace_out=<path>` enable

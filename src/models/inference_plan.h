@@ -10,11 +10,28 @@
 #include "data/split.h"
 #include "graph/sharding.h"
 #include "tensor/matrix.h"
+#include "tensor/quant.h"
 #include "tensor/workspace.h"
 
 namespace ahntp::models {
 
 class TrustPredictor;
+
+/// Numeric format of the cached embedding table inside an inference plan.
+///
+/// kFloat32 is the reference: scores are bit-identical to the tape path.
+/// kInt8 stores the table as per-row symmetric int8 (tensor/quant.h) —
+/// 4x smaller resident/spilled bytes — and dequantizes rows on gather, so
+/// the scoring chain itself still runs in float32. Scores agree with
+/// kFloat32 to quantization tolerance; the AUC-delta guard in
+/// scripts/check_inference.sh bounds the ranking impact (<= 0.002).
+enum class PlanPrecision {
+  kFloat32 = 0,
+  kInt8 = 1,
+};
+
+/// "fp32" / "int8".
+const char* PlanPrecisionName(PlanPrecision precision);
 
 /// Compiled inference state for one TrustPredictor: the all-user embedding
 /// table (encoded once, reused across every batch until invalidated) plus a
@@ -50,8 +67,35 @@ class InferencePlan {
   /// lives in the arena and the index buffers reuse their capacity.
   std::vector<float> Score(const std::vector<data::TrustPair>& pairs);
 
-  /// Cached (num_users x d) embeddings; valid after EnsureBuilt().
+  /// Switches the table format; a change invalidates the plan (the next
+  /// Score() re-encodes and, for kInt8, requantizes).
+  void SetPrecision(PlanPrecision precision);
+  PlanPrecision precision() const { return precision_; }
+
+  /// Installs externally captured calibration stats (e.g. from a training
+  /// activation sweep) instead of the default self-calibration over the
+  /// encoder's own activations. Validates the stats against the live table
+  /// (row count, finite non-negative absmax) and returns InvalidArgument on
+  /// bad input — fuzzed stats must never crash. On success the plan is
+  /// invalidated: recalibration requantizes at the next Score().
+  Status SetCalibration(tensor::RowCalibration calib);
+
+  /// The calibration in effect for the current int8 table (empty before the
+  /// first int8 build).
+  const tensor::RowCalibration& calibration() const { return calib_; }
+
+  /// Cached (num_users x d) embeddings; valid after EnsureBuilt() under
+  /// kFloat32 (empty under kInt8 — the float table is freed after
+  /// quantization).
   const tensor::Matrix& embeddings() const { return embeddings_; }
+
+  /// The int8 table; valid after EnsureBuilt() under kInt8.
+  const tensor::QuantizedMatrix& quantized_embeddings() const {
+    return qembeddings_;
+  }
+
+  /// Resident bytes of the cached table in its current precision.
+  size_t embedding_bytes() const;
 
   /// The scoring arena (exposed for the allocation regression tests).
   const tensor::Workspace& workspace() const { return ws_; }
@@ -59,7 +103,11 @@ class InferencePlan {
  private:
   TrustPredictor* predictor_;
   tensor::Workspace ws_;        // scoring arena, reset per batch
-  tensor::Matrix embeddings_;   // all-user embedding cache
+  tensor::Matrix embeddings_;   // all-user embedding cache (kFloat32)
+  tensor::QuantizedMatrix qembeddings_;  // int8 table (kInt8)
+  tensor::RowCalibration calib_;
+  bool has_external_calib_ = false;
+  PlanPrecision precision_ = PlanPrecision::kFloat32;
   std::vector<int> src_idx_;    // reused per batch
   std::vector<int> dst_idx_;
   bool built_ = false;
@@ -87,12 +135,18 @@ struct ShardedPlanOptions {
   /// instance spills into its own subdirectory, so a staged reload never
   /// clobbers the live plan's blocks.
   std::string spill_dir;
+  /// Block format. kInt8 spills quantized blocks (4x smaller, "AHSQ"
+  /// format); scores are bitwise-identical to a monolithic kInt8 plan built
+  /// from the same calibration, and tolerance-close to kFloat32.
+  PlanPrecision precision = PlanPrecision::kFloat32;
 };
 
 /// Disk-backed per-shard embedding blocks behind a bounded LRU.
 ///
-/// Blocks are raw float32 rows (one per owned user, ascending user order)
-/// with a small header and a CRC32 footer; Fault-in validates both.
+/// kFloat32 blocks are raw float32 rows (one per owned user, ascending user
+/// order) with a small header and a CRC32 footer ("AHSB"); kInt8 blocks
+/// store per-row scales followed by the int8 payload, CRC over both
+/// ("AHSQ"). Fault-in validates header and CRC.
 /// Counters: infer.shard_faults (disk loads), infer.shard_hits (already
 /// resident), infer.shard_evictions; gauge infer.shard_resident_bytes.
 /// Not thread-safe (same contract as InferencePlan).
@@ -100,42 +154,64 @@ class ShardEmbeddingStore {
  public:
   /// `max_resident` >= 1 (CHECK). The directory is created on first spill.
   ShardEmbeddingStore(graph::UserSharding sharding, size_t dim,
-                      std::string spill_dir, int max_resident);
+                      std::string spill_dir, int max_resident,
+                      PlanPrecision precision = PlanPrecision::kFloat32);
 
   /// Writes every shard's block from the full (num_users x dim) table and
   /// drops all residency (the table is the caller's to free). Atomic per
-  /// block file.
+  /// block file. kFloat32 stores only.
   Status SpillAll(const tensor::Matrix& embeddings);
 
   /// Writes one shard's block; `rows` must be (owned-count x dim) in
   /// ascending owned-user order. Lets builders stream blocks without ever
-  /// materializing the full table.
+  /// materializing the full table. kFloat32 stores only.
   Status SpillShard(int shard, const tensor::Matrix& rows);
+
+  /// kInt8 analogue of SpillAll: slices `calib` (full-table row
+  /// calibration, already validated) per shard and spills quantized blocks.
+  /// Because every user keeps its full-table absmax, the dequantized rows
+  /// are bitwise-identical to a monolithic int8 plan's.
+  Status SpillAllQuantized(const tensor::Matrix& embeddings,
+                           const tensor::RowCalibration& calib);
+
+  /// Writes one quantized shard block (rows in ascending owned-user order).
+  Status SpillQuantShard(int shard, const tensor::QuantizedMatrix& rows);
 
   /// The resident block for `shard` (rows in ascending owned-user order),
   /// faulting it in from disk — and evicting the least recently used block
-  /// past the cap — as needed.
+  /// past the cap — as needed. kFloat32 stores only (CHECK).
   Result<const tensor::Matrix*> Block(int shard);
 
-  /// Copies `user`'s embedding row into out[0..dim). Faults like Block().
+  /// kInt8 counterpart of Block() (CHECK on a kFloat32 store).
+  Result<const tensor::QuantizedMatrix*> QuantBlock(int shard);
+
+  /// Copies `user`'s embedding row into out[0..dim), dequantizing on a
+  /// kInt8 store. Faults like Block().
   Status CopyUserRow(int user, float* out);
 
   const graph::UserSharding& sharding() const { return sharding_; }
   size_t dim() const { return dim_; }
-  int num_resident() const { return static_cast<int>(resident_.size()); }
+  PlanPrecision precision() const { return precision_; }
+  int num_resident() const {
+    return static_cast<int>(resident_.size() + qresident_.size());
+  }
   int max_resident() const { return max_resident_; }
   size_t resident_bytes() const;
 
  private:
   std::string BlockPath(int shard) const;
   void Touch(int shard);
+  void EvictPastCap();
 
   graph::UserSharding sharding_;
   size_t dim_;
   std::string spill_dir_;
   int max_resident_;
-  /// shard -> resident block; lru_ front is most recently used.
+  PlanPrecision precision_;
+  /// shard -> resident block; lru_ front is most recently used. Exactly one
+  /// of the two maps is populated, per `precision_`.
   std::map<int, tensor::Matrix> resident_;
+  std::map<int, tensor::QuantizedMatrix> qresident_;
   std::list<int> lru_;
 };
 
@@ -161,6 +237,15 @@ class ShardedInferencePlan {
   /// endpoints.
   Result<std::vector<float>> Score(const std::vector<data::TrustPair>& pairs);
 
+  /// Switches the block format; a change invalidates the plan (the next
+  /// Score() re-encodes and re-spills).
+  void SetPrecision(PlanPrecision precision);
+  PlanPrecision precision() const { return options_.precision; }
+
+  /// External calibration stats, same validation contract as
+  /// InferencePlan::SetCalibration. Invalidates on success.
+  Status SetCalibration(tensor::RowCalibration calib);
+
   /// The block store; valid after EnsureBuilt() (null before).
   const ShardEmbeddingStore* store() const { return store_.get(); }
   ShardEmbeddingStore* mutable_store() { return store_.get(); }
@@ -173,6 +258,8 @@ class ShardedInferencePlan {
   std::string plan_spill_dir_;  // per-instance subdirectory of spill_dir
   std::unique_ptr<ShardEmbeddingStore> store_;
   tensor::Workspace ws_;
+  tensor::RowCalibration calib_;
+  bool has_external_calib_ = false;
   bool built_ = false;
 };
 

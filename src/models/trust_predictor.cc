@@ -82,10 +82,20 @@ void TrustPredictor::WarmInferencePlan() {
 }
 
 void TrustPredictor::EnableShardedInference(const ShardedPlanOptions& options) {
-  sharded_plan_ = std::make_unique<ShardedInferencePlan>(this, options);
+  // The predictor-level precision wins over whatever the options carry, so
+  // SetInferencePrecision + EnableShardedInference compose in either order.
+  ShardedPlanOptions opts = options;
+  opts.precision = precision_;
+  sharded_plan_ = std::make_unique<ShardedInferencePlan>(this, opts);
 }
 
 void TrustPredictor::DisableShardedInference() { sharded_plan_.reset(); }
+
+void TrustPredictor::SetInferencePrecision(PlanPrecision precision) {
+  precision_ = precision;
+  if (plan_) plan_->SetPrecision(precision);
+  if (sharded_plan_) sharded_plan_->SetPrecision(precision);
+}
 
 void TrustPredictor::InvalidateCaches() {
   nn::Module::InvalidateCaches();
@@ -94,7 +104,10 @@ void TrustPredictor::InvalidateCaches() {
 }
 
 InferencePlan& TrustPredictor::Plan() {
-  if (!plan_) plan_ = std::make_unique<InferencePlan>(this);
+  if (!plan_) {
+    plan_ = std::make_unique<InferencePlan>(this);
+    plan_->SetPrecision(precision_);
+  }
   return *plan_;
 }
 

@@ -12,6 +12,7 @@ namespace ahntp::models {
 class InferencePlan;
 class ShardedInferencePlan;
 struct ShardedPlanOptions;
+enum class PlanPrecision;  // models/inference_plan.h
 
 /// Configuration of the pairwise head shared by all models.
 struct TrustPredictorConfig {
@@ -68,6 +69,14 @@ class TrustPredictor : public nn::Module {
   /// Reverts PredictProbabilities to the monolithic in-RAM plan.
   void DisableShardedInference();
 
+  /// Selects the embedding-table precision for whichever inference plan
+  /// serves PredictProbabilities (monolithic and sharded alike, including
+  /// plans created later). kInt8 stores the table quantized (4x smaller,
+  /// tolerance-equal scores); kFloat32 is the bit-exact default. A change
+  /// invalidates existing plans.
+  void SetInferencePrecision(models::PlanPrecision precision);
+  models::PlanPrecision inference_precision() const { return precision_; }
+
   /// The sharded plan, or null when sharded inference is disabled.
   const ShardedInferencePlan* sharded_plan() const {
     return sharded_plan_.get();
@@ -95,6 +104,7 @@ class TrustPredictor : public nn::Module {
   std::unique_ptr<nn::Mlp> tower_dst_;
   std::unique_ptr<InferencePlan> plan_;
   std::unique_ptr<ShardedInferencePlan> sharded_plan_;
+  PlanPrecision precision_ = PlanPrecision{};  // kFloat32
 };
 
 }  // namespace ahntp::models

@@ -13,12 +13,15 @@ namespace ahntp::serve {
 
 ModelBackend::ModelBackend(Factory factory,
                            std::unique_ptr<models::TrustPredictor> initial,
-                           std::optional<models::ShardedPlanOptions> sharded)
+                           std::optional<models::ShardedPlanOptions> sharded,
+                           models::PlanPrecision precision)
     : factory_(std::move(factory)),
       sharded_(std::move(sharded)),
+      precision_(precision),
       model_(std::move(initial)) {
   AHNTP_CHECK(factory_ != nullptr) << "ModelBackend needs a model factory";
   AHNTP_CHECK(model_ != nullptr) << "ModelBackend needs an initial model";
+  model_->SetInferencePrecision(precision_);
   if (sharded_) model_->EnableShardedInference(*sharded_);
   // Warm before the first request: encoding all users dominates cold-start
   // latency, and the dispatcher thread should only ever pay the cached
@@ -56,9 +59,10 @@ Status ModelBackend::Reload(const std::string& checkpoint_path) {
     // caches, so the plan warmed below encodes the *loaded* weights.
     status = nn::LoadModule(staged.get(), checkpoint_path);
     if (status.ok()) {
-      // The staged generation inherits the sharded configuration; its plan
-      // spills into a fresh per-plan subdirectory, so the live model's
-      // blocks stay valid until the swap.
+      // The staged generation inherits the sharded configuration and the
+      // table precision; its plan spills into a fresh per-plan
+      // subdirectory, so the live model's blocks stay valid until the swap.
+      staged->SetInferencePrecision(precision_);
       if (sharded_) staged->EnableShardedInference(*sharded_);
       // Warm outside the lock: the expensive all-user encode runs against
       // the staged instance while the old model keeps serving; the swap

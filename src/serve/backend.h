@@ -76,8 +76,12 @@ class ModelBackend : public ScoreBackend {
   /// live in per-shard disk blocks behind a bounded LRU, and a score
   /// request faults in only the shards of its (src, dst) users — scores
   /// stay bit-identical to the monolithic plan.
+  /// `precision` selects the embedding-table format for the initial model
+  /// and every staged reload (kInt8 = quantized tables, 4x smaller,
+  /// tolerance-equal scores; see models::PlanPrecision).
   ModelBackend(Factory factory, std::unique_ptr<models::TrustPredictor> initial,
-               std::optional<models::ShardedPlanOptions> sharded = std::nullopt);
+               std::optional<models::ShardedPlanOptions> sharded = std::nullopt,
+               models::PlanPrecision precision = models::PlanPrecision::kFloat32);
 
   Result<std::vector<float>> ScoreBatch(
       const std::vector<data::TrustPair>& pairs) override;
@@ -95,6 +99,7 @@ class ModelBackend : public ScoreBackend {
  private:
   Factory factory_;
   std::optional<models::ShardedPlanOptions> sharded_;
+  models::PlanPrecision precision_;
   mutable std::mutex mu_;
   std::shared_ptr<models::TrustPredictor> model_;
   int64_t generation_ = 0;

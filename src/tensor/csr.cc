@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "tensor/simd.h"
 
 namespace ahntp::tensor {
 
@@ -248,7 +249,13 @@ std::vector<float> SpMV(const CsrMatrix& a, const std::vector<float>& x) {
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), RowGrain(a, 1), [&](size_t r0, size_t r1) {
+    if (avx2) {
+      simd::SpMVRows(row_ptr.data(), col_idx.data(), values.data(), x.data(),
+                     y.data(), r0, r1);
+      return;
+    }
     for (size_t r = r0; r < r1; ++r) {
       double acc = 0.0;
       for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
@@ -274,7 +281,13 @@ void SpMMKernelInto(Matrix* out, const CsrMatrix& a, const Matrix& b) {
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
   const size_t n = b.cols();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), RowGrain(a, n), [&](size_t r0, size_t r1) {
+    if (avx2) {
+      simd::SpMMRowBand(row_ptr.data(), col_idx.data(), values.data(),
+                        b.data(), n, out->data(), r0, r1);
+      return;
+    }
     for (size_t r = r0; r < r1; ++r) {
       float* orow = out->RowPtr(r);
       for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
@@ -334,12 +347,20 @@ Matrix SpMMTransposed(const CsrMatrix& a, const Matrix& b) {
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
   const size_t n = b.cols();
+  // The scatter inner loop uses the same AxpyF32 FMA sequence as the gather
+  // kernel above, so the two paths stay bitwise-identical to each other
+  // under AVX2 (which path runs depends on the thread count).
+  const bool avx2 = simd::UseAvx2();
   for (size_t r = 0; r < a.rows(); ++r) {
     const float* brow = b.RowPtr(r);
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
       float av = values[i];
       float* orow = out.RowPtr(static_cast<size_t>(col_idx[i]));
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      if (avx2) {
+        simd::AxpyF32(orow, brow, av, n);
+      } else {
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "tensor/simd.h"
 
 namespace ahntp::tensor {
 
@@ -28,16 +29,43 @@ void ElementwiseInto(Matrix* out, const Matrix& a, F f) {
   });
 }
 
+/// AVX2-dispatched variant: when the active ISA is kAvx2, each chunk runs
+/// the vector primitive `vec(po + lo, pa + lo, hi - lo)` instead of the
+/// scalar lambda. The exact-tier primitives perform the same per-element
+/// operations, so this stays bitwise-identical to the scalar path; chunk
+/// boundaries come from the fixed grain either way (thread-count
+/// invariant).
+template <typename F, typename Vec>
+void ElementwiseIntoDispatch(Matrix* out, const Matrix& a, F f, Vec vec) {
+  if (!simd::UseAvx2()) {
+    ElementwiseInto(out, a, f);
+    return;
+  }
+  out->ResetShape(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* po = out->data();
+  ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
+    vec(po + lo, pa + lo, hi - lo);
+  });
+}
+
 }  // namespace
 
 void ReluInto(Matrix* out, const Matrix& a) {
-  ElementwiseInto(out, a, [](float x) { return x < 0.0f ? 0.0f : x; });
+  ElementwiseIntoDispatch(
+      out, a, [](float x) { return x < 0.0f ? 0.0f : x; },
+      [](float* o, const float* p, size_t n) { simd::ReluF32(o, p, n); });
 }
 
 void LeakyReluInto(Matrix* out, const Matrix& a, float negative_slope) {
-  ElementwiseInto(out, a, [negative_slope](float x) {
-    return x < 0.0f ? x * negative_slope : x;
-  });
+  ElementwiseIntoDispatch(
+      out, a,
+      [negative_slope](float x) {
+        return x < 0.0f ? x * negative_slope : x;
+      },
+      [negative_slope](float* o, const float* p, size_t n) {
+        simd::LeakyReluF32(o, p, negative_slope, n);
+      });
 }
 
 void SigmoidInto(Matrix* out, const Matrix& a) {
@@ -61,19 +89,27 @@ void LogInto(Matrix* out, const Matrix& a, float epsilon) {
 
 void ClampInto(Matrix* out, const Matrix& a, float lo, float hi) {
   AHNTP_CHECK_LE(lo, hi);
-  ElementwiseInto(out, a, [lo, hi](float x) {
-    return std::min(std::max(x, lo), hi);
-  });
+  ElementwiseIntoDispatch(
+      out, a,
+      [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float* o, const float* p, size_t n) {
+        simd::ClampF32(o, p, lo, hi, n);
+      });
 }
 
 void SqrtInto(Matrix* out, const Matrix& a, float epsilon) {
-  ElementwiseInto(out, a, [epsilon](float x) {
-    return std::sqrt(std::max(x, epsilon));
-  });
+  ElementwiseIntoDispatch(
+      out, a,
+      [epsilon](float x) { return std::sqrt(std::max(x, epsilon)); },
+      [epsilon](float* o, const float* p, size_t n) {
+        simd::SqrtMaxF32(o, p, epsilon, n);
+      });
 }
 
 void AbsInto(Matrix* out, const Matrix& a) {
-  ElementwiseInto(out, a, [](float x) { return std::fabs(x); });
+  ElementwiseIntoDispatch(
+      out, a, [](float x) { return std::fabs(x); },
+      [](float* o, const float* p, size_t n) { simd::AbsF32(o, p, n); });
 }
 
 void PowScalarInto(Matrix* out, const Matrix& a, float exponent,
@@ -88,12 +124,17 @@ void MulColBroadcastInto(Matrix* out, const Matrix& a, const Matrix& col) {
   AHNTP_CHECK_EQ(col.cols(), 1u);
   out->ResetShape(a.rows(), a.cols());
   const size_t cols = a.cols();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(cols), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float s = col.At(r, 0);
       const float* arow = a.RowPtr(r);
       float* orow = out->RowPtr(r);
-      for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * s;
+      if (avx2) {
+        simd::ScaleF32(orow, arow, s, cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * s;
+      }
     }
   });
 }
@@ -104,11 +145,16 @@ void MulRowBroadcastInto(Matrix* out, const Matrix& a, const Matrix& row) {
   out->ResetShape(a.rows(), a.cols());
   const float* brow = row.RowPtr(0);
   const size_t cols = a.cols();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(cols), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float* arow = a.RowPtr(r);
       float* orow = out->RowPtr(r);
-      for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * brow[c];
+      if (avx2) {
+        simd::MulF32(orow, arow, brow, cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * brow[c];
+      }
     }
   });
 }
@@ -123,23 +169,34 @@ void RowStandardizeInto(Matrix* out, const Matrix& a, float epsilon,
   if (inv_std != nullptr) inv_std->resize(rows);
   // Rows are independent, so row-parallelism is bit-identical to the serial
   // loop. Double accumulators keep mean/var stable for wide rows.
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, rows, GrainForCost(cols), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float* src = a.RowPtr(r);
       double mean = 0.0;
-      for (size_t c = 0; c < cols; ++c) mean += src[c];
-      mean /= static_cast<double>(cols);
       double var = 0.0;
-      for (size_t c = 0; c < cols; ++c) {
-        double d = src[c] - mean;
-        var += d * d;
+      if (avx2) {
+        mean = simd::SumF64(src, cols) / static_cast<double>(cols);
+        var = simd::SumSqDiffF64(src, mean, cols) /
+              static_cast<double>(cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) mean += src[c];
+        mean /= static_cast<double>(cols);
+        for (size_t c = 0; c < cols; ++c) {
+          double d = src[c] - mean;
+          var += d * d;
+        }
+        var /= static_cast<double>(cols);
       }
-      var /= static_cast<double>(cols);
       float inv = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
       if (inv_std != nullptr) (*inv_std)[r] = inv;
       float* dst = out->RowPtr(r);
-      for (size_t c = 0; c < cols; ++c) {
-        dst[c] = (src[c] - static_cast<float>(mean)) * inv;
+      if (avx2) {
+        simd::SubMulF32(dst, src, static_cast<float>(mean), inv, cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) {
+          dst[c] = (src[c] - static_cast<float>(mean)) * inv;
+        }
       }
     }
   });
@@ -148,13 +205,18 @@ void RowStandardizeInto(Matrix* out, const Matrix& a, float epsilon,
 void RowNormsInto(Matrix* out, const Matrix& a, float epsilon) {
   AHNTP_CHECK(out != &a) << "RowNormsInto cannot alias its input";
   out->ResetShape(a.rows(), 1);
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
               [&](size_t r0, size_t r1) {
                 for (size_t r = r0; r < r1; ++r) {
                   double acc = 0.0;
                   const float* row = a.RowPtr(r);
-                  for (size_t c = 0; c < a.cols(); ++c) {
-                    acc += static_cast<double>(row[c]) * row[c];
+                  if (avx2) {
+                    acc = simd::SumSqF64(row, a.cols());
+                  } else {
+                    for (size_t c = 0; c < a.cols(); ++c) {
+                      acc += static_cast<double>(row[c]) * row[c];
+                    }
                   }
                   out->At(r, 0) =
                       static_cast<float>(std::sqrt(acc + epsilon));
@@ -169,12 +231,17 @@ void DivRowsByNormsInto(Matrix* out, const Matrix& a, const Matrix& norms) {
   const size_t cols = a.cols();
   // Multiplying by the reciprocal (not dividing) matches the tape's
   // RowL2Normalize bit for bit.
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(cols), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float inv = 1.0f / norms.At(r, 0);
       const float* arow = a.RowPtr(r);
       float* orow = out->RowPtr(r);
-      for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * inv;
+      if (avx2) {
+        simd::ScaleF32(orow, arow, inv, cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] * inv;
+      }
     }
   });
 }
@@ -185,13 +252,18 @@ void RowwiseDotInto(Matrix* out, const Matrix& a, const Matrix& b) {
       << "RowwiseDotInto cannot alias an input";
   out->ResetShape(a.rows(), 1);
   const size_t cols = a.cols();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(cols), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float* arow = a.RowPtr(r);
       const float* brow = b.RowPtr(r);
       double acc = 0.0;
-      for (size_t c = 0; c < cols; ++c) {
-        acc += static_cast<double>(arow[c]) * brow[c];
+      if (avx2) {
+        acc = simd::DotF64(arow, brow, cols);
+      } else {
+        for (size_t c = 0; c < cols; ++c) {
+          acc += static_cast<double>(arow[c]) * brow[c];
+        }
       }
       out->At(r, 0) = static_cast<float>(acc);
     }
@@ -235,10 +307,15 @@ void SegmentSumInto(Matrix* out, const Matrix& a,
   out->Fill(0.0f);
   // Serial scatter: rows of a segment accumulate in ascending row order,
   // which is the determinism contract the tape op also follows.
+  const bool avx2 = simd::UseAvx2();
   for (size_t r = 0; r < a.rows(); ++r) {
     const float* src = a.RowPtr(r);
     float* dst = out->RowPtr(static_cast<size_t>(segments[r]));
-    for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+    if (avx2) {
+      simd::AddF32(dst, dst, src, a.cols());
+    } else {
+      for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 
 namespace ahntp::tensor {
 
@@ -90,8 +91,13 @@ Matrix& Matrix::operator+=(const Matrix& other) {
   AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) a[i] += b[i];
+    if (avx2) {
+      simd::AddF32(a + lo, a + lo, b + lo, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) a[i] += b[i];
+    }
   });
   return *this;
 }
@@ -100,25 +106,37 @@ Matrix& Matrix::operator-=(const Matrix& other) {
   AHNTP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) a[i] -= b[i];
+    if (avx2) {
+      simd::SubF32(a + lo, a + lo, b + lo, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) a[i] -= b[i];
+    }
   });
   return *this;
 }
 
 Matrix& Matrix::operator*=(float scalar) {
   float* a = data_.data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, data_.size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) a[i] *= scalar;
+    if (avx2) {
+      simd::ScaleF32(a + lo, a + lo, scalar, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) a[i] *= scalar;
+    }
   });
   return *this;
 }
 
 float Matrix::Sum() const {
   const float* a = data_.data();
+  const bool avx2 = simd::UseAvx2();
   double acc = ParallelReduce<double>(
       0, data_.size(), kReduceGrain, 0.0,
       [=](size_t lo, size_t hi) {
+        if (avx2) return simd::SumF64(a + lo, hi - lo);
         double partial = 0.0;
         for (size_t i = lo; i < hi; ++i) partial += a[i];
         return partial;
@@ -146,9 +164,11 @@ float Matrix::MaxAbs() const {
 
 float Matrix::FrobeniusNorm() const {
   const float* a = data_.data();
+  const bool avx2 = simd::UseAvx2();
   double acc = ParallelReduce<double>(
       0, data_.size(), kReduceGrain, 0.0,
       [=](size_t lo, size_t hi) {
+        if (avx2) return simd::SumSqF64(a + lo, hi - lo);
         double partial = 0.0;
         for (size_t i = lo; i < hi; ++i) {
           partial += static_cast<double>(a[i]) * a[i];
@@ -292,16 +312,26 @@ void MatMulIntoImpl(Matrix* out, const Matrix& a, const Matrix& b,
   AHNTP_CHECK(out != &a && out != &b) << "MatMulInto cannot alias an input";
   out->ResetShape(m, n);
   const size_t grain = GrainForCost(k * std::max<size_t>(n, 1));
+  const bool avx2 = simd::UseAvx2();
   if (!transpose_b) {
     // The NN band kernel accumulates, so the reused buffer is zeroed first
     // (the NT kernel assigns every element and needs no clear).
     out->Fill(0.0f);
     ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
-      MatMulRowBandNN(a, b, out, r0, r1);
+      if (avx2) {
+        simd::MatMulBandNN(a.data(), b.data(), out->data(), r0, r1, k, n,
+                           kMatMulKBlock);
+      } else {
+        MatMulRowBandNN(a, b, out, r0, r1);
+      }
     });
   } else {
     ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
-      MatMulRowBandNT(a, b, out, r0, r1);
+      if (avx2) {
+        simd::MatMulBandNT(a.data(), b.data(), out->data(), r0, r1, k, n);
+      } else {
+        MatMulRowBandNT(a, b, out, r0, r1);
+      }
     });
   }
 }
@@ -341,12 +371,17 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
 
 Matrix RowSums(const Matrix& a) {
   Matrix out(a.rows(), 1);
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
               [&](size_t r0, size_t r1) {
                 for (size_t r = r0; r < r1; ++r) {
                   double acc = 0.0;
                   const float* row = a.RowPtr(r);
-                  for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
+                  if (avx2) {
+                    acc = simd::SumF64(row, a.cols());
+                  } else {
+                    for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
+                  }
                   out.At(r, 0) = static_cast<float>(acc);
                 }
               });
@@ -428,8 +463,13 @@ void AddInto(Matrix* out, const Matrix& a, const Matrix& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+    if (avx2) {
+      simd::AddF32(po + lo, pa + lo, pb + lo, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+    }
   });
 }
 
@@ -439,8 +479,13 @@ void SubInto(Matrix* out, const Matrix& a, const Matrix& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+    if (avx2) {
+      simd::SubF32(po + lo, pa + lo, pb + lo, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+    }
   });
 }
 
@@ -450,8 +495,13 @@ void HadamardInto(Matrix* out, const Matrix& a, const Matrix& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    if (avx2) {
+      simd::MulF32(po + lo, pa + lo, pb + lo, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    }
   });
 }
 
@@ -459,8 +509,13 @@ void ScaleInto(Matrix* out, const Matrix& a, float scalar) {
   out->ResetShape(a.rows(), a.cols());
   const float* pa = a.data();
   float* po = out->data();
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, out->size(), kElementwiseGrain, [=](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * scalar;
+    if (avx2) {
+      simd::ScaleF32(po + lo, pa + lo, scalar, hi - lo);
+    } else {
+      for (size_t i = lo; i < hi; ++i) po[i] = pa[i] * scalar;
+    }
   });
 }
 
@@ -468,6 +523,10 @@ void AddScalarInto(Matrix* out, const Matrix& a, float scalar) {
   out->ResetShape(a.rows(), a.cols());
   const float* pa = a.data();
   float* po = out->data();
+  if (simd::UseAvx2()) {
+    simd::AddScalarF32(po, pa, scalar, out->size());
+    return;
+  }
   for (size_t i = 0; i < out->size(); ++i) po[i] = pa[i] + scalar;
 }
 
@@ -476,12 +535,19 @@ void AddRowBroadcastInto(Matrix* out, const Matrix& a, const Matrix& row) {
   AHNTP_CHECK_EQ(row.cols(), a.cols());
   out->ResetShape(a.rows(), a.cols());
   const float* brow = row.RowPtr(0);
+  const bool avx2 = simd::UseAvx2();
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
-              [out, &a, brow, cols = a.cols()](size_t r0, size_t r1) {
+              [out, &a, brow, avx2, cols = a.cols()](size_t r0, size_t r1) {
                 for (size_t r = r0; r < r1; ++r) {
                   const float* arow = a.RowPtr(r);
                   float* orow = out->RowPtr(r);
-                  for (size_t c = 0; c < cols; ++c) orow[c] = arow[c] + brow[c];
+                  if (avx2) {
+                    simd::AddF32(orow, arow, brow, cols);
+                  } else {
+                    for (size_t c = 0; c < cols; ++c) {
+                      orow[c] = arow[c] + brow[c];
+                    }
+                  }
                 }
               });
 }

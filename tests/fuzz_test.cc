@@ -2,6 +2,8 @@
 // differences, sparse-algebra identities, hypergraph invariants, and
 // failure injection for the IO paths.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -9,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -25,6 +28,8 @@
 #include "data/split.h"
 #include "graph/sharding.h"
 #include "hypergraph/hypergraph.h"
+#include "models/inference_plan.h"
+#include "models/trust_predictor.h"
 #include "nn/serialization.h"
 #include "serve/backend.h"
 #include "serve/server.h"
@@ -603,6 +608,196 @@ TEST_P(ShardingFuzzTest, DegenerateRequestsRejectedValidOnesCover) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardingFuzzTest, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Int8 quantization fuzzing (DESIGN.md §15): calibration-stats ingestion
+// must reject garbage without crashing, and random bit flips anywhere in a
+// quantized spill block (header, scales, payload, CRC) must surface as
+// Corruption — after which restoring the file lets the plan refault cleanly.
+// ---------------------------------------------------------------------------
+
+/// Small generated dataset + AHNTP predictor; the returned struct keeps the
+/// backing dataset/graph/features alive alongside the model.
+struct QuantFuzzFixture {
+  explicit QuantFuzzFixture(uint64_t seed) {
+    data::GeneratorConfig config;
+    config.num_users = 40;
+    config.num_items = 20;
+    config.num_communities = 2;
+    config.seed = 23;
+    dataset = data::SocialNetworkGenerator(config).Generate();
+    split = data::MakeSplit(dataset);
+    auto graph_result = dataset.GraphFromEdges(split.train_positive);
+    AHNTP_CHECK_OK(graph_result.status());
+    graph = std::move(graph_result).value();
+    features = data::BuildFeatureMatrix(dataset);
+    models::ModelInputs inputs;
+    inputs.features = &features;
+    inputs.graph = &graph;
+    inputs.dataset = &dataset;
+    inputs.hidden_dims = {8, 4};
+    Rng model_rng(seed);
+    inputs.rng = &model_rng;
+    auto created = core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+    AHNTP_CHECK_OK(created.status());
+    predictor = std::move(created).value();
+    predictor->SetTraining(false);
+  }
+
+  std::vector<data::TrustPair> Pairs(size_t n) const {
+    std::vector<data::TrustPair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(split.test_pairs[i % split.test_pairs.size()]);
+    }
+    return pairs;
+  }
+
+  data::SocialDataset dataset;
+  data::TrustSplit split;
+  graph::Digraph graph{0};
+  tensor::Matrix features;
+  std::unique_ptr<models::TrustPredictor> predictor;
+};
+
+class CalibrationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibrationFuzzTest, GarbageStatsRejectedAndPlanKeepsServing) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 601);
+  QuantFuzzFixture fx(31);
+  models::InferencePlan plan(fx.predictor.get());
+  plan.SetPrecision(models::PlanPrecision::kInt8);
+  std::vector<data::TrustPair> pairs = fx.Pairs(8);
+  std::vector<float> baseline = plan.Score(pairs);
+  const size_t rows = plan.calibration().rows();
+  ASSERT_EQ(rows, fx.dataset.num_users);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    tensor::RowCalibration calib;
+    // Sizes around the true row count, plus empty and way-off.
+    const size_t n = rng.NextBounded(2 * rows + 2);
+    calib.absmax.resize(n);
+    bool values_valid = true;
+    for (float& v : calib.absmax) {
+      switch (rng.NextBounded(8)) {
+        case 0:
+          v = std::numeric_limits<float>::quiet_NaN();
+          values_valid = false;
+          break;
+        case 1:
+          v = std::numeric_limits<float>::infinity();
+          values_valid = false;
+          break;
+        case 2:
+          v = -std::numeric_limits<float>::infinity();
+          values_valid = false;
+          break;
+        case 3:
+          v = -1.0f - static_cast<float>(rng.NextBounded(100));
+          values_valid = false;
+          break;
+        case 4:
+          v = 1e30f;  // huge but finite: legal
+          break;
+        case 5:
+          v = 0.0f;  // all-zero row: legal
+          break;
+        default:
+          v = static_cast<float>(rng.NextBounded(1000)) / 250.0f;
+          break;
+      }
+    }
+    const bool valid = (n == rows) && values_valid;
+    Status status = plan.SetCalibration(std::move(calib));
+    EXPECT_EQ(status.ok(), valid) << "trial " << trial << " n=" << n;
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    }
+    // Whatever the outcome, the plan must keep producing finite scores.
+    std::vector<float> probs = plan.Score(pairs);
+    ASSERT_EQ(probs.size(), pairs.size());
+    for (float p : probs) EXPECT_TRUE(std::isfinite(p));
+  }
+  EXPECT_EQ(baseline.size(), pairs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationFuzzTest, ::testing::Range(1, 4));
+
+class QuantBlockFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBlockFuzzTest, RandomBitFlipsRejectedThenRefaultCleanly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  QuantFuzzFixture fx(37);
+  fx.predictor->SetInferencePrecision(models::PlanPrecision::kInt8);
+  const std::string spill_dir = "fuzz_quant_spill_" +
+                                std::to_string(::getpid()) + "_" +
+                                std::to_string(GetParam());
+  models::ShardedPlanOptions opts;
+  opts.num_shards = 2;
+  opts.max_resident_shards = 1;
+  opts.spill_dir = spill_dir;
+  fx.predictor->EnableShardedInference(opts);
+  fx.predictor->WarmInferencePlan();
+  std::vector<data::TrustPair> pairs = fx.Pairs(10);
+  std::vector<float> baseline = fx.predictor->PredictProbabilities(pairs);
+
+  // Snapshot every spilled block so each trial can restore it.
+  std::vector<std::filesystem::path> files;
+  std::vector<std::string> images;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(spill_dir)) {
+    if (!entry.is_regular_file()) continue;
+    files.push_back(entry.path());
+    std::string image;
+    ASSERT_TRUE(ReadFileToString(entry.path().string(), &image).ok());
+    images.push_back(std::move(image));
+  }
+  ASSERT_EQ(files.size(), 2u);
+
+  auto* plan = const_cast<models::ShardedInferencePlan*>(
+      fx.predictor->sharded_plan());
+  ASSERT_NE(plan->mutable_store(), nullptr);
+
+  for (int trial = 0; trial < 24; ++trial) {
+    // Flip one random bit in every block file — header, scales, payload, and
+    // CRC bytes are all fair game; the expected geometry comes from the
+    // sharding, so every flip must be caught.
+    for (size_t f = 0; f < files.size(); ++f) {
+      std::string corrupt = images[f];
+      const size_t byte = rng.NextBounded(corrupt.size());
+      corrupt[byte] = static_cast<char>(
+          corrupt[byte] ^ (1u << rng.NextBounded(8)));
+      std::ofstream out(files[f], std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    // With a residency cap of one, at least one of the two requests must
+    // fault from disk and hit the corruption.
+    auto r0 = plan->mutable_store()->QuantBlock(0);
+    auto r1 = plan->mutable_store()->QuantBlock(1);
+    ASSERT_TRUE(!r0.ok() || !r1.ok()) << "trial " << trial;
+    StatusCode code =
+        !r0.ok() ? r0.status().code() : r1.status().code();
+    EXPECT_EQ(code, StatusCode::kCorruption) << "trial " << trial;
+
+    // Restore the pristine blocks: the store must refault cleanly and score
+    // bitwise-identically to the pre-corruption baseline.
+    for (size_t f = 0; f < files.size(); ++f) {
+      std::ofstream out(files[f], std::ios::binary | std::ios::trunc);
+      out.write(images[f].data(),
+                static_cast<std::streamsize>(images[f].size()));
+    }
+    auto restored = plan->Score(pairs);
+    ASSERT_TRUE(restored.ok()) << "trial " << trial;
+    ASSERT_EQ(restored.value().size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(restored.value()[i], baseline[i])
+          << "trial " << trial << " pair " << i;
+    }
+  }
+  fx.predictor->DisableShardedInference();
+  std::filesystem::remove_all(spill_dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantBlockFuzzTest, ::testing::Range(1, 4));
 
 }  // namespace
 }  // namespace ahntp

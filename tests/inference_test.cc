@@ -3,8 +3,13 @@
 // arena reuse, cache invalidation on weight changes, and the recursive
 // training-flag contract.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "nn/mlp.h"
 #include "nn/serialization.h"
 #include "serve/backend.h"
+#include "tensor/quant.h"
 #include "tensor/workspace.h"
 
 namespace ahntp {
@@ -485,6 +491,265 @@ TEST(InferenceMetricsTest, CountsBuildsHitsAndMisses) {
   }
   EXPECT_GT(ws_bytes, 0.0);
   metrics::Disable();
+}
+
+// ---------------------------------------------------------------------------
+// Int8 quantization: tensor-level edge cases, then plan-level behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedMatrixTest, AllZeroRowsQuantizeToExactZeros) {
+  tensor::Matrix m(3, 9);
+  for (size_t c = 0; c < 9; ++c) m.At(1, c) = 0.5f * (c + 1);
+  // Rows 0 and 2 stay all-zero: absmax 0 => scale 0 => exact zeros out.
+  auto calib = tensor::CalibrateRowAbsmax(m);
+  ASSERT_TRUE(calib.ok());
+  EXPECT_EQ(calib.value().absmax[0], 0.0f);
+  EXPECT_EQ(calib.value().absmax[2], 0.0f);
+
+  tensor::QuantizedMatrix q =
+      tensor::QuantizedMatrix::Quantize(m, calib.value());
+  EXPECT_EQ(q.scale(0), 0.0f);
+  EXPECT_EQ(q.scale(2), 0.0f);
+  std::vector<float> row(9, -1.0f);
+  q.DequantizeRowInto(0, row.data());
+  for (float v : row) EXPECT_EQ(v, 0.0f);
+  for (size_t c = 0; c < 9; ++c) EXPECT_EQ(q.RowData(0)[c], 0);
+}
+
+TEST(QuantizedMatrixTest, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(91);
+  tensor::Matrix m = tensor::Matrix::Randn(17, 33, &rng, 0.0f, 3.0f);
+  auto calib = tensor::CalibrateRowAbsmax(m);
+  ASSERT_TRUE(calib.ok());
+  tensor::QuantizedMatrix q =
+      tensor::QuantizedMatrix::Quantize(m, calib.value());
+  std::vector<float> row(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    q.DequantizeRowInto(r, row.data());
+    // Round-to-nearest within the calibrated range: error <= scale / 2
+    // (plus a ulp of slack for the scale multiply itself).
+    const float bound = q.scale(r) * 0.5f * (1.0f + 1e-5f);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_LE(std::fabs(row[c] - m.At(r, c)), bound)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizedMatrixTest, SaturatesSymmetricallyAtOutliers) {
+  // Calibration from a narrower sweep than the live values: everything
+  // beyond absmax must clamp to +/-127, never wrap and never hit -128.
+  tensor::Matrix m(1, 6);
+  m.At(0, 0) = 10.0f;
+  m.At(0, 1) = -10.0f;
+  m.At(0, 2) = 1.0f;
+  m.At(0, 3) = -1.0f;
+  m.At(0, 4) = 1.0001f;   // just past the calibrated range
+  m.At(0, 5) = -1.0001f;
+  tensor::RowCalibration calib;
+  calib.absmax = {1.0f};
+  ASSERT_TRUE(tensor::ValidateCalibration(calib, 1).ok());
+  tensor::QuantizedMatrix q = tensor::QuantizedMatrix::Quantize(m, calib);
+  EXPECT_EQ(q.RowData(0)[0], 127);
+  EXPECT_EQ(q.RowData(0)[1], -127);
+  EXPECT_EQ(q.RowData(0)[2], 127);
+  EXPECT_EQ(q.RowData(0)[3], -127);
+  EXPECT_EQ(q.RowData(0)[4], 127);
+  EXPECT_EQ(q.RowData(0)[5], -127);
+}
+
+TEST(QuantizedMatrixTest, ExtremeOutlierDominatesRowScale) {
+  // One huge outlier stretches the row's scale; the small entries still
+  // round-trip within scale/2 (coarse, but bounded — the contract).
+  tensor::Matrix m(1, 4);
+  m.At(0, 0) = 1e6f;
+  m.At(0, 1) = 0.001f;
+  m.At(0, 2) = -0.001f;
+  m.At(0, 3) = 3.0f;
+  auto calib = tensor::CalibrateRowAbsmax(m);
+  ASSERT_TRUE(calib.ok());
+  tensor::QuantizedMatrix q =
+      tensor::QuantizedMatrix::Quantize(m, calib.value());
+  EXPECT_EQ(q.scale(0), 1e6f / 127.0f);
+  std::vector<float> row(4);
+  q.DequantizeRowInto(0, row.data());
+  EXPECT_EQ(row[0], 1e6f / 127.0f * 127.0f);  // outlier itself exact-ish
+  for (size_t c = 1; c < 4; ++c) {
+    EXPECT_LE(std::fabs(row[c] - m.At(0, c)), q.scale(0) * 0.5f * 1.00001f);
+  }
+}
+
+TEST(QuantizedMatrixTest, CalibrationRejectsNonFiniteActivations) {
+  tensor::Matrix m(2, 3);
+  m.At(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(tensor::CalibrateRowAbsmax(m).status().code(),
+            StatusCode::kInvalidArgument);
+  m.At(1, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(tensor::CalibrateRowAbsmax(m).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedMatrixTest, ValidateCalibrationRejectsBadStats) {
+  tensor::RowCalibration calib;
+  calib.absmax = {1.0f, 2.0f};
+  EXPECT_TRUE(tensor::ValidateCalibration(calib, 2).ok());
+  EXPECT_EQ(tensor::ValidateCalibration(calib, 3).code(),
+            StatusCode::kInvalidArgument);
+  calib.absmax = {1.0f, -0.5f};
+  EXPECT_EQ(tensor::ValidateCalibration(calib, 2).code(),
+            StatusCode::kInvalidArgument);
+  calib.absmax = {1.0f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_EQ(tensor::ValidateCalibration(calib, 2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Int8 plan behaviour: tolerance parity, byte savings, recalibration.
+// ---------------------------------------------------------------------------
+
+/// Max |a - b| over two probability vectors.
+float MaxAbsDelta(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float delta = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    delta = std::max(delta, std::fabs(a[i] - b[i]));
+  }
+  return delta;
+}
+
+TEST(Int8PlanTest, ToleranceParityAndByteSavings) {
+  auto fp32 = Fixture().MakePredictor("AHNTP", 77);
+  auto int8 = Fixture().MakePredictor("AHNTP", 77);
+  int8->SetInferencePrecision(models::PlanPrecision::kInt8);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(24);
+
+  std::vector<float> ref = fp32->PredictProbabilities(pairs);
+  std::vector<float> quant = int8->PredictProbabilities(pairs);
+  // Probabilities live in [0, 1]; per-row int8 embeddings keep the cosine
+  // head within a few percent. check_inference.sh additionally bounds the
+  // ranking impact (AUC delta <= 0.002) over the whole zoo.
+  EXPECT_LT(MaxAbsDelta(ref, quant), 0.06f);
+
+  ASSERT_NE(fp32->inference_plan(), nullptr);
+  ASSERT_NE(int8->inference_plan(), nullptr);
+  EXPECT_EQ(int8->inference_plan()->precision(),
+            models::PlanPrecision::kInt8);
+  const size_t fp32_bytes = fp32->inference_plan()->embedding_bytes();
+  const size_t int8_bytes = int8->inference_plan()->embedding_bytes();
+  ASSERT_GT(fp32_bytes, 0u);
+  // int8 payload + one float scale per row: strictly between 3x and 4x.
+  EXPECT_GT(static_cast<double>(fp32_bytes) / int8_bytes, 3.0);
+  // The float table is freed once quantized.
+  EXPECT_EQ(int8->inference_plan()->embeddings().size(), 0u);
+}
+
+TEST(Int8PlanTest, SetCalibrationInvalidatesAndRequantizes) {
+  auto predictor = Fixture().MakePredictor("AHNTP", 78);
+  models::InferencePlan plan(predictor.get());
+  plan.SetPrecision(models::PlanPrecision::kInt8);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(8);
+  std::vector<float> before = plan.Score(pairs);
+  ASSERT_TRUE(plan.built());
+  const size_t rows = plan.calibration().rows();
+  ASSERT_GT(rows, 0u);
+
+  // Halving every absmax changes every row scale, so the plan must drop the
+  // old table and requantize at the next Score().
+  tensor::RowCalibration tighter;
+  tighter.absmax.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    tighter.absmax[r] = plan.calibration().absmax[r] * 0.5f;
+  }
+  const float old_scale0 = plan.quantized_embeddings().scale(0);
+  ASSERT_TRUE(plan.SetCalibration(tighter).ok());
+  EXPECT_FALSE(plan.built());
+  std::vector<float> after = plan.Score(pairs);
+  ASSERT_TRUE(plan.built());
+  EXPECT_EQ(plan.quantized_embeddings().scale(0), old_scale0 * 0.5f);
+  EXPECT_EQ(before.size(), after.size());
+}
+
+TEST(Int8PlanTest, BadExternalCalibrationIsRejectedNotFatal) {
+  auto predictor = Fixture().MakePredictor("AHNTP", 79);
+  models::InferencePlan plan(predictor.get());
+  plan.SetPrecision(models::PlanPrecision::kInt8);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(4);
+  std::vector<float> before = plan.Score(pairs);
+
+  tensor::RowCalibration wrong_rows;
+  wrong_rows.absmax = {1.0f, 2.0f};  // dataset has 60 users
+  EXPECT_EQ(plan.SetCalibration(wrong_rows).code(),
+            StatusCode::kInvalidArgument);
+
+  tensor::RowCalibration bad_values;
+  bad_values.absmax.assign(plan.calibration().rows(), 1.0f);
+  bad_values.absmax[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(plan.SetCalibration(bad_values).code(),
+            StatusCode::kInvalidArgument);
+
+  // A rejected calibration leaves the plan serving the old table unchanged.
+  EXPECT_TRUE(plan.built());
+  std::vector<float> after = plan.Score(pairs);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "pair " << i;
+  }
+}
+
+TEST(Int8PlanTest, PrecisionChangeInvalidatesPlan) {
+  auto predictor = Fixture().MakePredictor("AHNTP", 80);
+  models::InferencePlan plan(predictor.get());
+  std::vector<data::TrustPair> pairs = Fixture().Queries(4);
+  (void)plan.Score(pairs);
+  ASSERT_TRUE(plan.built());
+  plan.SetPrecision(models::PlanPrecision::kInt8);
+  EXPECT_FALSE(plan.built());
+  (void)plan.Score(pairs);
+  EXPECT_TRUE(plan.built());
+  // No-op precision set keeps the table.
+  plan.SetPrecision(models::PlanPrecision::kInt8);
+  EXPECT_TRUE(plan.built());
+}
+
+TEST(Int8PlanTest, ShardedInt8BitIdenticalToMonolithicInt8) {
+  auto mono = Fixture().MakePredictor("AHNTP", 81);
+  auto sharded = Fixture().MakePredictor("AHNTP", 81);
+  mono->SetInferencePrecision(models::PlanPrecision::kInt8);
+  sharded->SetInferencePrecision(models::PlanPrecision::kInt8);
+
+  const std::string spill_dir =
+      "inference_test_spill_" + std::to_string(::getpid());
+  models::ShardedPlanOptions opts;
+  opts.num_shards = 4;
+  opts.max_resident_shards = 2;
+  opts.spill_dir = spill_dir;
+  sharded->EnableShardedInference(opts);
+
+  std::vector<data::TrustPair> pairs = Fixture().Queries(24);
+  std::vector<float> ref = mono->PredictProbabilities(pairs);
+  std::vector<float> out = sharded->PredictProbabilities(pairs);
+  ASSERT_EQ(ref.size(), out.size());
+  // Sharding slices one full-table calibration per shard, so every user
+  // quantizes identically to the monolithic table: bitwise parity, same
+  // contract as the fp32 sharded path.
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], out[i]) << "pair " << i;
+  }
+  std::filesystem::remove_all(spill_dir);
+}
+
+TEST(Int8PlanTest, BackendServesInt8Precision) {
+  auto factory = [] { return Fixture().MakePredictor("AHNTP", 82); };
+  serve::ModelBackend backend(factory, factory(), std::nullopt,
+                              models::PlanPrecision::kInt8);
+  std::vector<data::TrustPair> pairs = Fixture().Queries(6);
+  auto scores = backend.ScoreBatch(pairs);
+  ASSERT_TRUE(scores.ok());
+  auto reference = Fixture().MakePredictor("AHNTP", 82);
+  reference->SetInferencePrecision(models::PlanPrecision::kInt8);
+  std::vector<float> expected = reference->PredictProbabilities(pairs);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(scores.value()[i], expected[i]) << "pair " << i;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // throughout is *bitwise* parity with the monolithic (K=1) path at every
 // combination of shard count, sharding mode, and thread count.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
@@ -396,9 +398,14 @@ struct PredictorFixture {
 
 class ShardedPlanTest : public ::testing::Test {
  protected:
-  void TearDown() override {
-    std::filesystem::remove_all("sharding_test_spill");
+  // Per-process spill root: ctest runs each test as its own process in the
+  // same working directory, so a shared literal directory lets one test's
+  // TearDown delete blocks a concurrently running sibling is faulting in.
+  static std::string SpillDir() {
+    return "sharding_test_spill_" + std::to_string(::getpid());
   }
+
+  void TearDown() override { std::filesystem::remove_all(SpillDir()); }
 };
 
 TEST_F(ShardedPlanTest, ScoresBitIdenticalToMonolithicPlan) {
@@ -413,7 +420,7 @@ TEST_F(ShardedPlanTest, ScoresBitIdenticalToMonolithicPlan) {
         plan_opts.num_shards = opts.num_shards;
         plan_opts.mode = opts.mode;
         plan_opts.max_resident_shards = resident;
-        plan_opts.spill_dir = "sharding_test_spill";
+        plan_opts.spill_dir = SpillDir();
         fx.predictor->EnableShardedInference(plan_opts);
         std::vector<float> sharded =
             fx.predictor->PredictProbabilities(pairs);
@@ -437,7 +444,7 @@ TEST_F(ShardedPlanTest, BoundedResidencyEvictsAndCountsFaults) {
   models::ShardedPlanOptions plan_opts;
   plan_opts.num_shards = 4;
   plan_opts.max_resident_shards = 1;
-  plan_opts.spill_dir = "sharding_test_spill";
+  plan_opts.spill_dir = SpillDir();
   fx.predictor->EnableShardedInference(plan_opts);
   fx.predictor->WarmInferencePlan();
   const models::ShardedInferencePlan* plan = fx.predictor->sharded_plan();
@@ -466,14 +473,14 @@ TEST_F(ShardedPlanTest, CorruptBlockSurfacesAsCorruption) {
   models::ShardedPlanOptions plan_opts;
   plan_opts.num_shards = 2;
   plan_opts.max_resident_shards = 1;
-  plan_opts.spill_dir = "sharding_test_spill";
+  plan_opts.spill_dir = SpillDir();
   fx.predictor->EnableShardedInference(plan_opts);
   fx.predictor->WarmInferencePlan();
   // Flip a payload byte in every spilled block; the next fault of either
   // shard must fail the CRC, not serve garbage embeddings.
   size_t flipped = 0;
-  for (const auto& entry : std::filesystem::recursive_directory_iterator(
-           "sharding_test_spill")) {
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(SpillDir())) {
     if (!entry.is_regular_file()) continue;
     std::fstream f(entry.path(),
                    std::ios::in | std::ios::out | std::ios::binary);
@@ -505,7 +512,7 @@ TEST_F(ShardedPlanTest, InvalidationRebuildsAfterWeightChange) {
   PredictorFixture fx;
   models::ShardedPlanOptions plan_opts;
   plan_opts.num_shards = 2;
-  plan_opts.spill_dir = "sharding_test_spill";
+  plan_opts.spill_dir = SpillDir();
   fx.predictor->EnableShardedInference(plan_opts);
   std::vector<data::TrustPair> pairs = fx.Pairs(8);
   std::vector<float> before = fx.predictor->PredictProbabilities(pairs);
@@ -531,7 +538,7 @@ TEST_F(ShardedPlanTest, ModelBackendShardedScoresMatchMonolithic) {
   models::ShardedPlanOptions plan_opts;
   plan_opts.num_shards = 3;
   plan_opts.max_resident_shards = 2;
-  plan_opts.spill_dir = "sharding_test_spill";
+  plan_opts.spill_dir = SpillDir();
   // The factory matters only for Reload; scoring uses the initial model.
   serve::ModelBackend backend([]() { return nullptr; },
                               std::move(sharded_fx.predictor), plan_opts);
