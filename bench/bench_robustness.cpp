@@ -1,0 +1,319 @@
+// Adversarial robustness + uncertainty benchmark (DESIGN.md §16).
+//
+// Part 1 — robustness table: every zoo model is trained and evaluated on a
+// clean dataset and on each adversarial preset (sybil rings, trust-spam
+// hubs, camouflaged sybils, train/serve distribution shift), reporting
+// AUC, ECE, and Brier per cell — how much each attack costs each model,
+// in both ranking quality and calibration.
+//
+// Part 2 — abstain tradeoff sweep: a 3-seed AHNTP ensemble (+ MC-dropout
+// samples) is trained per attack preset under the *temporal* split, which
+// concentrates the attack edges (appended last, latest times) in the test
+// regime. Sweeping ServeOptions::min_confidence-style thresholds over the
+// ensemble's confidence quantiles yields an abstain-rate vs served-AUC
+// curve; the acceptance gate requires abstention to recover measurable
+// AUC on the served pairs under at least `--gate_presets` (default 2)
+// attack presets. The gate verdict is encoded in BENCH_robustness.json
+// and mirrored in the exit code, so scripts/check_robustness.sh can fail
+// the build when the uncertainty signal stops separating hostile pairs.
+//
+//   ./build/bench/bench_robustness [--scale=0.05] [--epochs=40]
+//       [--models=SGC,UniGCN,AHNTP] [--sweep_quantiles=0.1,0.2,0.3,0.5]
+//       [--ensemble_members=3] [--gate_presets=2]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fileio.h"
+#include "core/trainer.h"
+#include "data/features.h"
+#include "data/split.h"
+#include "models/uncertainty.h"
+
+namespace {
+
+using namespace ahntp;
+
+constexpr const char* kZooModels[] = {"GAT",        "SGC",     "Guardian",
+                                      "AtNE-Trust", "KGTrust", "UniGCN",
+                                      "UniGAT",     "HGNN+",   "AHNTP"};
+
+struct Preset {
+  std::string name;
+  data::AttackSpec spec;
+  /// Attack presets evaluate under the temporal split so the injected
+  /// edges (latest times) land in the test regime: train on the mostly
+  /// clean past, serve the hostile present.
+  bool temporal = false;
+};
+
+/// Attack strengths scale with the population so --scale sweeps keep the
+/// attacker fraction roughly constant.
+std::vector<Preset> MakePresets(const data::GeneratorConfig& config) {
+  const size_t users = config.num_users;
+  const size_t rings = std::max<size_t>(2, users / 120);
+  const size_t ring_size = 5;
+  const size_t hubs = std::max<size_t>(2, users / 150);
+  const size_t spam_edges = std::min<size_t>(users - 1, 40);
+
+  std::vector<Preset> presets;
+  presets.push_back({"clean", data::AttackSpec{}, false});
+  data::AttackSpec sybil = data::AttackSpec::SybilRing(rings, ring_size);
+  sybil.sybil_targets_per_member = 4;
+  presets.push_back({"sybil", sybil, true});
+  presets.push_back(
+      {"spam", data::AttackSpec::SpamHubs(hubs, spam_edges), true});
+  data::AttackSpec camo =
+      data::AttackSpec::Camouflaged(rings, ring_size, 0.9);
+  camo.sybil_targets_per_member = 4;
+  presets.push_back({"camouflage", camo, true});
+  presets.push_back({"shift", data::AttackSpec::Shift(0.35), true});
+  return presets;
+}
+
+struct TableRow {
+  std::string preset;
+  std::string model;
+  double auc = 0.0;
+  double ece = 0.0;
+  double brier = 0.0;
+  double accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+struct SweepRow {
+  std::string preset;
+  double quantile = 0.0;
+  float threshold = 0.0f;
+  double abstain_rate = 0.0;
+  size_t served = 0;
+  double served_auc = 0.0;
+  double served_ece = 0.0;
+  double full_auc = 0.0;
+  double full_ece = 0.0;
+};
+
+std::vector<float> Labels(const std::vector<data::TrustPair>& pairs) {
+  std::vector<float> labels;
+  labels.reserve(pairs.size());
+  for (const data::TrustPair& p : pairs) labels.push_back(p.label);
+  return labels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  std::vector<std::string> models = flags.GetStringList(
+      "models", std::vector<std::string>(kZooModels, kZooModels + 9));
+  std::vector<double> quantiles =
+      flags.GetDoubleList("sweep_quantiles", {0.1, 0.2, 0.3, 0.5});
+  const int ensemble_members =
+      static_cast<int>(flags.GetInt("ensemble_members", 3));
+  const int gate_presets = static_cast<int>(flags.GetInt("gate_presets", 2));
+  /// Minimum served-AUC gain over the full test set for a preset to count
+  /// as "abstention recovered accuracy".
+  const double min_auc_gain = flags.GetDouble("min_auc_gain", 0.001);
+  bench::PrintBanner("robustness",
+                     "adversarial presets: AUC/ECE table + abstain tradeoff",
+                     options);
+
+  data::GeneratorConfig gen_config =
+      data::GeneratorConfig::CiaoLike(options.scale);
+  std::vector<Preset> presets = MakePresets(gen_config);
+  data::SocialNetworkGenerator generator(gen_config);
+
+  // --- Part 1: preset x model AUC / ECE / Brier ---------------------------
+  std::vector<TableRow> table;
+  std::printf("\n### robustness table (Ciao-like, %zu users)\n",
+              gen_config.num_users);
+  std::printf("%-11s %-11s %8s %8s %8s %8s %8s\n", "preset", "model", "auc",
+              "ece", "brier", "acc", "sec");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  for (const Preset& preset : presets) {
+    data::AttackReport report;
+    auto dataset = generator.GenerateWithAttacks(preset.spec, &report);
+    AHNTP_CHECK(dataset.ok()) << preset.name << ": "
+                              << dataset.status().ToString();
+    if (preset.spec.any()) {
+      std::printf(
+          "# %s: %zu attackers, +%zu sybil +%zu spam edges, %zu shifted, "
+          "%zu camouflaged\n",
+          preset.name.c_str(), report.attackers.size(), report.sybil_edges,
+          report.spam_edges, report.shifted_edges,
+          report.camouflaged_users);
+    }
+    for (const std::string& model : models) {
+      core::ExperimentConfig config = bench::BaseExperimentConfig(options);
+      config.model = model;
+      config.temporal_split = preset.temporal;
+      core::ExperimentResult result = bench::MustRun(*dataset, config);
+      TableRow row;
+      row.preset = preset.name;
+      row.model = model;
+      row.auc = result.test.auc;
+      row.ece = result.test.ece;
+      row.brier = result.test.brier;
+      row.accuracy = result.test.accuracy;
+      row.seconds = result.train_seconds;
+      table.push_back(row);
+      std::printf("%-11s %-11s %8.4f %8.4f %8.4f %8.4f %8.1f\n",
+                  row.preset.c_str(), row.model.c_str(), row.auc, row.ece,
+                  row.brier, row.accuracy, row.seconds);
+      std::fflush(stdout);
+    }
+  }
+
+  // --- Part 2: abstain-rate vs served-AUC tradeoff ------------------------
+  // Ensembles are expensive (members x training), so the sweep runs on the
+  // attack presets only; `clean` has no hostile pairs to abstain from.
+  std::vector<SweepRow> sweep;
+  int passing_presets = 0;
+  std::printf("\n### abstain tradeoff (AHNTP x%d ensemble, temporal split)\n",
+              ensemble_members);
+  std::printf("%-11s %6s %10s %9s %7s %9s %9s %9s\n", "preset", "q",
+              "threshold", "abstain%", "served", "servedAUC", "fullAUC",
+              "gain");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const Preset& preset : presets) {
+    if (!preset.spec.any()) continue;
+    auto dataset = generator.GenerateWithAttacks(preset.spec);
+    AHNTP_CHECK(dataset.ok());
+    data::TrustSplit split = data::MakeTemporalSplit(*dataset);
+    auto train_graph = dataset->GraphFromEdges(split.train_positive);
+    AHNTP_CHECK(train_graph.ok()) << train_graph.status().ToString();
+    tensor::Matrix features = data::BuildFeatureMatrix(*dataset);
+
+    models::ModelInputs inputs;
+    inputs.features = &features;
+    inputs.graph = &train_graph.value();
+    inputs.dataset = &dataset.value();
+    inputs.hidden_dims = options.dims;
+
+    std::vector<std::shared_ptr<models::TrustPredictor>> members;
+    for (int m = 0; m < ensemble_members; ++m) {
+      Rng rng(options.seed + static_cast<uint64_t>(m));
+      inputs.rng = &rng;
+      auto created =
+          core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+      AHNTP_CHECK(created.ok()) << created.status().ToString();
+      core::TrainerConfig tc;
+      tc.epochs = options.epochs;
+      auto trained =
+          core::Trainer(tc).Fit(created.value().get(), split.train_pairs);
+      AHNTP_CHECK(trained.ok()) << trained.status().ToString();
+      members.push_back(std::move(created).value());
+    }
+    models::EnsembleOptions ens_options;
+    ens_options.mc_dropout_samples = 2;
+    ens_options.mc_dropout_rate = 0.15f;
+    models::SeedEnsemble ensemble(std::move(members), ens_options);
+
+    models::SeedEnsemble::Scored scored = ensemble.Score(split.test_pairs);
+    std::vector<float> labels = Labels(split.test_pairs);
+    core::BinaryMetrics full = core::EvaluateBinary(scored.scores, labels);
+
+    std::vector<float> sorted_conf = scored.confidence;
+    std::sort(sorted_conf.begin(), sorted_conf.end());
+    bool preset_passes = false;
+    for (double q : quantiles) {
+      const size_t cut = std::min(
+          sorted_conf.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(sorted_conf.size())));
+      const float threshold = sorted_conf[cut];
+      std::vector<float> served_scores, served_labels;
+      for (size_t i = 0; i < scored.confidence.size(); ++i) {
+        if (scored.confidence[i] < threshold) continue;
+        served_scores.push_back(scored.scores[i]);
+        served_labels.push_back(labels[i]);
+      }
+      SweepRow row;
+      row.preset = preset.name;
+      row.quantile = q;
+      row.threshold = threshold;
+      row.served = served_scores.size();
+      row.abstain_rate =
+          1.0 - static_cast<double>(row.served) /
+                    static_cast<double>(scored.confidence.size());
+      row.full_auc = full.auc;
+      row.full_ece = full.ece;
+      const bool scorable =
+          row.served >= 30 &&
+          std::count(served_labels.begin(), served_labels.end(), 1.0f) > 0 &&
+          std::count(served_labels.begin(), served_labels.end(), 0.0f) > 0;
+      if (scorable) {
+        core::BinaryMetrics served_metrics =
+            core::EvaluateBinary(served_scores, served_labels);
+        row.served_auc = served_metrics.auc;
+        row.served_ece = served_metrics.ece;
+        if (row.abstain_rate <= 0.55 &&
+            row.served_auc > row.full_auc + min_auc_gain) {
+          preset_passes = true;
+        }
+      }
+      sweep.push_back(row);
+      std::printf("%-11s %6.2f %10.4f %8.1f%% %7zu %9.4f %9.4f %+9.4f\n",
+                  row.preset.c_str(), row.quantile,
+                  static_cast<double>(row.threshold),
+                  row.abstain_rate * 100.0, row.served, row.served_auc,
+                  row.full_auc, row.served_auc - row.full_auc);
+      std::fflush(stdout);
+    }
+    if (preset_passes) ++passing_presets;
+  }
+
+  const bool gate_pass = passing_presets >= gate_presets;
+  std::printf(
+      "\nabstain gate: served AUC beat full AUC (gain > %.4f, abstain <= "
+      "55%%) under %d/%d attack presets (required: %d) -> %s\n",
+      min_auc_gain, passing_presets,
+      static_cast<int>(presets.size()) - 1, gate_presets,
+      gate_pass ? "PASS" : "FAIL");
+
+  // --- BENCH_robustness.json ----------------------------------------------
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"robustness\",\n  \"schema_version\": 1,\n"
+      "  \"scale\": %.4f,\n  \"epochs\": %d,\n  \"seed\": %lu,\n"
+      "  \"ensemble_members\": %d,\n  \"table\": [\n",
+      options.scale, options.epochs,
+      static_cast<unsigned long>(options.seed), ensemble_members);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const TableRow& row = table[i];
+    json += StrFormat(
+        "    {\"preset\": \"%s\", \"model\": \"%s\", \"auc\": %.6f, "
+        "\"ece\": %.6f, \"brier\": %.6f, \"accuracy\": %.6f}%s\n",
+        row.preset.c_str(), row.model.c_str(), row.auc, row.ece, row.brier,
+        row.accuracy, i + 1 < table.size() ? "," : "");
+  }
+  json += "  ],\n  \"abstain_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    json += StrFormat(
+        "    {\"preset\": \"%s\", \"quantile\": %.2f, \"threshold\": %.6f, "
+        "\"abstain_rate\": %.4f, \"served\": %zu, \"served_auc\": %.6f, "
+        "\"served_ece\": %.6f, \"full_auc\": %.6f, \"full_ece\": %.6f}%s\n",
+        row.preset.c_str(), row.quantile,
+        static_cast<double>(row.threshold), row.abstain_rate, row.served,
+        row.served_auc, row.served_ece, row.full_auc, row.full_ece,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  json += StrFormat(
+      "  ],\n  \"gates\": {\"required_presets\": %d, "
+      "\"passing_presets\": %d, \"min_auc_gain\": %.4f, \"pass\": %s}\n}\n",
+      gate_presets, passing_presets, min_auc_gain,
+      gate_pass ? "true" : "false");
+  AHNTP_CHECK_OK(WriteFileAtomic("BENCH_robustness.json", json));
+  std::printf("wrote BENCH_robustness.json (%zu table rows, %zu sweep "
+              "rows)\n",
+              table.size(), sweep.size());
+
+  return gate_pass ? 0 : 1;
+}

@@ -17,15 +17,19 @@
 // runtime flags (--threads, --fault_spec, --fault_seed, --metrics_out,
 // --trace_out) apply as everywhere else; see common/flags.h.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/fileio.h"
 #include "common/flags.h"
 #include "core/model_zoo.h"
@@ -33,6 +37,7 @@
 #include "data/features.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "models/uncertainty.h"
 #include "nn/serialization.h"
 #include "serve/admission.h"
 #include "serve/backend.h"
@@ -78,22 +83,29 @@ serve::ServerStats Add(const serve::ServerStats& a,
   s.cache_hits = a.cache_hits + b.cache_hits;
   s.cache_misses = a.cache_misses + b.cache_misses;
   s.cache_flushes = a.cache_flushes + b.cache_flushes;
+  s.abstained = a.abstained + b.abstained;
   return s;
 }
 
 /// FNV-1a over the deterministic response fields (status code, the
-/// degraded/cached/coalesced flags, score bits); wall-clock latency is
-/// deliberately excluded so the digest matches at any --threads=N.
+/// abstained/degraded/cached/coalesced flags, score and confidence bits);
+/// wall-clock latency is deliberately excluded so the digest matches at
+/// any --threads=N.
 uint64_t FoldResponse(uint64_t h, const serve::TrustResponse& r) {
   constexpr uint64_t kPrime = 1099511628211ULL;
   auto byte = [&](uint8_t b) { h = (h ^ b) * kPrime; };
   byte(static_cast<uint8_t>(r.status.code()));
-  byte(static_cast<uint8_t>((r.degraded << 2) | (r.cached << 1) |
-                            r.coalesced));
+  byte(static_cast<uint8_t>((r.abstained << 3) | (r.degraded << 2) |
+                            (r.cached << 1) | r.coalesced));
   uint32_t bits = 0;
   if (r.status.ok()) std::memcpy(&bits, &r.score, sizeof(bits));
   for (int shift = 0; shift < 32; shift += 8) {
     byte(static_cast<uint8_t>(bits >> shift));
+  }
+  uint32_t conf_bits = 0;
+  std::memcpy(&conf_bits, &r.confidence, sizeof(conf_bits));
+  for (int shift = 0; shift < 32; shift += 8) {
+    byte(static_cast<uint8_t>(conf_bits >> shift));
   }
   return h;
 }
@@ -418,8 +430,109 @@ int main(int argc, char** argv) {
         static_cast<long long>(phase3.cache_hits));
   }
 
+  // --- Phase 4: uncertainty + abstain-aware serving -----------------------
+  // A seed ensemble (3 init seeds + 2 MC-dropout samples of the canonical
+  // member) serves behind an EnsembleBackend with min_confidence set to the
+  // median of the ensemble's own confidence distribution over the query
+  // stream — roughly half the keys abstain and reroute to the heuristic
+  // fallback. Two closed-loop waves share a score cache: confident scores
+  // are absorbed by the cache in wave 2, abstained keys are recomputed (and
+  // abstain again), which the wave-symmetry invariant below pins.
+  serve::ServerStats phase4;
+  uint64_t conf_digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  float abstain_threshold = 0.0f;
+  {
+    // Phases 2-3 own the fault-recovery interplay; this phase pins the
+    // abstain partition and its wave symmetry, which an externally
+    // injected serve.infer fault stream would perturb (a faulted batch
+    // degrades without abstaining, and the draws differ across waves).
+    fault::Disable();
+    std::vector<std::shared_ptr<models::TrustPredictor>> members;
+    for (uint64_t m = 0; m < 3; ++m) {
+      Rng rng(model_seed + m);
+      models::ModelInputs member_inputs = inputs;
+      member_inputs.rng = &rng;
+      auto created =
+          core::CreatePredictor("AHNTP", member_inputs, core::AhntpConfig{});
+      AHNTP_CHECK(created.ok()) << created.status().ToString();
+      members.push_back(std::move(created).value());
+    }
+    models::EnsembleOptions ens_options;
+    ens_options.tau = 0.05;
+    ens_options.mc_dropout_samples = 2;
+    ens_options.mc_dropout_rate = 0.15f;
+    auto ensemble = std::make_shared<models::SeedEnsemble>(std::move(members),
+                                                           ens_options);
+
+    const int per_wave = 2 * static_cast<int>(capacity);
+    std::vector<data::TrustPair> probe_pairs;
+    for (int i = 0; i < per_wave; ++i) {
+      serve::TrustQuery q = query_at(i);
+      probe_pairs.push_back({q.src, q.dst, 0.0f});
+    }
+    models::SeedEnsemble::Scored probe = ensemble->Score(probe_pairs);
+    std::vector<float> sorted_conf = probe.confidence;
+    std::sort(sorted_conf.begin(), sorted_conf.end());
+    abstain_threshold = sorted_conf[sorted_conf.size() / 2];
+
+    serve::EnsembleBackend ensemble_backend(ensemble);
+    serve::ServeOptions conf_options = options;
+    conf_options.queue_capacity = static_cast<size_t>(per_wave) + 8;
+    conf_options.min_confidence = abstain_threshold;
+    serve::ScoreCache cache(score_cache_entries);
+    conf_options.shared_score_cache = &cache;
+
+    serve::ServerStats waves[2];
+    for (int wave = 0; wave < 2; ++wave) {
+      serve::TrustServer server(conf_options, &ensemble_backend, &fallback);
+      std::vector<std::future<serve::TrustResponse>> futures;
+      for (int i = 0; i < per_wave; ++i) {
+        futures.push_back(server.Submit(query_at(i)));
+      }
+      server.Start();
+      std::vector<serve::TrustResponse> responses;
+      CheckResponses(&futures, &responses);
+      server.Shutdown();
+      waves[wave] = server.Stats();
+      phase4 = Add(phase4, waves[wave]);
+      for (const auto& r : responses) {
+        conf_digest = FoldResponse(conf_digest, r);
+        if (r.abstained) {
+          Expect(r.degraded,
+                 "with a fallback configured, abstained responses must be "
+                 "served degraded");
+          Expect(r.status.ok() && std::isfinite(r.score),
+                 "abstained responses must carry finite fallback scores");
+          Expect(r.confidence < abstain_threshold,
+                 "abstained responses must report the rejected confidence");
+        } else if (r.status.ok() && !r.degraded) {
+          Expect(r.confidence >= abstain_threshold,
+                 "served primary scores must meet the confidence threshold");
+        }
+      }
+    }
+
+    Expect(phase4.abstained > 0,
+           "the median threshold must make some requests abstain");
+    Expect(phase4.ok > 0,
+           "confident requests must still be served by the primary");
+    Expect(waves[1].cache_hits > 0,
+           "wave 2 must absorb confident repeats from the score cache");
+    Expect(waves[0].abstained == waves[1].abstained,
+           "abstained scores must not be cached: wave 2 must abstain "
+           "exactly like wave 1");
+    std::printf(
+        "phase 4 (abstain): threshold %.4f, abstained %lld, ok %lld, "
+        "degraded %lld, cache hits %lld\n",
+        static_cast<double>(abstain_threshold),
+        static_cast<long long>(phase4.abstained),
+        static_cast<long long>(phase4.ok),
+        static_cast<long long>(phase4.degraded),
+        static_cast<long long>(phase4.cache_hits));
+  }
+
   // --- Summary + invariants ------------------------------------------------
-  serve::ServerStats total = Add(Add(phase1, phase2), phase3);
+  serve::ServerStats total = Add(Add(Add(phase1, phase2), phase3), phase4);
   const int64_t accepted = total.submitted - total.rejected;
   Expect(accepted == total.expired + total.ok + total.degraded + total.failed,
          "accepted requests must partition into expired+ok+degraded+failed");
@@ -483,6 +596,18 @@ int main(int argc, char** argv) {
       static_cast<long long>(phase3.cache_misses),
       static_cast<long long>(phase3.cache_flushes),
       static_cast<unsigned long long>(lanes_digest));
+  std::printf(
+      "SERVE_CONF {\"threshold\": \"%a\", \"abstained\": %lld, \"ok\": %lld, "
+      "\"degraded\": %lld, \"failed\": %lld, \"cache_hits\": %lld, "
+      "\"cache_misses\": %lld, \"digest\": \"%016llx\"}\n",
+      static_cast<double>(abstain_threshold),
+      static_cast<long long>(phase4.abstained),
+      static_cast<long long>(phase4.ok),
+      static_cast<long long>(phase4.degraded),
+      static_cast<long long>(phase4.failed),
+      static_cast<long long>(phase4.cache_hits),
+      static_cast<long long>(phase4.cache_misses),
+      static_cast<unsigned long long>(conf_digest));
   std::printf("SERVE_SCORES");
   for (size_t i = 0; i < wave2.size() && i < 8; ++i) {
     std::printf(" %a%s", static_cast<double>(wave2[i].score),

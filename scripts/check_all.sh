@@ -15,6 +15,7 @@ gates=(
   "compiled inference:scripts/check_inference.sh"
   "serving:scripts/check_serve.sh"
   "serve overload, per-lane digests:scripts/check_serve_load.sh"
+  "robustness, abstain gate:scripts/check_robustness.sh"
   "sharded scale:scripts/check_scale.sh"
   "ASan/UBSan:scripts/check_asan.sh"
   "TSan:scripts/check_tsan.sh"

@@ -12,8 +12,9 @@ namespace ahntp::core {
 
 std::string BinaryMetrics::ToString() const {
   return StrFormat(
-      "acc=%.4f precision=%.4f recall=%.4f f1=%.4f auc=%.4f (n=%zu)",
-      accuracy, precision, recall, f1, auc, num_samples);
+      "acc=%.4f precision=%.4f recall=%.4f f1=%.4f auc=%.4f brier=%.4f "
+      "ece=%.4f (n=%zu)",
+      accuracy, precision, recall, f1, auc, brier, ece, num_samples);
 }
 
 BinaryMetrics EvaluateBinary(const std::vector<float>& probabilities,
@@ -67,6 +68,36 @@ BinaryMetrics EvaluateBinary(const std::vector<float>& probabilities,
   m.f1 = (m.precision + m.recall) > 0.0
              ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
              : 0.0;
+
+  // Brier and ECE accumulate in one serial pass: double sums are
+  // order-dependent, and a fixed left-to-right order keeps both metrics
+  // bit-identical at any --threads=N (the pass is cheap next to the AUC
+  // sort below).
+  {
+    constexpr size_t kBins = BinaryMetrics::kCalibrationBins;
+    double sq_error = 0.0;
+    double bin_conf[kBins] = {};
+    double bin_pos[kBins] = {};
+    size_t bin_count[kBins] = {};
+    for (size_t i = 0; i < probabilities.size(); ++i) {
+      const double p = std::min(1.0, std::max(0.0, double{probabilities[i]}));
+      const double y = labels[i] >= 0.5f ? 1.0 : 0.0;
+      sq_error += (p - y) * (p - y);
+      size_t bin = std::min(kBins - 1, static_cast<size_t>(p * kBins));
+      bin_conf[bin] += p;
+      bin_pos[bin] += y;
+      ++bin_count[bin];
+    }
+    m.brier = sq_error / static_cast<double>(m.num_samples);
+    double ece = 0.0;
+    for (size_t b = 0; b < kBins; ++b) {
+      if (bin_count[b] == 0) continue;
+      const double count = static_cast<double>(bin_count[b]);
+      ece += count / static_cast<double>(m.num_samples) *
+             std::fabs(bin_conf[b] / count - bin_pos[b] / count);
+    }
+    m.ece = ece;
+  }
 
   // AUC via the rank-sum (Mann-Whitney) formulation; ties share ranks.
   size_t num_pos = tp + fn;

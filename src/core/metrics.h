@@ -8,13 +8,27 @@ namespace ahntp::core {
 
 /// Binary-classification metrics for trust prediction (Section V-A.3 uses
 /// accuracy and F1; precision/recall/AUC are reported for completeness).
+/// Brier score and expected calibration error quantify how trustworthy the
+/// probabilities themselves are — the robustness suite (DESIGN.md §16)
+/// gates on them alongside AUC.
 struct BinaryMetrics {
   double accuracy = 0.0;
   double precision = 0.0;
   double recall = 0.0;
   double f1 = 0.0;
   double auc = 0.0;
+  /// Mean squared error of the probabilities against the 0/1 labels
+  /// (proper scoring rule; 0 = perfect, 0.25 = uninformed 0.5 forecasts).
+  double brier = 0.0;
+  /// Expected calibration error over kCalibrationBins equal-width
+  /// probability bins: sum over bins of (n_b / n) * |mean confidence_b -
+  /// empirical accuracy_b|. Probabilities are clamped to [0, 1] before
+  /// binning so out-of-range scores land in the edge bins.
+  double ece = 0.0;
   size_t num_samples = 0;
+
+  /// Bin count for `ece` (equal-width over [0, 1]).
+  static constexpr size_t kCalibrationBins = 10;
 
   std::string ToString() const;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -212,10 +214,12 @@ SocialPhaseResult RunSocialPhases(const GeneratorConfig& cfg, Rng* rng,
 
 }  // namespace
 
-SocialDataset SocialNetworkGenerator::Generate() const {
-  const GeneratorConfig& cfg = config_;
-  Rng rng(cfg.seed);
+namespace {
 
+/// The full clean generation pipeline on an externally owned RNG, so the
+/// adversarial path can keep drawing from the same stream afterwards.
+SocialDataset GenerateClean(const GeneratorConfig& cfg, Rng* rng_ptr) {
+  Rng& rng = *rng_ptr;
   SocialDataset ds;
   SocialPhaseResult social = RunSocialPhases(
       cfg, &rng, &ds,
@@ -281,6 +285,271 @@ SocialDataset SocialNetworkGenerator::Generate() const {
   }
 
   AHNTP_CHECK_OK(ds.Validate());
+  return ds;
+}
+
+/// Packed (src, dst) key for O(1) duplicate-edge rejection during the
+/// attack overlay (the clean phases use out-list scans; the overlay probes
+/// arbitrary pairs, so a set is the right shape here).
+int64_t EdgeKey(size_t num_users, int src, int dst) {
+  return static_cast<int64_t>(src) * static_cast<int64_t>(num_users) + dst;
+}
+
+/// Applies the (already validated) attack overlay, continuing `rng`'s
+/// stream where the clean phases left off.
+void ApplyAttacks(const GeneratorConfig& cfg, const AttackSpec& attack,
+                  Rng* rng, SocialDataset* ds, AttackReport* report) {
+  report->clean_edges = ds->trust_edges.size();
+
+  std::unordered_set<int64_t> existing;
+  existing.reserve(ds->trust_edges.size() * 2);
+  for (const graph::Edge& e : ds->trust_edges) {
+    existing.insert(EdgeKey(cfg.num_users, e.src, e.dst));
+  }
+  auto add_edge = [&](int src, int dst) -> bool {
+    if (src == dst) return false;
+    if (!existing.insert(EdgeKey(cfg.num_users, src, dst)).second) {
+      return false;
+    }
+    ds->trust_edges.push_back({src, dst});
+    return true;
+  };
+
+  // --- Distribution shift first: it rewrites *clean* tail edges, so it
+  // must run before attack edges are appended (the attack edges are part
+  // of the hostile regime already). ---------------------------------------
+  if (attack.shift_fraction > 0.0) {
+    const size_t clean = ds->trust_edges.size();
+    const size_t window_start = clean - clean / 4;
+    for (size_t i = window_start; i < clean; ++i) {
+      if (!rng->Bernoulli(attack.shift_fraction)) continue;
+      graph::Edge& edge = ds->trust_edges[i];
+      const int src_comm =
+          ds->communities[static_cast<size_t>(edge.src)];
+      // Bounded re-target search: a cross-community, non-duplicate, non-self
+      // destination; a full probe run failing leaves the edge clean.
+      for (int probe = 0; probe < 8; ++probe) {
+        int dst = static_cast<int>(rng->NextBounded(cfg.num_users));
+        if (dst == edge.src || dst == edge.dst) continue;
+        if (ds->communities[static_cast<size_t>(dst)] == src_comm) continue;
+        if (existing.count(EdgeKey(cfg.num_users, edge.src, dst)) > 0) {
+          continue;
+        }
+        existing.erase(EdgeKey(cfg.num_users, edge.src, edge.dst));
+        existing.insert(EdgeKey(cfg.num_users, edge.src, dst));
+        edge.dst = dst;
+        ++report->shifted_edges;
+        break;
+      }
+    }
+  }
+
+  // --- Attacker roster: disjoint sybil-ring members, then spam hubs. ------
+  const size_t num_sybils = attack.sybil_rings * attack.sybil_ring_size;
+  const size_t num_attackers = num_sybils + attack.spam_hubs;
+  std::vector<size_t> roster;
+  if (num_attackers > 0) {
+    roster = rng->SampleWithoutReplacement(cfg.num_users, num_attackers);
+  }
+
+  // --- Sybil rings: mutual cycle + chords, plus influencer-targeted
+  // attack edges (in-degree-proportional victim sampling). -----------------
+  if (num_sybils > 0) {
+    std::vector<double> indegree(cfg.num_users, 1.0);
+    for (const graph::Edge& e : ds->trust_edges) {
+      indegree[static_cast<size_t>(e.dst)] += 1.0;
+    }
+    DiscreteDistribution victim_dist(indegree);
+    for (size_t r = 0; r < attack.sybil_rings; ++r) {
+      const size_t* members = roster.data() + r * attack.sybil_ring_size;
+      const size_t m = attack.sybil_ring_size;
+      for (size_t i = 0; i < m; ++i) {
+        const int a = static_cast<int>(members[i]);
+        const int next = static_cast<int>(members[(i + 1) % m]);
+        if (add_edge(a, next)) ++report->sybil_edges;
+        if (add_edge(next, a)) ++report->sybil_edges;
+        if (m > 3) {
+          const int chord = static_cast<int>(members[(i + 2) % m]);
+          if (add_edge(a, chord)) ++report->sybil_edges;
+        }
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const int a = static_cast<int>(members[i]);
+        for (size_t t = 0; t < attack.sybil_targets_per_member; ++t) {
+          // The draw always happens (stream shape is data-independent);
+          // duplicates are simply dropped.
+          const int victim = static_cast<int>(victim_dist.Sample(rng));
+          if (add_edge(a, victim)) ++report->sybil_edges;
+        }
+      }
+    }
+  }
+
+  // --- Trust-spam hubs: indiscriminate mass out-edges. --------------------
+  for (size_t h = 0; h < attack.spam_hubs; ++h) {
+    const int hub = static_cast<int>(roster[num_sybils + h]);
+    for (size_t e = 0; e < attack.spam_edges_per_hub; ++e) {
+      const int dst = static_cast<int>(rng->NextBounded(cfg.num_users));
+      if (add_edge(hub, dst)) ++report->spam_edges;
+    }
+  }
+
+  // --- Camouflage: attackers adopt an honest role model's attributes and
+  // a slice of their purchase history. -------------------------------------
+  report->attackers.assign(roster.begin(), roster.end());
+  std::sort(report->attackers.begin(), report->attackers.end());
+  if (attack.camouflage_fraction > 0.0 && !roster.empty()) {
+    std::vector<std::vector<size_t>> purchases_by_user(cfg.num_users);
+    for (size_t p = 0; p < ds->purchases.size(); ++p) {
+      purchases_by_user[static_cast<size_t>(ds->purchases[p].user)]
+          .push_back(p);
+    }
+    std::unordered_set<size_t> attacker_set(roster.begin(), roster.end());
+    for (int attacker : report->attackers) {
+      if (!rng->Bernoulli(attack.camouflage_fraction)) continue;
+      // One draw, never self: an offset into the other num_users - 1 ids.
+      size_t role = (static_cast<size_t>(attacker) + 1 +
+                     rng->NextBounded(cfg.num_users - 1)) %
+                    cfg.num_users;
+      if (attacker_set.count(role) > 0) {
+        // A fellow attacker makes a useless disguise; take the next honest
+        // user in id order (deterministic, no extra draw).
+        do {
+          role = (role + 1) % cfg.num_users;
+        } while (attacker_set.count(role) > 0);
+      }
+      for (auto& column : ds->attributes) {
+        column[static_cast<size_t>(attacker)] = column[role];
+      }
+      const auto& basket = purchases_by_user[role];
+      const size_t copies = std::min<size_t>(basket.size(), 20);
+      for (size_t k = 0; k < copies; ++k) {
+        Purchase copy = ds->purchases[basket[k]];
+        copy.user = attacker;
+        ds->purchases.push_back(copy);
+        ++report->camouflage_purchases;
+      }
+      ++report->camouflaged_users;
+    }
+  }
+
+  // Re-normalize edge times over the final list: ordering is preserved and
+  // attack edges (appended last) land in the latest-time regime, which is
+  // exactly where a temporal train/serve split puts hostile traffic.
+  ds->trust_edge_times.resize(ds->trust_edges.size());
+  const double denom = static_cast<double>(
+      std::max<size_t>(ds->trust_edges.size() - 1, 1));
+  for (size_t i = 0; i < ds->trust_edges.size(); ++i) {
+    ds->trust_edge_times[i] = static_cast<double>(i) / denom;
+  }
+}
+
+}  // namespace
+
+SocialDataset SocialNetworkGenerator::Generate() const {
+  Rng rng(config_.seed);
+  return GenerateClean(config_, &rng);
+}
+
+bool AttackSpec::any() const {
+  return sybil_rings > 0 || sybil_ring_size > 0 || spam_hubs > 0 ||
+         spam_edges_per_hub > 0 || camouflage_fraction >= 0.0 ||
+         shift_fraction >= 0.0;
+}
+
+Status AttackSpec::Validate(const GeneratorConfig& config) const {
+  auto invalid = [](const std::string& what) {
+    return Status::InvalidArgument("AttackSpec: " + what);
+  };
+  if (std::isnan(camouflage_fraction) || std::isnan(shift_fraction)) {
+    return invalid("fractions must not be NaN");
+  }
+  if (config.num_users < 4) {
+    return invalid("target config needs >= 4 users");
+  }
+  if ((sybil_rings > 0) != (sybil_ring_size > 0)) {
+    return invalid("sybil_rings and sybil_ring_size must be set together "
+                   "(zero-size rings are degenerate)");
+  }
+  if (sybil_rings > 0 && sybil_ring_size < 2) {
+    return invalid("a sybil ring needs at least 2 members");
+  }
+  if (sybil_rings > config.num_users || sybil_ring_size > config.num_users ||
+      sybil_rings * sybil_ring_size + spam_hubs > config.num_users) {
+    return invalid("attacker roster exceeds the population");
+  }
+  if (sybil_rings > 0 && sybil_targets_per_member > config.num_users) {
+    return invalid("sybil_targets_per_member exceeds the population");
+  }
+  if ((spam_hubs > 0) != (spam_edges_per_hub > 0)) {
+    return invalid("spam_hubs and spam_edges_per_hub must be set together");
+  }
+  if (spam_hubs > 0 && spam_edges_per_hub > config.num_users) {
+    return invalid("spam_edges_per_hub exceeds the population");
+  }
+  if (camouflage_fraction >= 0.0 &&
+      !(camouflage_fraction > 0.0 && camouflage_fraction < 1.0)) {
+    return invalid("camouflage_fraction must lie strictly in (0, 1)");
+  }
+  if (camouflage_fraction > 0.0 && sybil_rings == 0 && spam_hubs == 0) {
+    return invalid("camouflage needs sybil or spam attackers to disguise");
+  }
+  if (shift_fraction >= 0.0 &&
+      !(shift_fraction > 0.0 && shift_fraction < 1.0)) {
+    return invalid("shift_fraction must lie strictly in (0, 1)");
+  }
+  if (shift_fraction > 0.0) {
+    if (!std::isfinite(config.avg_trust_out_degree) ||
+        std::lround(config.avg_trust_out_degree *
+                    static_cast<double>(config.num_users)) <= 0) {
+      return invalid("distribution shift needs a non-empty trust graph");
+    }
+    if (config.num_communities < 2) {
+      return invalid("cross-community shift needs >= 2 communities");
+    }
+  }
+  return Status::Ok();
+}
+
+AttackSpec AttackSpec::SybilRing(size_t rings, size_t ring_size) {
+  AttackSpec spec;
+  spec.sybil_rings = rings;
+  spec.sybil_ring_size = ring_size;
+  return spec;
+}
+
+AttackSpec AttackSpec::SpamHubs(size_t hubs, size_t edges_per_hub) {
+  AttackSpec spec;
+  spec.spam_hubs = hubs;
+  spec.spam_edges_per_hub = edges_per_hub;
+  return spec;
+}
+
+AttackSpec AttackSpec::Camouflaged(size_t rings, size_t ring_size,
+                                   double fraction) {
+  AttackSpec spec = SybilRing(rings, ring_size);
+  spec.camouflage_fraction = fraction;
+  return spec;
+}
+
+AttackSpec AttackSpec::Shift(double fraction) {
+  AttackSpec spec;
+  spec.shift_fraction = fraction;
+  return spec;
+}
+
+Result<SocialDataset> SocialNetworkGenerator::GenerateWithAttacks(
+    const AttackSpec& attack, AttackReport* report) const {
+  AHNTP_RETURN_IF_ERROR(attack.Validate(config_));
+  Rng rng(config_.seed);
+  SocialDataset ds = GenerateClean(config_, &rng);
+  AttackReport local;
+  AttackReport* out = report != nullptr ? report : &local;
+  *out = AttackReport();
+  if (attack.any()) {
+    ApplyAttacks(config_, attack, &rng, &ds, out);
+    AHNTP_RETURN_IF_ERROR(ds.Validate());
+  }
   return ds;
 }
 

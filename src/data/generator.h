@@ -65,6 +65,81 @@ struct GeneratorConfig {
   static GeneratorConfig CiaoLike(double scale = 0.125);
 };
 
+/// Composable adversarial overlays applied *after* the clean generation
+/// phases, on the continuation of the same RNG stream (DESIGN.md §16). The
+/// clean prefix of the stream — and with it every golden-trace-pinned
+/// artifact of Generate() — is untouched; an all-default spec is a no-op.
+///
+/// Fraction fields use a negative sentinel for "disabled". An enabled
+/// fraction must lie strictly inside (0, 1): a 0-fraction attack is a
+/// misconfigured no-op and a 1-fraction shift leaves no clean regime to
+/// train on, so both are rejected as InvalidArgument rather than silently
+/// producing a degenerate benchmark.
+struct AttackSpec {
+  /// Sybil rings: `sybil_rings` disjoint collusion rings of
+  /// `sybil_ring_size` existing users each. Ring members exchange mutual
+  /// trust (cycle + chords) to inflate each other, and each member attacks
+  /// `sybil_targets_per_member` victims sampled preferentially by in-degree
+  /// (latching onto influencers poisons the social-influence signal).
+  size_t sybil_rings = 0;
+  size_t sybil_ring_size = 0;
+  size_t sybil_targets_per_member = 2;
+
+  /// Trust-spam hubs: `spam_hubs` users each emitting `spam_edges_per_hub`
+  /// trust edges to uniformly random targets — indiscriminate link spam
+  /// that floods the preferential-attachment structure.
+  size_t spam_hubs = 0;
+  size_t spam_edges_per_hub = 0;
+
+  /// Camouflage: each attacker (sybil member or spam hub) independently
+  /// adopts, with this probability, the attributes and a slice of the
+  /// purchase history of a deterministic honest "role model", so
+  /// behavioural/attribute features cannot separate attackers from honest
+  /// users. Requires at least one sybil ring or spam hub. < 0 = disabled.
+  double camouflage_fraction = -1.0;
+
+  /// Train/serve distribution shift: each trust edge in the latest quarter
+  /// of the insertion order is, with this probability, re-targeted to a
+  /// uniformly random user in a *different* community — the late regime
+  /// stops obeying homophily and preferential attachment. Under the
+  /// temporal split the model trains on the clean regime and is evaluated
+  /// on the shifted one. < 0 = disabled.
+  double shift_fraction = -1.0;
+
+  /// True when any attack component is enabled.
+  bool any() const;
+
+  /// Full degenerate-parameter validation against the target config:
+  /// zero-size rings, fraction 0/1 (see above), attacker counts exceeding
+  /// the population, shift on a graph with no edges or a single community,
+  /// and non-finite fractions are all InvalidArgument. Fuzzed specs must
+  /// fail here, never crash the generator.
+  Status Validate(const GeneratorConfig& config) const;
+
+  // Named presets used by bench_robustness and the tests.
+  static AttackSpec SybilRing(size_t rings, size_t ring_size);
+  static AttackSpec SpamHubs(size_t hubs, size_t edges_per_hub);
+  /// Sybil rings whose members all mimic honest users.
+  static AttackSpec Camouflaged(size_t rings, size_t ring_size,
+                                double fraction = 0.9);
+  static AttackSpec Shift(double fraction);
+};
+
+/// What an attack application actually did (sizes are post-dedup).
+struct AttackReport {
+  /// Attacker user ids (sybil members then spam hubs), ascending.
+  std::vector<int> attackers;
+  /// Trust edges before the overlay; trust_edges[0..clean_edges) of the
+  /// attacked dataset are element-for-element the clean dataset's edges
+  /// (minus any shift re-targeting inside the tail window).
+  size_t clean_edges = 0;
+  size_t sybil_edges = 0;
+  size_t spam_edges = 0;
+  size_t shifted_edges = 0;
+  size_t camouflaged_users = 0;
+  size_t camouflage_purchases = 0;
+};
+
 /// One trust edge as delivered by the streaming generation path. `index` is
 /// the edge's global insertion index in the generation sequence — it doubles
 /// as the temporal key (Generate() derives trust_edge_times from it) and as
@@ -87,6 +162,16 @@ class SocialNetworkGenerator {
 
   /// Generates a full dataset; deterministic for a fixed config.
   SocialDataset Generate() const;
+
+  /// Generate() plus the adversarial overlay described by `attack`, drawn
+  /// from the continuation of the same RNG stream — the clean phases are
+  /// bit-identical to Generate()'s, so golden traces pinned to clean
+  /// generation never move. Returns InvalidArgument (via
+  /// AttackSpec::Validate) on degenerate parameters; `report` (optional)
+  /// receives what was injected. Edge times are re-normalized over the
+  /// final edge list, with attack edges appended last (latest times).
+  Result<SocialDataset> GenerateWithAttacks(
+      const AttackSpec& attack, AttackReport* report = nullptr) const;
 
   /// Streaming variant of the social phases: runs the community, attribute,
   /// and trust-edge phases on the *same RNG stream* as Generate(), but

@@ -57,6 +57,37 @@ std::vector<float> RunScoringChain(const TrustPredictor& predictor,
   return out;
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic inverted dropout over gathered embedding rows. The mask
+/// for element j of user u on tower side `role` is a pure function of
+/// (seed, u, role, j): batch position, duplicate occurrences of a user,
+/// and shard layout all see the same mask, which is what makes the
+/// MC-dropout scores identical across the monolithic and sharded plans.
+void ApplyInputDropout(tensor::Matrix* emb, const std::vector<int>& users,
+                       int role, float rate, uint64_t seed) {
+  AHNTP_CHECK(rate > 0.0f && rate < 1.0f)
+      << "dropout rate must lie in (0, 1), got " << rate;
+  const float inv_keep = 1.0f / (1.0f - rate);
+  const double rate_d = static_cast<double>(rate);
+  for (size_t i = 0; i < emb->rows(); ++i) {
+    const uint64_t user_key = SplitMix64(
+        seed ^ (static_cast<uint64_t>(static_cast<uint32_t>(users[i])) * 2 +
+                static_cast<uint64_t>(role)));
+    float* row = emb->RowPtr(i);
+    for (size_t j = 0; j < emb->cols(); ++j) {
+      const uint64_t h = SplitMix64(user_key + j);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      row[j] = u < rate_d ? 0.0f : row[j] * inv_keep;
+    }
+  }
+}
+
 void RecordWorkspaceBytes(const tensor::Workspace& ws) {
   if (metrics::Enabled()) {
     static metrics::Gauge& ws_bytes =
@@ -141,6 +172,19 @@ size_t InferencePlan::embedding_bytes() const {
 
 std::vector<float> InferencePlan::Score(
     const std::vector<data::TrustPair>& pairs) {
+  return ScoreImpl(pairs, -1.0f, 0);
+}
+
+std::vector<float> InferencePlan::ScoreWithInputDropout(
+    const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed) {
+  AHNTP_CHECK(rate > 0.0f && rate < 1.0f)
+      << "dropout rate must lie in (0, 1), got " << rate;
+  return ScoreImpl(pairs, rate, seed);
+}
+
+std::vector<float> InferencePlan::ScoreImpl(
+    const std::vector<data::TrustPair>& pairs, float dropout_rate,
+    uint64_t dropout_seed) {
   AHNTP_CHECK(!pairs.empty());
   EnsureBuilt();
   ws_.Reset();
@@ -165,6 +209,12 @@ std::vector<float> InferencePlan::Score(
   } else {
     tensor::GatherRowsInto(src_emb, embeddings_, src_idx_);
     tensor::GatherRowsInto(dst_emb, embeddings_, dst_idx_);
+  }
+  if (dropout_rate > 0.0f) {
+    ApplyInputDropout(src_emb, src_idx_, /*role=*/0, dropout_rate,
+                      dropout_seed);
+    ApplyInputDropout(dst_emb, dst_idx_, /*role=*/1, dropout_rate,
+                      dropout_seed);
   }
   std::vector<float> out = RunScoringChain(*predictor_, &ws_, *src_emb, *dst_emb);
   ws_.Reset();
@@ -583,6 +633,19 @@ Status ShardedInferencePlan::SetCalibration(tensor::RowCalibration calib) {
 
 Result<std::vector<float>> ShardedInferencePlan::Score(
     const std::vector<data::TrustPair>& pairs) {
+  return ScoreImpl(pairs, -1.0f, 0);
+}
+
+Result<std::vector<float>> ShardedInferencePlan::ScoreWithInputDropout(
+    const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed) {
+  AHNTP_CHECK(rate > 0.0f && rate < 1.0f)
+      << "dropout rate must lie in (0, 1), got " << rate;
+  return ScoreImpl(pairs, rate, seed);
+}
+
+Result<std::vector<float>> ShardedInferencePlan::ScoreImpl(
+    const std::vector<data::TrustPair>& pairs, float dropout_rate,
+    uint64_t dropout_seed) {
   AHNTP_CHECK(!pairs.empty());
   AHNTP_RETURN_IF_ERROR(EnsureBuilt());
   ws_.Reset();
@@ -594,9 +657,18 @@ Result<std::vector<float>> ShardedInferencePlan::Score(
   // which copies the identical float32 values.
   Matrix* src_emb = ws_.Acquire(n, d);
   Matrix* dst_emb = ws_.Acquire(n, d);
+  std::vector<int> src_users(n), dst_users(n);
   for (size_t i = 0; i < n; ++i) {
+    src_users[i] = pairs[i].src;
+    dst_users[i] = pairs[i].dst;
     AHNTP_RETURN_IF_ERROR(store_->CopyUserRow(pairs[i].src, src_emb->RowPtr(i)));
     AHNTP_RETURN_IF_ERROR(store_->CopyUserRow(pairs[i].dst, dst_emb->RowPtr(i)));
+  }
+  if (dropout_rate > 0.0f) {
+    ApplyInputDropout(src_emb, src_users, /*role=*/0, dropout_rate,
+                      dropout_seed);
+    ApplyInputDropout(dst_emb, dst_users, /*role=*/1, dropout_rate,
+                      dropout_seed);
   }
   std::vector<float> out = RunScoringChain(*predictor_, &ws_, *src_emb, *dst_emb);
   ws_.Reset();

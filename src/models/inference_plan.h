@@ -67,6 +67,16 @@ class InferencePlan {
   /// lives in the arena and the index buffers reuse their capacity.
   std::vector<float> Score(const std::vector<data::TrustPair>& pairs);
 
+  /// Score() with deterministic inverted dropout applied to the gathered
+  /// embedding rows before the scoring chain — the MC-dropout perturbation
+  /// of the uncertainty ensemble (models/uncertainty.h, DESIGN.md §16).
+  /// Masks are keyed on (seed, user id, tower side, element), never on
+  /// batch position or shard layout, so a pair's perturbed score is
+  /// invariant to batch composition and bit-identical between the
+  /// monolithic and sharded plans. `rate` must lie in (0, 1) (CHECK).
+  std::vector<float> ScoreWithInputDropout(
+      const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed);
+
   /// Switches the table format; a change invalidates the plan (the next
   /// Score() re-encodes and, for kInt8, requantizes).
   void SetPrecision(PlanPrecision precision);
@@ -101,6 +111,10 @@ class InferencePlan {
   const tensor::Workspace& workspace() const { return ws_; }
 
  private:
+  /// Shared body of Score / ScoreWithInputDropout; rate < 0 = no dropout.
+  std::vector<float> ScoreImpl(const std::vector<data::TrustPair>& pairs,
+                               float dropout_rate, uint64_t dropout_seed);
+
   TrustPredictor* predictor_;
   tensor::Workspace ws_;        // scoring arena, reset per batch
   tensor::Matrix embeddings_;   // all-user embedding cache (kFloat32)
@@ -237,6 +251,12 @@ class ShardedInferencePlan {
   /// endpoints.
   Result<std::vector<float>> Score(const std::vector<data::TrustPair>& pairs);
 
+  /// Sharded counterpart of InferencePlan::ScoreWithInputDropout: identical
+  /// masks (keyed on user id, not shard/row), so the perturbed scores match
+  /// the monolithic plan's bit-for-bit at any shard count.
+  Result<std::vector<float>> ScoreWithInputDropout(
+      const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed);
+
   /// Switches the block format; a change invalidates the plan (the next
   /// Score() re-encodes and re-spills).
   void SetPrecision(PlanPrecision precision);
@@ -253,6 +273,11 @@ class ShardedInferencePlan {
   const ShardedPlanOptions& options() const { return options_; }
 
  private:
+  /// Shared body of Score / ScoreWithInputDropout; rate < 0 = no dropout.
+  Result<std::vector<float>> ScoreImpl(
+      const std::vector<data::TrustPair>& pairs, float dropout_rate,
+      uint64_t dropout_seed);
+
   TrustPredictor* predictor_;
   ShardedPlanOptions options_;
   std::string plan_spill_dir_;  // per-instance subdirectory of spill_dir

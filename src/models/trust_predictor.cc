@@ -73,6 +73,22 @@ std::vector<float> TrustPredictor::PredictProbabilities(
   return probs;
 }
 
+std::vector<float> TrustPredictor::PredictProbabilitiesWithInputDropout(
+    const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed) {
+  bool was_training = training();
+  SetTraining(false);
+  std::vector<float> probs;
+  if (sharded_plan_) {
+    auto result = sharded_plan_->ScoreWithInputDropout(pairs, rate, seed);
+    AHNTP_CHECK_OK(result.status());
+    probs = std::move(result).value();
+  } else {
+    probs = Plan().ScoreWithInputDropout(pairs, rate, seed);
+  }
+  SetTraining(was_training);
+  return probs;
+}
+
 void TrustPredictor::WarmInferencePlan() {
   if (sharded_plan_) {
     AHNTP_CHECK_OK(sharded_plan_->EnsureBuilt());

@@ -53,6 +53,15 @@ class TrustPredictor : public nn::Module {
   std::vector<float> PredictProbabilities(
       const std::vector<data::TrustPair>& pairs);
 
+  /// PredictProbabilities with deterministic MC-dropout on the gathered
+  /// embedding rows (InferencePlan::ScoreWithInputDropout) — one stochastic
+  /// forward sample of the uncertainty ensemble (models/uncertainty.h).
+  /// Masks are keyed on (seed, user, tower side, element), so a pair's
+  /// perturbed score is independent of batch composition, thread count,
+  /// and sharded-vs-monolithic plan. `rate` in (0, 1) (CHECK).
+  std::vector<float> PredictProbabilitiesWithInputDropout(
+      const std::vector<data::TrustPair>& pairs, float rate, uint64_t seed);
+
   /// Builds the inference plan eagerly (encodes all users) so the first
   /// PredictProbabilities call is cheap. serve::ModelBackend calls this
   /// before publishing a predictor. When sharded inference is enabled this

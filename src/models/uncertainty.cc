@@ -1,0 +1,80 @@
+#include "models/uncertainty.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace ahntp::models {
+
+SeedEnsemble::SeedEnsemble(
+    std::vector<std::shared_ptr<TrustPredictor>> members,
+    EnsembleOptions options)
+    : members_(std::move(members)), options_(options) {
+  AHNTP_CHECK(!members_.empty()) << "SeedEnsemble needs at least one member";
+  for (const auto& member : members_) {
+    AHNTP_CHECK(member != nullptr) << "SeedEnsemble member is null";
+  }
+  AHNTP_CHECK_GT(options_.tau, 0.0) << "ensemble tau must be positive";
+  AHNTP_CHECK_GE(options_.mc_dropout_samples, 0);
+  if (options_.mc_dropout_samples > 0) {
+    AHNTP_CHECK(options_.mc_dropout_rate > 0.0f &&
+                options_.mc_dropout_rate < 1.0f)
+        << "mc_dropout_rate must lie in (0, 1), got "
+        << options_.mc_dropout_rate;
+  }
+}
+
+SeedEnsemble::Scored SeedEnsemble::Score(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_CHECK(!pairs.empty());
+  AHNTP_METRIC_COUNT("uncertainty.ensemble_batches", 1);
+  const size_t n = pairs.size();
+
+  // Vote matrix in fixed order: seed members first (member 0 = canonical),
+  // then MC-dropout samples of member 0. The order is part of the
+  // determinism contract — the stddev below is a serial double reduction
+  // over it.
+  std::vector<std::vector<float>> votes;
+  votes.reserve(num_votes());
+  for (const auto& member : members_) {
+    votes.push_back(member->PredictProbabilities(pairs));
+    AHNTP_CHECK_EQ(votes.back().size(), n);
+  }
+  for (int s = 0; s < options_.mc_dropout_samples; ++s) {
+    votes.push_back(members_[0]->PredictProbabilitiesWithInputDropout(
+        pairs, options_.mc_dropout_rate,
+        options_.mc_seed + static_cast<uint64_t>(s)));
+    AHNTP_CHECK_EQ(votes.back().size(), n);
+  }
+
+  Scored out;
+  out.scores = votes[0];
+  out.confidence.resize(n);
+  const size_t v = votes.size();
+  if (v == 1) {
+    // A singleton ensemble cannot disagree with itself.
+    std::fill(out.confidence.begin(), out.confidence.end(), 1.0f);
+    return out;
+  }
+  const double inv_v = 1.0 / static_cast<double>(v);
+  for (size_t i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (size_t k = 0; k < v; ++k) mean += double{votes[k][i]};
+    mean *= inv_v;
+    double var = 0.0;
+    for (size_t k = 0; k < v; ++k) {
+      const double d = double{votes[k][i]} - mean;
+      var += d * d;
+    }
+    // Population variance: the votes are the whole ensemble, not a sample
+    // from a larger one. max() guards the tiny negative round-off sqrt.
+    const double stddev = std::sqrt(std::max(0.0, var * inv_v));
+    out.confidence[i] =
+        static_cast<float>(std::exp(-stddev / options_.tau));
+  }
+  return out;
+}
+
+}  // namespace ahntp::models

@@ -1,0 +1,75 @@
+#ifndef AHNTP_MODELS_UNCERTAINTY_H_
+#define AHNTP_MODELS_UNCERTAINTY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/split.h"
+#include "models/trust_predictor.h"
+
+namespace ahntp::models {
+
+/// Knobs for SeedEnsemble's disagreement-based confidence (DESIGN.md §16).
+struct EnsembleOptions {
+  /// Disagreement temperature: confidence = exp(-stddev / tau). Smaller tau
+  /// punishes disagreement harder (confidence falls faster); tau must be
+  /// positive (CHECK at ensemble construction).
+  double tau = 0.05;
+
+  /// Extra stochastic forward samples of the canonical member with
+  /// deterministic input dropout on the gathered embedding rows
+  /// (TrustPredictor::PredictProbabilitiesWithInputDropout). 0 disables —
+  /// disagreement then comes from the seed members alone. Each sample s
+  /// draws its masks from `mc_seed + s`.
+  int mc_dropout_samples = 0;
+  /// Dropout rate for those samples; must lie in (0, 1) when samples > 0.
+  float mc_dropout_rate = 0.1f;
+  uint64_t mc_seed = 0x5EEDBA5Eull;
+};
+
+/// A seed ensemble over trained TrustPredictors: member 0 is the canonical
+/// model whose probabilities are returned as the scores — bit-identical to
+/// calling member 0's PredictProbabilities directly, so wrapping a model in
+/// an ensemble never moves an existing score digest. The remaining members
+/// (models trained from different init seeds) plus optional MC-dropout
+/// samples of member 0 only feed the *confidence* channel: per pair,
+/// confidence = exp(-stddev / tau) over all member/sample probabilities, a
+/// deterministic fixed-order double reduction, so confidence is identical
+/// at any --threads=N and across sharded vs monolithic inference plans.
+class SeedEnsemble {
+ public:
+  /// `members` must be non-empty; all members score the same user
+  /// population. Members are shared_ptr so a serve backend, a bench, and
+  /// the ensemble can co-own the same trained models.
+  SeedEnsemble(std::vector<std::shared_ptr<TrustPredictor>> members,
+               EnsembleOptions options = {});
+
+  struct Scored {
+    /// Canonical (member 0) probabilities.
+    std::vector<float> scores;
+    /// Per-pair confidence in (0, 1]; 1.0 = the members fully agree.
+    std::vector<float> confidence;
+  };
+
+  /// Scores `pairs` through every member's compiled inference plan and
+  /// folds the spread into confidence.
+  Scored Score(const std::vector<data::TrustPair>& pairs);
+
+  TrustPredictor& canonical() { return *members_[0]; }
+  size_t num_members() const { return members_.size(); }
+  /// Seed members plus MC-dropout samples — the disagreement sample count.
+  size_t num_votes() const {
+    return members_.size() +
+           static_cast<size_t>(options_.mc_dropout_samples);
+  }
+  const EnsembleOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::shared_ptr<TrustPredictor>> members_;
+  EnsembleOptions options_;
+};
+
+}  // namespace ahntp::models
+
+#endif  // AHNTP_MODELS_UNCERTAINTY_H_

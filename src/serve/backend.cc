@@ -86,6 +86,39 @@ int64_t ModelBackend::generation() const {
   return generation_;
 }
 
+EnsembleBackend::EnsembleBackend(
+    std::shared_ptr<models::SeedEnsemble> ensemble)
+    : ensemble_(std::move(ensemble)) {
+  AHNTP_CHECK(ensemble_ != nullptr) << "EnsembleBackend needs an ensemble";
+}
+
+Result<std::vector<float>> EnsembleBackend::ScoreBatch(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_RETURN_IF_ERROR(
+      fault::FaultPoint("serve.infer", StatusCode::kUnavailable));
+  trace::TraceSpan span("serve.infer");
+  std::vector<float> probs = ensemble_->canonical().PredictProbabilities(pairs);
+  if (fault::ShouldInject("serve.nan")) {
+    probs[0] = std::nanf("");
+  }
+  return probs;
+}
+
+Result<BatchScores> EnsembleBackend::ScoreBatchWithConfidence(
+    const std::vector<data::TrustPair>& pairs) {
+  AHNTP_RETURN_IF_ERROR(
+      fault::FaultPoint("serve.infer", StatusCode::kUnavailable));
+  trace::TraceSpan span("serve.infer");
+  models::SeedEnsemble::Scored scored = ensemble_->Score(pairs);
+  if (fault::ShouldInject("serve.nan")) {
+    scored.scores[0] = std::nanf("");
+  }
+  BatchScores out;
+  out.scores = std::move(scored.scores);
+  out.confidence = std::move(scored.confidence);
+  return out;
+}
+
 HeuristicBackend::HeuristicBackend(const graph::Digraph* graph,
                                    models::Heuristic heuristic,
                                    const models::HeuristicOptions& options)

@@ -15,8 +15,17 @@
 #include "models/heuristics.h"
 #include "models/inference_plan.h"
 #include "models/trust_predictor.h"
+#include "models/uncertainty.h"
 
 namespace ahntp::serve {
+
+/// Scores plus the backend's per-pair confidence in them (DESIGN.md §16).
+/// `confidence` is parallel to `scores`, each value in (0, 1]; backends
+/// without an uncertainty signal report a constant 1.0.
+struct BatchScores {
+  std::vector<float> scores;
+  std::vector<float> confidence;
+};
 
 /// A batch scorer behind the serving loop. Implementations must tolerate
 /// concurrent control-plane calls (e.g. ModelBackend::Reload) against a
@@ -30,6 +39,21 @@ class ScoreBackend {
   /// the server as a failure of the whole batch (retryable when transient).
   virtual Result<std::vector<float>> ScoreBatch(
       const std::vector<data::TrustPair>& pairs) = 0;
+
+  /// ScoreBatch plus a per-pair confidence channel. The server's primary
+  /// path always calls this; the default wraps ScoreBatch with constant
+  /// confidence 1.0, so plain backends never abstain and behave exactly as
+  /// before the uncertainty subsystem existed. Override alongside
+  /// ScoreBatch when the backend has a real signal (EnsembleBackend).
+  virtual Result<BatchScores> ScoreBatchWithConfidence(
+      const std::vector<data::TrustPair>& pairs) {
+    auto scores = ScoreBatch(pairs);
+    AHNTP_RETURN_IF_ERROR(scores.status());
+    BatchScores out;
+    out.confidence.assign(scores.value().size(), 1.0f);
+    out.scores = std::move(scores).value();
+    return out;
+  }
 
   virtual std::string name() const = 0;
 
@@ -124,6 +148,36 @@ class HeuristicBackend : public ScoreBackend {
   const graph::Digraph* graph_;
   models::Heuristic heuristic_;
   models::HeuristicOptions options_;
+};
+
+/// A SeedEnsemble (models/uncertainty.h) behind the ScoreBackend interface:
+/// scores come from the canonical member — bit-identical to serving that
+/// member through a ModelBackend — and ScoreBatchWithConfidence adds the
+/// ensemble-disagreement confidence channel that drives the server's
+/// abstain policy (ServeOptions::min_confidence).
+///
+/// Shares ModelBackend's "serve.infer" / "serve.nan" fault sites so the
+/// retry and breaker machinery is exercised identically behind either
+/// backend. Members are fixed at construction (no hot reload), so the
+/// generation stays the ScoreBackend default of 0.
+class EnsembleBackend : public ScoreBackend {
+ public:
+  /// `ensemble` must be non-null; co-owned so benches and demos can keep
+  /// scoring through the same ensemble directly.
+  explicit EnsembleBackend(std::shared_ptr<models::SeedEnsemble> ensemble);
+
+  Result<std::vector<float>> ScoreBatch(
+      const std::vector<data::TrustPair>& pairs) override;
+
+  Result<BatchScores> ScoreBatchWithConfidence(
+      const std::vector<data::TrustPair>& pairs) override;
+
+  std::string name() const override { return "ensemble"; }
+
+  models::SeedEnsemble& ensemble() { return *ensemble_; }
+
+ private:
+  std::shared_ptr<models::SeedEnsemble> ensemble_;
 };
 
 }  // namespace ahntp::serve

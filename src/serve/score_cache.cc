@@ -8,7 +8,7 @@ ScoreCache::ScoreCache(size_t max_entries) : max_entries_(max_entries) {
   AHNTP_CHECK_GT(max_entries, 0u) << "score cache capacity must be positive";
 }
 
-std::optional<float> ScoreCache::Get(const ScoreKey& key) {
+std::optional<CachedScore> ScoreCache::Get(const ScoreKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
@@ -16,15 +16,15 @@ std::optional<float> ScoreCache::Get(const ScoreKey& key) {
   return it->second->second;
 }
 
-void ScoreCache::Put(const ScoreKey& key, float score) {
+void ScoreCache::Put(const ScoreKey& key, float score, float confidence) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = score;
+    it->second->second = CachedScore{score, confidence};
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, score);
+  lru_.emplace_front(key, CachedScore{score, confidence});
   index_[key] = lru_.begin();
   if (lru_.size() > max_entries_) {
     index_.erase(lru_.back().first);

@@ -43,11 +43,21 @@ struct ScoreKeyHash {
   }
 };
 
+/// What the cache stores per key: the primary score and the confidence the
+/// backend attached to it (1.0 for backends without an uncertainty signal),
+/// so a cache hit reproduces the full response — including the abstain
+/// decision — of the original computation.
+struct CachedScore {
+  float score = 0.0f;
+  float confidence = 1.0f;
+};
+
 /// Bounded LRU of model scores keyed on (src, dst, generation). Thread
 /// safe: producers probe it at Submit time while the dispatcher fills and
 /// flushes it. Only primary-model scores belong here — degraded
-/// (heuristic) answers are never cached, so a cache hit is always a real
-/// model score for the generation in its key.
+/// (heuristic) answers and abstained responses are never cached, so a
+/// cache hit is always a real, confident model score for the generation
+/// in its key.
 class ScoreCache {
  public:
   /// `max_entries` must be positive; the cache never exceeds it.
@@ -58,11 +68,11 @@ class ScoreCache {
 
   /// Returns the cached score and promotes the entry to most recent, or
   /// nullopt on a miss.
-  std::optional<float> Get(const ScoreKey& key);
+  std::optional<CachedScore> Get(const ScoreKey& key);
 
   /// Inserts or refreshes `key`, evicting the least recently used entry
   /// beyond capacity.
-  void Put(const ScoreKey& key, float score);
+  void Put(const ScoreKey& key, float score, float confidence = 1.0f);
 
   /// Drops every entry; returns how many were dropped.
   size_t Flush();
@@ -71,7 +81,7 @@ class ScoreCache {
   size_t max_entries() const { return max_entries_; }
 
  private:
-  using Entry = std::pair<ScoreKey, float>;
+  using Entry = std::pair<ScoreKey, CachedScore>;
 
   const size_t max_entries_;
   mutable std::mutex mu_;

@@ -87,15 +87,19 @@ std::future<TrustResponse> TrustServer::Submit(const TrustQuery& query) {
   request.key = {query.src, query.dst, primary_->generation()};
 
   // Fast path: a repeat lookup for the live generation is answered from
-  // the cache without occupying a queue slot or touching any backend.
+  // the cache without occupying a queue slot or touching any backend. An
+  // entry below the abstain threshold (possible only with a shared cache
+  // filled by a laxer server) is treated as a miss, never served.
   if (cache_ != nullptr && !queue_.closed() && !query.deadline.Expired()) {
-    if (std::optional<float> hit = cache_->Get(request.key)) {
+    std::optional<CachedScore> hit = cache_->Get(request.key);
+    if (hit && hit->confidence >= options_.min_confidence) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       AHNTP_METRIC_COUNT("serve.cache_hits", 1);
       stats_.lane_admitted[lane_index].fetch_add(1, std::memory_order_relaxed);
       CountLaneMetric(lane, "admitted");
       TrustResponse response;
-      response.score = *hit;
+      response.score = hit->score;
+      response.confidence = hit->confidence;
       response.cached = true;
       CountOutcome(response);
       Complete(&request, std::move(response));
@@ -200,6 +204,7 @@ ServerStats TrustServer::Stats() const {
   out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
   out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
   out.cache_flushes = stats_.cache_flushes.load(std::memory_order_relaxed);
+  out.abstained = stats_.abstained.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -212,6 +217,10 @@ void TrustServer::DispatchLoop() {
 }
 
 void TrustServer::CountOutcome(const TrustResponse& response) {
+  if (response.abstained) {
+    stats_.abstained.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.abstained", 1);
+  }
   if (response.status.ok()) {
     if (response.degraded) {
       stats_.degraded.fetch_add(1, std::memory_order_relaxed);
@@ -327,11 +336,13 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
     }
     if (cache_ != nullptr) {
       ScoreKey key{request.query.src, request.query.dst, generation};
-      if (std::optional<float> hit = cache_->Get(key)) {
+      std::optional<CachedScore> hit = cache_->Get(key);
+      if (hit && hit->confidence >= options_.min_confidence) {
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         AHNTP_METRIC_COUNT("serve.cache_hits", 1);
         TrustResponse response;
-        response.score = *hit;
+        response.score = hit->score;
+        response.confidence = hit->confidence;
         response.cached = true;
         CountOutcome(response);
         Complete(&request, std::move(response));
@@ -376,13 +387,15 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
       }
     }
     attempts = attempt + 1;
-    Result<std::vector<float>> scores = primary_->ScoreBatch(pairs);
-    if (!scores.ok()) {
-      failure = scores.status();
+    Result<BatchScores> scored = primary_->ScoreBatchWithConfidence(pairs);
+    if (!scored.ok()) {
+      failure = scored.status();
       if (IsTransient(failure.code())) continue;
       break;
     }
-    if (!AllFinite(*scores)) {
+    AHNTP_CHECK_EQ(scored->scores.size(), pairs.size());
+    AHNTP_CHECK_EQ(scored->confidence.size(), pairs.size());
+    if (!AllFinite(scored->scores) || !AllFinite(scored->confidence)) {
       stats_.nonfinite.fetch_add(1, std::memory_order_relaxed);
       AHNTP_METRIC_COUNT("serve.nonfinite", 1);
       failure = Status::Internal("non-finite score from primary backend");
@@ -395,15 +408,38 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
       AHNTP_METRIC_COUNT("serve.breaker_recoveries", 1);
       AHNTP_LOG(Info) << "serve: probe succeeded, circuit breaker closed";
     }
+    // The abstain partition is a pure function of the batch contents (the
+    // backend's scores and confidences are thread-count-invariant), so
+    // which requests abstain is deterministic at any --threads=N.
+    // Confident scores are served and cached; abstained ones reroute
+    // through the degraded-fallback machinery and are never cached.
+    std::vector<Request*> abstain;
+    std::vector<data::TrustPair> abstain_pairs;
+    std::vector<float> abstain_confidence;
     for (size_t i = 0; i < live.size(); ++i) {
+      const float conf = scored->confidence[i];
+      if (options_.min_confidence > 0.0f && conf < options_.min_confidence) {
+        abstain.push_back(live[i]);
+        abstain_pairs.push_back(pairs[i]);
+        abstain_confidence.push_back(conf);
+        continue;
+      }
       if (cache_ != nullptr) {
-        cache_->Put({pairs[i].src, pairs[i].dst, generation}, (*scores)[i]);
+        cache_->Put({pairs[i].src, pairs[i].dst, generation},
+                    scored->scores[i], conf);
       }
       TrustResponse response;
-      response.score = (*scores)[i];
+      response.score = scored->scores[i];
+      response.confidence = conf;
       response.attempts = attempts;
       CountOutcome(response);
       Complete(live[i], std::move(response));
+    }
+    if (!abstain.empty()) {
+      Degrade(abstain, abstain_pairs,
+              Status::FailedPrecondition(
+                  "abstained: primary confidence below min_confidence"),
+              attempts, &abstain_confidence);
     }
     return;
   }
@@ -424,7 +460,8 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
 
 void TrustServer::Degrade(const std::vector<Request*>& live,
                           const std::vector<data::TrustPair>& pairs,
-                          const Status& reason, int attempts) {
+                          const Status& reason, int attempts,
+                          const std::vector<float>* abstain_confidence) {
   if (fallback_ != nullptr) {
     trace::TraceSpan span("serve.degraded");
     Result<std::vector<float>> scores = fallback_->ScoreBatch(pairs);
@@ -434,6 +471,10 @@ void TrustServer::Degrade(const std::vector<Request*>& live,
         response.score = (*scores)[i];
         response.degraded = true;
         response.attempts = attempts;
+        if (abstain_confidence != nullptr) {
+          response.abstained = true;
+          response.confidence = (*abstain_confidence)[i];
+        }
         CountOutcome(response);
         Complete(live[i], std::move(response));
       }
@@ -442,14 +483,18 @@ void TrustServer::Degrade(const std::vector<Request*>& live,
     AHNTP_LOG(Warning) << "serve: fallback backend failed too: "
                        << scores.status().ToString();
   }
-  for (Request* request : live) {
+  for (size_t i = 0; i < live.size(); ++i) {
     TrustResponse response;
     response.status = reason.ok()
                           ? Status::Unavailable("primary backend unavailable")
                           : reason;
     response.attempts = attempts;
+    if (abstain_confidence != nullptr) {
+      response.abstained = true;
+      response.confidence = (*abstain_confidence)[i];
+    }
     CountOutcome(response);
-    Complete(request, std::move(response));
+    Complete(live[i], std::move(response));
   }
 }
 

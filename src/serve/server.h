@@ -47,8 +47,20 @@ struct TrustResponse {
   float score = std::numeric_limits<float>::quiet_NaN();
   /// True when the score came from the degraded-mode fallback backend
   /// (stale-but-sane heuristic) instead of the model — whether via the
-  /// circuit breaker or an admission downgrade under pressure.
+  /// circuit breaker, an admission downgrade under pressure, or an
+  /// abstention (see `abstained`).
   bool degraded = false;
+  /// The primary backend's confidence in its score (serve/backend.h), in
+  /// (0, 1]; 1.0 for backends without an uncertainty signal, and for
+  /// degraded/failed responses where no primary score was produced. Cache
+  /// hits reproduce the confidence cached with the score.
+  float confidence = 1.0f;
+  /// True when the primary scored this pair but its confidence fell below
+  /// ServeOptions::min_confidence: the response carries the fallback's
+  /// score instead (degraded=true), or the abstention error when no
+  /// fallback is configured. `confidence` then reports the rejected
+  /// primary confidence.
+  bool abstained = false;
   /// True when the score was served from the generation-keyed score cache
   /// without touching the backend.
   bool cached = false;
@@ -86,6 +98,14 @@ struct ServeOptions {
   /// on the deterministic schedule/counters can turn the actual sleeping
   /// off.
   bool sleep_on_backoff = true;
+  /// Abstain policy (DESIGN.md §16): a primary score whose confidence is
+  /// strictly below this threshold is not served — the request reroutes
+  /// through the degraded-fallback machinery (TrustResponse::abstained).
+  /// <= 0 disables (the default; plain backends report confidence 1.0 and
+  /// would never abstain anyway). The comparison and the resulting
+  /// partition are pure functions of the batch contents, so abstain
+  /// decisions are deterministic at any --threads=N.
+  float min_confidence = 0.0f;
 };
 
 /// Monotonic totals since construction. `submitted - rejected` accepted
@@ -120,6 +140,10 @@ struct ServerStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_flushes = 0;
+  /// Responses (leaders and coalesced followers alike) whose primary score
+  /// was withheld by the min_confidence abstain policy. Each lands in the
+  /// `degraded` partition (fallback served) or `failed` (no fallback).
+  int64_t abstained = 0;
 };
 
 /// The online inference substrate: a bounded MPMC queue feeding batched
@@ -198,10 +222,14 @@ class TrustServer {
   void DispatchLoop();
   void ProcessBatch(std::vector<Request>* batch);
   /// Scores `live` on the fallback (degraded=true) or, without one,
-  /// completes everything with `reason`.
+  /// completes everything with `reason`. The abstain path passes the
+  /// rejected primary confidences (parallel to `live`; null otherwise) so
+  /// responses report why the primary score was withheld, and marks every
+  /// response abstained.
   void Degrade(const std::vector<Request*>& live,
                const std::vector<data::TrustPair>& pairs,
-               const Status& reason, int attempts);
+               const Status& reason, int attempts,
+               const std::vector<float>* abstain_confidence = nullptr);
   void Complete(Request* request, TrustResponse response);
   /// Folds `response` into the ok/degraded/failed/expired counters (the
   /// terminal-outcome partition); used for leaders, followers, and
@@ -235,7 +263,7 @@ class TrustServer {
     std::atomic<int64_t> lane_admitted[kNumLanes] = {};
     std::atomic<int64_t> lane_rejected[kNumLanes] = {};
     std::atomic<int64_t> downgraded{0}, coalesced{0}, coalesced_expired{0},
-        cache_hits{0}, cache_misses{0}, cache_flushes{0};
+        cache_hits{0}, cache_misses{0}, cache_flushes{0}, abstained{0};
   };
   AtomicStats stats_;
 };

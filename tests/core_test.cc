@@ -96,6 +96,59 @@ TEST(MetricsTest, ToStringContainsFields) {
   std::string s = m.ToString();
   EXPECT_NE(s.find("acc="), std::string::npos);
   EXPECT_NE(s.find("f1="), std::string::npos);
+  EXPECT_NE(s.find("brier="), std::string::npos);
+  EXPECT_NE(s.find("ece="), std::string::npos);
+}
+
+// --- Brier score + expected calibration error (hand-computed fixtures) -----
+
+TEST(MetricsTest, BrierHandComputed) {
+  // (0.9-1)^2 + (0.8-0)^2 + (0.1-0)^2 + (0.3-1)^2 = .01+.64+.01+.49 = 1.15
+  BinaryMetrics m = EvaluateBinary({0.9f, 0.8f, 0.1f, 0.3f}, {1, 0, 0, 1});
+  EXPECT_NEAR(m.brier, 1.15 / 4.0, 1e-6);
+}
+
+TEST(MetricsTest, BrierPerfectAndUninformed) {
+  EXPECT_NEAR(EvaluateBinary({1.0f, 0.0f}, {1, 0}).brier, 0.0, 1e-12);
+  // Constant 0.5 forecasts score 0.25 regardless of labels.
+  EXPECT_NEAR(EvaluateBinary({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}).brier,
+              0.25, 1e-7);
+}
+
+TEST(MetricsTest, EceHandComputed) {
+  // Bin [0.6,0.7): probs {0.65, 0.65}, 1 positive -> |0.65 - 0.5| = 0.15,
+  // weight 2/4. Bin [0.2,0.3): probs {0.25, 0.25}, 0 positive ->
+  // |0.25 - 0.0| = 0.25, weight 2/4. ECE = 0.5*0.15 + 0.5*0.25 = 0.2.
+  BinaryMetrics m =
+      EvaluateBinary({0.65f, 0.65f, 0.25f, 0.25f}, {1, 0, 0, 0});
+  EXPECT_NEAR(m.ece, 0.2, 1e-6);
+}
+
+TEST(MetricsTest, EcePerfectlyCalibratedBins) {
+  // Each bin's mean confidence equals its empirical accuracy: four 0.75-bin
+  // samples with three positives, four 0.25-bin samples with one positive.
+  BinaryMetrics m = EvaluateBinary(
+      {0.75f, 0.75f, 0.75f, 0.75f, 0.25f, 0.25f, 0.25f, 0.25f},
+      {1, 1, 1, 0, 0, 0, 0, 1});
+  EXPECT_NEAR(m.ece, 0.0, 1e-6);
+}
+
+TEST(MetricsTest, EceClampsOutOfRangeScores) {
+  // Scores beyond [0,1] land in the edge bins instead of corrupting the
+  // histogram: 1.2 clamps to 1.0 (top bin, label 1 -> perfectly
+  // "calibrated"), -0.2 clamps to 0.0 (bottom bin, label 0).
+  BinaryMetrics m = EvaluateBinary({1.2f, -0.2f}, {1, 0});
+  EXPECT_NEAR(m.ece, 0.0, 1e-6);
+  EXPECT_NEAR(m.brier, 0.0, 1e-6);
+}
+
+TEST(MetricsTest, EceOverconfidentIsPenalized) {
+  // All forecasts say 0.95 but only half are positive: ECE ~= 0.45.
+  BinaryMetrics m =
+      EvaluateBinary({0.95f, 0.95f, 0.95f, 0.95f}, {1, 0, 1, 0});
+  EXPECT_NEAR(m.ece, 0.45, 1e-6);
+  EXPECT_NEAR(m.brier,
+              (2 * 0.05 * 0.05 + 2 * 0.95 * 0.95) / 4.0, 1e-6);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,8 +2,10 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -421,6 +423,237 @@ TEST(IoTest, SaveLoadRoundTrip) {
 TEST(IoTest, LoadMissingDirectoryFails) {
   auto loaded = LoadDataset("/definitely/not/a/real/dir");
   EXPECT_FALSE(loaded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial attack overlays (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+TEST(AttackTest, AllDefaultSpecMatchesCleanGeneration) {
+  SocialNetworkGenerator gen(TinyConfig());
+  SocialDataset clean = gen.Generate();
+  AttackReport report;
+  auto attacked = gen.GenerateWithAttacks(AttackSpec{}, &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  EXPECT_FALSE(AttackSpec{}.any());
+  EXPECT_TRUE(report.attackers.empty());
+  ASSERT_EQ(attacked->trust_edges.size(), clean.trust_edges.size());
+  for (size_t i = 0; i < clean.trust_edges.size(); ++i) {
+    EXPECT_EQ(attacked->trust_edges[i].src, clean.trust_edges[i].src);
+    EXPECT_EQ(attacked->trust_edges[i].dst, clean.trust_edges[i].dst);
+  }
+  EXPECT_EQ(attacked->trust_edge_times, clean.trust_edge_times);
+  EXPECT_EQ(attacked->attributes, clean.attributes);
+  ASSERT_EQ(attacked->purchases.size(), clean.purchases.size());
+}
+
+TEST(AttackTest, CleanPrefixPreservedUnderSybilRings) {
+  SocialNetworkGenerator gen(TinyConfig());
+  SocialDataset clean = gen.Generate();
+  AttackReport report;
+  auto attacked =
+      gen.GenerateWithAttacks(AttackSpec::SybilRing(2, 4), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  ASSERT_EQ(report.clean_edges, clean.trust_edges.size());
+  // The clean generation phases ran on the untouched RNG prefix, so the
+  // first clean_edges edges are element-for-element the clean dataset's.
+  for (size_t i = 0; i < report.clean_edges; ++i) {
+    EXPECT_EQ(attacked->trust_edges[i].src, clean.trust_edges[i].src);
+    EXPECT_EQ(attacked->trust_edges[i].dst, clean.trust_edges[i].dst);
+  }
+  EXPECT_GT(report.sybil_edges, 0u);
+  EXPECT_EQ(attacked->trust_edges.size(),
+            report.clean_edges + report.sybil_edges);
+  // Roster: 2 rings x 4 members, distinct, ascending.
+  ASSERT_EQ(report.attackers.size(), 8u);
+  for (size_t i = 1; i < report.attackers.size(); ++i) {
+    EXPECT_LT(report.attackers[i - 1], report.attackers[i]);
+  }
+  EXPECT_TRUE(attacked->Validate().ok());
+}
+
+TEST(AttackTest, SybilRingOfFourIsMutuallyConnected) {
+  // Cycle + reverse + chords on a 4-ring yields every ordered member pair.
+  SocialNetworkGenerator gen(TinyConfig());
+  AttackReport report;
+  auto attacked =
+      gen.GenerateWithAttacks(AttackSpec::SybilRing(1, 4), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  ASSERT_EQ(report.attackers.size(), 4u);
+  std::set<std::pair<int, int>> edges;
+  for (const auto& e : attacked->trust_edges) edges.insert({e.src, e.dst});
+  for (int a : report.attackers) {
+    for (int b : report.attackers) {
+      if (a == b) continue;
+      EXPECT_TRUE(edges.count({a, b}) > 0)
+          << "missing intra-ring edge " << a << " -> " << b;
+    }
+  }
+}
+
+TEST(AttackTest, SpamHubsEmitTheReportedOutEdges) {
+  SocialNetworkGenerator gen(TinyConfig());
+  SocialDataset clean = gen.Generate();
+  AttackReport report;
+  auto attacked =
+      gen.GenerateWithAttacks(AttackSpec::SpamHubs(2, 30), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  EXPECT_GT(report.spam_edges, 0u);
+  EXPECT_EQ(attacked->trust_edges.size(),
+            report.clean_edges + report.spam_edges);
+  // Every post-dedup spam edge is accounted for by hub out-degree growth.
+  auto out_degree = [](const SocialDataset& ds, int user) {
+    size_t d = 0;
+    for (const auto& e : ds.trust_edges) d += e.src == user ? 1 : 0;
+    return d;
+  };
+  size_t growth = 0;
+  for (int hub : report.attackers) {
+    growth += out_degree(*attacked, hub) - out_degree(clean, hub);
+  }
+  EXPECT_EQ(growth, report.spam_edges);
+}
+
+TEST(AttackTest, ShiftRewritesOnlyTailEdgesCrossCommunity) {
+  SocialNetworkGenerator gen(TinyConfig());
+  SocialDataset clean = gen.Generate();
+  AttackReport report;
+  auto attacked = gen.GenerateWithAttacks(AttackSpec::Shift(0.5), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  EXPECT_GT(report.shifted_edges, 0u);
+  // Shift re-targets in place: no edges added or removed.
+  ASSERT_EQ(attacked->trust_edges.size(), clean.trust_edges.size());
+  const size_t window_start =
+      clean.trust_edges.size() - clean.trust_edges.size() / 4;
+  size_t shifted_seen = 0;
+  for (size_t i = 0; i < clean.trust_edges.size(); ++i) {
+    EXPECT_EQ(attacked->trust_edges[i].src, clean.trust_edges[i].src);
+    if (attacked->trust_edges[i].dst == clean.trust_edges[i].dst) continue;
+    ++shifted_seen;
+    EXPECT_GE(i, window_start) << "shift touched a pre-window edge";
+    const auto& e = attacked->trust_edges[i];
+    EXPECT_NE(attacked->communities[static_cast<size_t>(e.src)],
+              attacked->communities[static_cast<size_t>(e.dst)])
+        << "shifted edge " << i << " stayed intra-community";
+  }
+  EXPECT_EQ(shifted_seen, report.shifted_edges);
+}
+
+TEST(AttackTest, CamouflageCopiesRoleModelAttributesAndPurchases) {
+  SocialNetworkGenerator gen(TinyConfig());
+  SocialDataset clean = gen.Generate();
+  AttackReport report;
+  auto attacked =
+      gen.GenerateWithAttacks(AttackSpec::Camouflaged(2, 4, 0.9), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  EXPECT_GT(report.camouflaged_users, 0u);
+  EXPECT_LE(report.camouflaged_users, report.attackers.size());
+  EXPECT_LE(report.camouflage_purchases, report.camouflaged_users * 20);
+  ASSERT_EQ(attacked->purchases.size(),
+            clean.purchases.size() + report.camouflage_purchases);
+  // Every appended purchase belongs to an attacker (the copied baskets).
+  std::set<int> attackers(report.attackers.begin(), report.attackers.end());
+  for (size_t p = clean.purchases.size(); p < attacked->purchases.size();
+       ++p) {
+    EXPECT_TRUE(attackers.count(attacked->purchases[p].user) > 0);
+  }
+  // A camouflaged attacker's full attribute row matches some honest user's.
+  size_t disguised = 0;
+  for (int attacker : report.attackers) {
+    for (size_t u = 0; u < attacked->num_users; ++u) {
+      if (attackers.count(static_cast<int>(u)) > 0) continue;
+      bool match = true;
+      for (const auto& column : attacked->attributes) {
+        if (column[static_cast<size_t>(attacker)] != column[u]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++disguised;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(disguised, report.camouflaged_users);
+}
+
+TEST(AttackTest, EdgeTimesRenormalizedOverFinalList) {
+  SocialNetworkGenerator gen(TinyConfig());
+  AttackReport report;
+  auto attacked =
+      gen.GenerateWithAttacks(AttackSpec::SpamHubs(3, 20), &report);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().ToString();
+  ASSERT_EQ(attacked->trust_edge_times.size(), attacked->trust_edges.size());
+  EXPECT_DOUBLE_EQ(attacked->trust_edge_times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(attacked->trust_edge_times.back(), 1.0);
+  for (size_t i = 1; i < attacked->trust_edge_times.size(); ++i) {
+    EXPECT_LT(attacked->trust_edge_times[i - 1],
+              attacked->trust_edge_times[i]);
+  }
+}
+
+TEST(AttackTest, DeterministicForSameSpec) {
+  SocialNetworkGenerator gen(TinyConfig());
+  AttackSpec spec = AttackSpec::Camouflaged(2, 4, 0.9);
+  spec.shift_fraction = 0.3;
+  auto a = gen.GenerateWithAttacks(spec);
+  auto b = gen.GenerateWithAttacks(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->trust_edges.size(), b->trust_edges.size());
+  for (size_t i = 0; i < a->trust_edges.size(); ++i) {
+    EXPECT_EQ(a->trust_edges[i].src, b->trust_edges[i].src);
+    EXPECT_EQ(a->trust_edges[i].dst, b->trust_edges[i].dst);
+  }
+  EXPECT_EQ(a->attributes, b->attributes);
+  EXPECT_EQ(a->purchases.size(), b->purchases.size());
+}
+
+TEST(AttackTest, DegenerateSpecsAreRejected) {
+  const GeneratorConfig config = TinyConfig();
+  auto expect_invalid = [&config](AttackSpec spec, const char* what) {
+    Status status = spec.Validate(config);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << what;
+    // The generator surface agrees with Validate.
+    auto result = SocialNetworkGenerator(config).GenerateWithAttacks(spec);
+    EXPECT_FALSE(result.ok()) << what;
+  };
+  expect_invalid(AttackSpec::SybilRing(2, 0), "zero-size rings");
+  expect_invalid(AttackSpec::SybilRing(0, 4), "rings without a count");
+  expect_invalid(AttackSpec::SybilRing(2, 1), "one-member ring");
+  expect_invalid(AttackSpec::SybilRing(200, 4),
+                 "roster exceeding the population");
+  expect_invalid(AttackSpec::SpamHubs(2, 0), "hubs without edges");
+  expect_invalid(AttackSpec::SpamHubs(0, 10), "edges without hubs");
+  expect_invalid(AttackSpec::SpamHubs(2, 500),
+                 "per-hub fanout exceeding the population");
+  expect_invalid(AttackSpec::Camouflaged(2, 4, 0.0), "zero camouflage");
+  expect_invalid(AttackSpec::Camouflaged(2, 4, 1.0), "total camouflage");
+  expect_invalid(AttackSpec::Camouflaged(2, 4,
+                     std::numeric_limits<double>::quiet_NaN()),
+                 "NaN camouflage fraction");
+  {
+    AttackSpec spec;
+    spec.camouflage_fraction = 0.5;  // nobody to disguise
+    expect_invalid(spec, "camouflage without attackers");
+  }
+  expect_invalid(AttackSpec::Shift(0.0), "zero shift");
+  expect_invalid(AttackSpec::Shift(1.0), "total shift");
+  expect_invalid(AttackSpec::Shift(
+                     std::numeric_limits<double>::quiet_NaN()),
+                 "NaN shift fraction");
+  {
+    GeneratorConfig one_community = config;
+    one_community.num_communities = 1;
+    Status status = AttackSpec::Shift(0.5).Validate(one_community);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "shift needs >= 2 communities";
+  }
+  // A well-formed composite spec passes the same gate.
+  AttackSpec composite = AttackSpec::Camouflaged(2, 4, 0.9);
+  composite.shift_fraction = 0.3;
+  EXPECT_TRUE(composite.Validate(config).ok());
 }
 
 }  // namespace

@@ -799,5 +799,72 @@ TEST_P(QuantBlockFuzzTest, RandomBitFlipsRejectedThenRefaultCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantBlockFuzzTest, ::testing::Range(1, 4));
 
+// ---------------------------------------------------------------------------
+// Adversarial AttackSpec fuzzing
+// ---------------------------------------------------------------------------
+
+class AttackSpecFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttackSpecFuzzTest, RandomSpecsValidateOrGenerateCleanly) {
+  // Random — frequently degenerate — specs must either be rejected by
+  // Validate with InvalidArgument or produce a dataset that passes its own
+  // Validate; the generator must never crash, and the two surfaces must
+  // agree on which specs are acceptable.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151);
+  data::GeneratorConfig config;
+  config.name = "attack_fuzz";
+  config.num_users = 80;
+  config.num_items = 60;
+  config.num_communities = 3;
+  config.avg_trust_out_degree = 5.0;
+  config.avg_purchases_per_user = 4.0;
+  config.seed = 17;
+  data::SocialNetworkGenerator gen(config);
+  const data::SocialDataset clean = gen.Generate();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    data::AttackSpec spec;
+    // Half the draws land in the valid range, half stress the boundaries
+    // (zero counts, oversize rosters, fractions at/outside [0, 1], NaN).
+    spec.sybil_rings = rng.NextBounded(5);
+    spec.sybil_ring_size = rng.NextBounded(8);
+    spec.sybil_targets_per_member = rng.NextBounded(100);
+    spec.spam_hubs = rng.NextBounded(5);
+    spec.spam_edges_per_hub = rng.NextBounded(120);
+    auto fraction = [&rng]() -> double {
+      switch (rng.NextBounded(6)) {
+        case 0: return -1.0;                 // disabled
+        case 1: return 0.0;                  // degenerate: no-op attack
+        case 2: return 1.0;                  // degenerate: no clean regime
+        case 3: return std::numeric_limits<double>::quiet_NaN();
+        default: return 0.1 + 0.8 * rng.NextDouble();
+      }
+    };
+    spec.camouflage_fraction = fraction();
+    spec.shift_fraction = fraction();
+
+    const Status valid = spec.Validate(config);
+    auto result = gen.GenerateWithAttacks(spec);
+    if (!valid.ok()) {
+      EXPECT_EQ(valid.code(), StatusCode::kInvalidArgument)
+          << "trial " << trial;
+      ASSERT_FALSE(result.ok()) << "trial " << trial;
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(result.ok()) << "trial " << trial << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result.value().Validate().ok()) << "trial " << trial;
+    // The overlay only ever appends or re-targets: the clean edge count is
+    // a floor, and user/item populations never change.
+    EXPECT_GE(result.value().trust_edges.size(), clean.trust_edges.size());
+    EXPECT_EQ(result.value().num_users, clean.num_users);
+    EXPECT_EQ(result.value().num_items, clean.num_items);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackSpecFuzzTest, ::testing::Range(1, 5));
+
 }  // namespace
 }  // namespace ahntp

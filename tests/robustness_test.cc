@@ -1,0 +1,458 @@
+// Tests for the robustness subsystem (DESIGN.md §16): seed-ensemble +
+// MC-dropout uncertainty (models/uncertainty.h) and the abstain-aware
+// serving policy (ServeOptions::min_confidence). The two contracts under
+// test everywhere: confidence is bit-identical at any thread count and
+// across sharded vs monolithic inference plans, and abstain decisions are
+// a pure function of the batch contents.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/model_zoo.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "models/inference_plan.h"
+#include "models/trust_predictor.h"
+#include "models/uncertainty.h"
+#include "serve/backend.h"
+#include "serve/score_cache.h"
+#include "serve/server.h"
+
+namespace ahntp {
+namespace {
+
+using models::EnsembleOptions;
+using models::SeedEnsemble;
+using serve::ServeOptions;
+using serve::TrustQuery;
+using serve::TrustResponse;
+using serve::TrustServer;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) { SetNumThreads(threads); }
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+/// Generated dataset + seeded predictor builder shared by every test here
+/// (the tests/serve_test.cc ServingFixture pattern).
+struct RobustnessFixture {
+  data::SocialDataset dataset;
+  data::TrustSplit split;
+  graph::Digraph graph;
+  tensor::Matrix features;
+
+  static RobustnessFixture Make() {
+    data::GeneratorConfig config;
+    config.num_users = 60;
+    config.num_items = 30;
+    config.num_communities = 3;
+    config.seed = 11;
+    RobustnessFixture f;
+    f.dataset = data::SocialNetworkGenerator(config).Generate();
+    f.split = data::MakeSplit(f.dataset);
+    auto graph = f.dataset.GraphFromEdges(f.split.train_positive);
+    EXPECT_TRUE(graph.ok());
+    f.graph = std::move(graph).value();
+    f.features = data::BuildFeatureMatrix(f.dataset);
+    return f;
+  }
+
+  std::shared_ptr<models::TrustPredictor> MakeMember(uint64_t seed) const {
+    models::ModelInputs inputs;
+    inputs.features = &features;
+    inputs.graph = &graph;
+    inputs.dataset = &dataset;
+    inputs.hidden_dims = {8, 4};
+    Rng rng(seed);
+    inputs.rng = &rng;
+    auto created = core::CreatePredictor("AHNTP", inputs, core::AhntpConfig{});
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    return std::move(created).value();
+  }
+
+  /// Members from consecutive init seeds; member 0 is the canonical model.
+  std::shared_ptr<SeedEnsemble> MakeEnsemble(
+      size_t members, EnsembleOptions options = {}) const {
+    std::vector<std::shared_ptr<models::TrustPredictor>> built;
+    for (size_t m = 0; m < members; ++m) {
+      built.push_back(MakeMember(5 + m));
+    }
+    return std::make_shared<SeedEnsemble>(std::move(built), options);
+  }
+
+  std::vector<data::TrustPair> Queries(size_t n) const {
+    std::vector<data::TrustPair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(split.test_pairs[i % split.test_pairs.size()]);
+    }
+    return pairs;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SeedEnsemble
+// ---------------------------------------------------------------------------
+
+TEST(SeedEnsembleTest, CanonicalScoresMatchMemberZeroBitwise) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  auto solo = fixture.MakeMember(5);
+  auto ensemble = fixture.MakeEnsemble(3);
+  std::vector<data::TrustPair> pairs = fixture.Queries(24);
+  std::vector<float> direct = solo->PredictProbabilities(pairs);
+  SeedEnsemble::Scored scored = ensemble->Score(pairs);
+  ASSERT_EQ(scored.scores.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(scored.scores[i], direct[i]) << "pair " << i;
+  }
+}
+
+TEST(SeedEnsembleTest, SingletonWithoutDropoutIsFullyConfident) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  auto ensemble = fixture.MakeEnsemble(1);
+  EXPECT_EQ(ensemble->num_votes(), 1u);
+  SeedEnsemble::Scored scored = ensemble->Score(fixture.Queries(12));
+  for (float c : scored.confidence) {
+    EXPECT_EQ(c, 1.0f);
+  }
+}
+
+TEST(SeedEnsembleTest, SeedDisagreementLowersConfidence) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  auto ensemble = fixture.MakeEnsemble(3);
+  SeedEnsemble::Scored scored = ensemble->Score(fixture.Queries(24));
+  float min_conf = 1.0f;
+  for (float c : scored.confidence) {
+    EXPECT_GT(c, 0.0f);
+    EXPECT_LE(c, 1.0f);
+    min_conf = std::min(min_conf, c);
+  }
+  // Untrained models from different init seeds must actually disagree.
+  EXPECT_LT(min_conf, 1.0f);
+}
+
+TEST(SeedEnsembleTest, McDropoutIsDeterministicAndLowersConfidence) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions options;
+  options.mc_dropout_samples = 3;
+  options.mc_dropout_rate = 0.2f;
+  auto ensemble = fixture.MakeEnsemble(1, options);
+  EXPECT_EQ(ensemble->num_votes(), 4u);
+  std::vector<data::TrustPair> pairs = fixture.Queries(24);
+  SeedEnsemble::Scored a = ensemble->Score(pairs);
+  SeedEnsemble::Scored b = ensemble->Score(pairs);
+  ASSERT_EQ(a.confidence.size(), b.confidence.size());
+  float min_conf = 1.0f;
+  for (size_t i = 0; i < a.confidence.size(); ++i) {
+    // The dropout masks are keyed on (seed, user, column), not on any
+    // per-call state, so repeated scoring is bit-identical.
+    EXPECT_EQ(a.confidence[i], b.confidence[i]) << "pair " << i;
+    EXPECT_EQ(a.scores[i], b.scores[i]) << "pair " << i;
+    min_conf = std::min(min_conf, a.confidence[i]);
+  }
+  EXPECT_LT(min_conf, 1.0f);
+}
+
+TEST(SeedEnsembleTest, SmallerTauPunishesDisagreementHarder) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions tight;
+  tight.tau = 0.01;
+  EnsembleOptions loose;
+  loose.tau = 1.0;
+  auto tight_ens = fixture.MakeEnsemble(3, tight);
+  auto loose_ens = fixture.MakeEnsemble(3, loose);
+  std::vector<data::TrustPair> pairs = fixture.Queries(16);
+  SeedEnsemble::Scored a = tight_ens->Score(pairs);
+  SeedEnsemble::Scored b = loose_ens->Score(pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LE(a.confidence[i], b.confidence[i]) << "pair " << i;
+  }
+}
+
+TEST(SeedEnsembleTest, ConfidenceIsThreadCountInvariant) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  std::vector<data::TrustPair> pairs = fixture.Queries(32);
+  EnsembleOptions options;
+  options.mc_dropout_samples = 2;
+  options.mc_dropout_rate = 0.15f;
+
+  auto run = [&](int threads) {
+    ThreadGuard guard(threads);
+    return fixture.MakeEnsemble(3, options)->Score(pairs);
+  };
+  SeedEnsemble::Scored t1 = run(1);
+  for (int threads : {2, 8}) {
+    SeedEnsemble::Scored tn = run(threads);
+    ASSERT_EQ(tn.scores.size(), t1.scores.size());
+    for (size_t i = 0; i < t1.scores.size(); ++i) {
+      EXPECT_EQ(tn.scores[i], t1.scores[i])
+          << "score " << i << " at threads=" << threads;
+      EXPECT_EQ(tn.confidence[i], t1.confidence[i])
+          << "confidence " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(SeedEnsembleTest, ShardedPlanMatchesMonolithicBitwise) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions options;
+  options.mc_dropout_samples = 2;
+  options.mc_dropout_rate = 0.15f;
+  auto mono = fixture.MakeEnsemble(2, options);
+
+  // Same seeds, but the canonical member scores through a 3-shard plan
+  // with constrained residency (real spill + refault traffic).
+  std::vector<std::shared_ptr<models::TrustPredictor>> members;
+  members.push_back(fixture.MakeMember(5));
+  members.push_back(fixture.MakeMember(6));
+  const std::string spill_dir =
+      ::testing::TempDir() + "/robustness_shard_spill";
+  models::ShardedPlanOptions sharded;
+  sharded.num_shards = 3;
+  sharded.max_resident_shards = 1;
+  sharded.spill_dir = spill_dir;
+  members[0]->EnableShardedInference(sharded);
+  members[0]->WarmInferencePlan();
+  SeedEnsemble sharded_ens(members, options);
+
+  std::vector<data::TrustPair> pairs = fixture.Queries(24);
+  SeedEnsemble::Scored expected = mono->Score(pairs);
+  SeedEnsemble::Scored actual = sharded_ens.Score(pairs);
+  ASSERT_EQ(actual.scores.size(), expected.scores.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(actual.scores[i], expected.scores[i]) << "score " << i;
+    EXPECT_EQ(actual.confidence[i], expected.confidence[i])
+        << "confidence " << i;
+  }
+  members[0]->DisableShardedInference();
+  std::filesystem::remove_all(spill_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Abstain-aware serving
+// ---------------------------------------------------------------------------
+
+struct AbstainRun {
+  serve::ServerStats stats;
+  std::vector<TrustResponse> responses;
+};
+
+/// One closed-loop wave against an EnsembleBackend: everything enqueued
+/// before Start(), so batch composition — and the abstain partition — is
+/// pinned regardless of thread count.
+AbstainRun RunAbstainWave(const RobustnessFixture& fixture,
+                          serve::EnsembleBackend* primary,
+                          serve::ScoreBackend* fallback,
+                          float min_confidence, size_t requests,
+                          serve::ScoreCache* cache = nullptr) {
+  ServeOptions options;
+  options.queue_capacity = requests + 8;
+  options.max_batch_size = 8;
+  options.min_confidence = min_confidence;
+  options.sleep_on_backoff = false;
+  options.shared_score_cache = cache;
+  TrustServer server(options, primary, fallback);
+  std::vector<std::future<TrustResponse>> futures;
+  std::vector<data::TrustPair> pairs = fixture.Queries(requests);
+  for (const data::TrustPair& p : pairs) {
+    TrustQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  AbstainRun run;
+  for (auto& f : futures) run.responses.push_back(f.get());
+  server.Shutdown();
+  run.stats = server.Stats();
+  return run;
+}
+
+/// The median ensemble confidence over the query stream: a threshold that
+/// forces both abstain and serve outcomes in the same wave.
+float MedianConfidence(const RobustnessFixture& fixture,
+                       const std::shared_ptr<SeedEnsemble>& ensemble,
+                       size_t requests) {
+  SeedEnsemble::Scored probe = ensemble->Score(fixture.Queries(requests));
+  std::vector<float> sorted = probe.confidence;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+TEST(AbstainServingTest, LowConfidenceRoutesToFallbackWithAbstainedFlag) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions options;
+  options.mc_dropout_samples = 2;
+  options.mc_dropout_rate = 0.15f;
+  auto ensemble = fixture.MakeEnsemble(3, options);
+  serve::EnsembleBackend primary(ensemble);
+  serve::HeuristicBackend fallback(&fixture.graph,
+                                   models::Heuristic::kJaccard);
+  const float threshold = MedianConfidence(fixture, ensemble, 40);
+
+  AbstainRun run =
+      RunAbstainWave(fixture, &primary, &fallback, threshold, 40);
+  EXPECT_GT(run.stats.abstained, 0);
+  EXPECT_GT(run.stats.ok, 0);
+  int64_t abstained_seen = 0;
+  for (const TrustResponse& r : run.responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    if (r.abstained) {
+      ++abstained_seen;
+      EXPECT_TRUE(r.degraded)
+          << "abstained responses must be served by the fallback";
+      EXPECT_TRUE(std::isfinite(r.score));
+      EXPECT_LT(r.confidence, threshold)
+          << "abstained responses report the rejected primary confidence";
+    } else {
+      EXPECT_GE(r.confidence, threshold);
+    }
+  }
+  EXPECT_EQ(abstained_seen, run.stats.abstained);
+  // Abstentions land in the degraded partition; the stats identity holds.
+  EXPECT_EQ(run.stats.submitted - run.stats.rejected,
+            run.stats.expired + run.stats.ok + run.stats.degraded +
+                run.stats.failed);
+}
+
+TEST(AbstainServingTest, NoFallbackAbstainFailsWithFailedPrecondition) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  auto ensemble = fixture.MakeEnsemble(3);
+  serve::EnsembleBackend primary(ensemble);
+  const float threshold = MedianConfidence(fixture, ensemble, 40);
+
+  AbstainRun run = RunAbstainWave(fixture, &primary, nullptr, threshold, 40);
+  EXPECT_GT(run.stats.abstained, 0);
+  EXPECT_EQ(run.stats.abstained, run.stats.failed);
+  for (const TrustResponse& r : run.responses) {
+    if (!r.abstained) continue;
+    EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_LT(r.confidence, threshold);
+  }
+}
+
+TEST(AbstainServingTest, ZeroThresholdNeverAbstains) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  auto ensemble = fixture.MakeEnsemble(3);
+  serve::EnsembleBackend primary(ensemble);
+  serve::HeuristicBackend fallback(&fixture.graph,
+                                   models::Heuristic::kJaccard);
+  AbstainRun run = RunAbstainWave(fixture, &primary, &fallback, 0.0f, 24);
+  EXPECT_EQ(run.stats.abstained, 0);
+  EXPECT_EQ(run.stats.ok, 24);
+  for (const TrustResponse& r : run.responses) {
+    EXPECT_FALSE(r.abstained);
+    // The uncertainty signal still flows even when nothing abstains.
+    EXPECT_GT(r.confidence, 0.0f);
+    EXPECT_LE(r.confidence, 1.0f);
+  }
+}
+
+TEST(AbstainServingTest, AbstainedScoresAreNeverCached) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions options;
+  options.mc_dropout_samples = 2;
+  options.mc_dropout_rate = 0.15f;
+  auto ensemble = fixture.MakeEnsemble(3, options);
+  serve::EnsembleBackend primary(ensemble);
+  serve::HeuristicBackend fallback(&fixture.graph,
+                                   models::Heuristic::kJaccard);
+  const size_t requests = 40;
+  const float threshold = MedianConfidence(fixture, ensemble, requests);
+
+  serve::ScoreCache cache(256);
+  AbstainRun wave1 = RunAbstainWave(fixture, &primary, &fallback, threshold,
+                                    requests, &cache);
+  AbstainRun wave2 = RunAbstainWave(fixture, &primary, &fallback, threshold,
+                                    requests, &cache);
+  EXPECT_GT(wave1.stats.abstained, 0);
+  // Confident scores were cached by wave 1 and absorbed in wave 2; the
+  // abstained keys were not, so wave 2 recomputes and abstains identically.
+  EXPECT_GT(wave2.stats.cache_hits, 0);
+  EXPECT_EQ(wave2.stats.abstained, wave1.stats.abstained);
+  for (const TrustResponse& r : wave2.responses) {
+    if (r.cached) {
+      EXPECT_FALSE(r.abstained);
+      EXPECT_GE(r.confidence, threshold);
+    }
+  }
+}
+
+TEST(AbstainServingTest, AbstainDecisionsAreThreadCountInvariant) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  EnsembleOptions ens_options;
+  ens_options.mc_dropout_samples = 2;
+  ens_options.mc_dropout_rate = 0.15f;
+
+  auto run = [&](int threads) {
+    ThreadGuard guard(threads);
+    auto ensemble = fixture.MakeEnsemble(3, ens_options);
+    serve::EnsembleBackend primary(ensemble);
+    serve::HeuristicBackend fallback(&fixture.graph,
+                                     models::Heuristic::kJaccard);
+    const float threshold = MedianConfidence(fixture, ensemble, 40);
+    return RunAbstainWave(fixture, &primary, &fallback, threshold, 40);
+  };
+
+  AbstainRun t1 = run(1);
+  EXPECT_GT(t1.stats.abstained, 0);
+  for (int threads : {2, 8}) {
+    AbstainRun tn = run(threads);
+    EXPECT_EQ(tn.stats.abstained, t1.stats.abstained);
+    EXPECT_EQ(tn.stats.ok, t1.stats.ok);
+    EXPECT_EQ(tn.stats.degraded, t1.stats.degraded);
+    ASSERT_EQ(tn.responses.size(), t1.responses.size());
+    for (size_t i = 0; i < t1.responses.size(); ++i) {
+      EXPECT_EQ(tn.responses[i].abstained, t1.responses[i].abstained)
+          << "response " << i << " at threads=" << threads;
+      EXPECT_EQ(tn.responses[i].score, t1.responses[i].score)
+          << "response " << i << " at threads=" << threads;
+      EXPECT_EQ(tn.responses[i].confidence, t1.responses[i].confidence)
+          << "response " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(AbstainServingTest, PlainBackendReportsFullConfidenceAndNeverAbstains) {
+  RobustnessFixture fixture = RobustnessFixture::Make();
+  // HeuristicBackend has no uncertainty signal: the default
+  // ScoreBatchWithConfidence wrapper reports 1.0, so even an aggressive
+  // threshold abstains nothing.
+  serve::HeuristicBackend primary(&fixture.graph,
+                                  models::Heuristic::kJaccard);
+  ServeOptions options;
+  options.queue_capacity = 32;
+  options.min_confidence = 0.99f;
+  TrustServer server(options, &primary, nullptr);
+  std::vector<std::future<TrustResponse>> futures;
+  for (const data::TrustPair& p : fixture.Queries(16)) {
+    TrustQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    futures.push_back(server.Submit(q));
+  }
+  server.Start();
+  for (auto& f : futures) {
+    TrustResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.abstained);
+    EXPECT_EQ(r.confidence, 1.0f);
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().abstained, 0);
+}
+
+}  // namespace
+}  // namespace ahntp

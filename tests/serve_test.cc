@@ -741,10 +741,11 @@ using serve::ScoreKey;
 
 TEST(ScoreCacheTest, HitReturnsCachedScoreMissReturnsNothing) {
   ScoreCache cache(4);
-  cache.Put({1, 2, 0}, 0.5f);
+  cache.Put({1, 2, 0}, 0.5f, 0.9f);
   auto hit = cache.Get({1, 2, 0});
   ASSERT_TRUE(hit.has_value());
-  EXPECT_FLOAT_EQ(*hit, 0.5f);
+  EXPECT_FLOAT_EQ(hit->score, 0.5f);
+  EXPECT_FLOAT_EQ(hit->confidence, 0.9f);
   EXPECT_FALSE(cache.Get({2, 1, 0}).has_value());
 }
 
