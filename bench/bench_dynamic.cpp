@@ -1,0 +1,271 @@
+// Dynamic-update benchmark: incremental delta refresh (DESIGN.md §17)
+// against full rebuilds, across delta sizes, plus the staleness-vs-latency
+// tradeoff of coalescing single-edge mutations into wider apply windows.
+// Emits `BENCH_dynamic.json` alongside the usual BENCH_META line.
+//
+// Two rebuild baselines are timed per delta size:
+//   * plan rebuild — InvalidateCaches() + WarmInferencePlan(): what serving
+//     pays per delta if graph changes simply invalidate the compiled plan
+//     (full re-encode + table build). The delta path replaces this with a
+//     row patch (RefreshPlanRows), and the in-binary gate CHECKs that the
+//     1-edge patch is >= 20x faster.
+//   * pipeline rebuild — RebuildFromScratch(): rebuilding every derived
+//     structure (motifs, influence, hypergroups, encoder caches, plan).
+//     The end-to-end ApplyDelta beats this by a smaller factor: the dirty
+//     closure reaches most users within two conv layers (attribute
+//     hyperedges are global mixers), so the encoder refresh still pays
+//     most of a full encode. The per-stage breakdown in the JSON makes
+//     that split visible.
+//
+//   ./build/bench/bench_dynamic [--scale=0.06] [--iters=5] [--rebuilds=2]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fileio.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/dynamic_pipeline.h"
+#include "data/generator.h"
+#include "graph/delta.h"
+
+namespace {
+
+using namespace ahntp;
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+/// Mean observation of a latency histogram, in milliseconds.
+double HistogramMeanMs(const metrics::Snapshot& snapshot, const char* name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name && h.count > 0) {
+      return h.sum / static_cast<double>(h.count) * 1e3;
+    }
+  }
+  return 0.0;
+}
+
+struct SizeRow {
+  size_t delta_edges = 0;
+  double apply_ms = 0.0;       // end-to-end ApplyDelta (median)
+  double plan_patch_ms = 0.0;  // RefreshPlanRows stage (mean)
+  double refresh_ms = 0.0;     // encoder refresh stage (mean)
+  double plan_rebuild_ms = 0.0;
+  double pipeline_rebuild_ms = 0.0;
+  double plan_speedup = 0.0;      // plan_rebuild / plan_patch
+  double pipeline_speedup = 0.0;  // pipeline_rebuild / apply
+  double refreshed_users = 0.0;
+  double pagerank_iters_saved = 0.0;
+};
+
+struct StalenessRow {
+  size_t window = 1;       // single-edge mutations coalesced per apply
+  size_t refreshes = 0;    // ApplyDelta calls needed for the stream
+  double total_ms = 0.0;   // summed refresh latency for the whole stream
+  size_t worst_staleness = 0;  // edges waiting unapplied at the window edge
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AHNTP_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  const int iters = static_cast<int>(flags.GetInt("iters", 5));
+  const int rebuilds = static_cast<int>(flags.GetInt("rebuilds", 2));
+
+  bench::PrintBanner(
+      "dynamic",
+      "incremental delta refresh vs full rebuild + staleness/latency",
+      options);
+  // Stage breakdowns come from the dynamic.apply.*_seconds histograms.
+  metrics::Enable();
+
+  data::SocialDataset dataset =
+      data::SocialNetworkGenerator(
+          data::GeneratorConfig::CiaoLike(options.scale))
+          .Generate();
+  core::DynamicPipelineOptions dyn_options;
+  dyn_options.model.hidden_dims = options.dims;
+  dyn_options.seed = options.seed;
+
+  Stopwatch build_watch;
+  auto pipeline = core::DynamicTrustPipeline::Create(dataset, dyn_options);
+  AHNTP_CHECK(pipeline.ok()) << pipeline.status().ToString();
+  pipeline.value().predictor().WarmInferencePlan();
+  const double cold_build_ms = build_watch.ElapsedMillis();
+  std::printf("pipeline: %zu users, %zu trust edges, cold build %.1f ms\n",
+              dataset.num_users, dataset.trust_edges.size(), cold_build_ms);
+
+  // --- Incremental vs full rebuild across delta sizes ----------------------
+  std::vector<SizeRow> rows;
+  std::printf("%12s %10s %10s %14s %14s %12s %12s\n", "delta_edges",
+              "apply_ms", "patch_ms", "plan_rebuild", "pipe_rebuild",
+              "plan_spdup", "pipe_spdup");
+  for (size_t delta_edges : {size_t{1}, size_t{10}, size_t{1000}}) {
+    data::DeltaStreamConfig stream;
+    stream.num_deltas = static_cast<size_t>(iters);
+    stream.adds_per_delta = delta_edges;
+    stream.removes_per_delta = 0;
+    stream.ratings_per_delta = 0;
+    stream.seed = 20240717 + delta_edges;
+    std::vector<graph::GraphDelta> deltas =
+        data::GenerateTrustDeltas(dataset, stream);
+
+    metrics::Reset();
+    std::vector<double> apply;
+    double refreshed = 0.0, saved = 0.0;
+    for (const graph::GraphDelta& delta : deltas) {
+      Stopwatch watch;
+      auto outcome = pipeline.value().ApplyDelta(delta);
+      apply.push_back(watch.ElapsedMillis());
+      AHNTP_CHECK(outcome.ok()) << outcome.status().ToString();
+      refreshed += static_cast<double>(outcome->refreshed_users.size());
+      saved += static_cast<double>(outcome->pagerank_cold_iterations -
+                                   outcome->pagerank_iterations);
+    }
+    metrics::Snapshot stages = metrics::Collect();
+
+    // Plan rebuild: drop the compiled plan and rebuild it from the current
+    // model (full re-encode + table build) — the per-delta serving cost
+    // without delta invalidation. Re-warming leaves the plan identical to
+    // the patched one (encoding is deterministic), so timings after this
+    // are undisturbed.
+    std::vector<double> plan_rebuild;
+    for (int r = 0; r < rebuilds; ++r) {
+      Stopwatch watch;
+      pipeline.value().predictor().InvalidateCaches();
+      pipeline.value().predictor().WarmInferencePlan();
+      plan_rebuild.push_back(watch.ElapsedMillis());
+    }
+
+    // Pipeline rebuild: every derived structure from the current snapshot.
+    std::vector<double> pipeline_rebuild;
+    for (int r = 0; r < rebuilds; ++r) {
+      Stopwatch watch;
+      auto rebuilt = pipeline.value().RebuildFromScratch();
+      AHNTP_CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+      rebuilt.value().predictor().WarmInferencePlan();
+      pipeline_rebuild.push_back(watch.ElapsedMillis());
+    }
+
+    SizeRow row;
+    row.delta_edges = delta_edges;
+    row.apply_ms = Median(apply);
+    row.plan_patch_ms =
+        HistogramMeanMs(stages, "dynamic.apply.plan_seconds");
+    row.refresh_ms =
+        HistogramMeanMs(stages, "dynamic.apply.refresh_seconds");
+    row.plan_rebuild_ms = Median(plan_rebuild);
+    row.pipeline_rebuild_ms = Median(pipeline_rebuild);
+    row.plan_speedup = row.plan_patch_ms > 0.0
+                           ? row.plan_rebuild_ms / row.plan_patch_ms
+                           : 0.0;
+    row.pipeline_speedup =
+        row.apply_ms > 0.0 ? row.pipeline_rebuild_ms / row.apply_ms : 0.0;
+    row.refreshed_users = refreshed / static_cast<double>(deltas.size());
+    row.pagerank_iters_saved = saved / static_cast<double>(deltas.size());
+    rows.push_back(row);
+    std::printf("%12zu %10.3f %10.4f %14.2f %14.1f %11.1fx %11.1fx\n",
+                row.delta_edges, row.apply_ms, row.plan_patch_ms,
+                row.plan_rebuild_ms, row.pipeline_rebuild_ms,
+                row.plan_speedup, row.pipeline_speedup);
+    std::fflush(stdout);
+  }
+
+  // --- Staleness vs latency: coalescing single-edge mutations --------------
+  // A stream of single-edge mutations can be applied one by one (freshest
+  // scores, most refreshes) or coalesced into windows of w (fewer, larger
+  // refreshes; up to w-1 edges serve stale at the window edge).
+  std::vector<StalenessRow> staleness;
+  const size_t stream_edges = 12;
+  for (size_t window : {size_t{1}, size_t{4}, size_t{12}}) {
+    data::DeltaStreamConfig stream;
+    stream.num_deltas = stream_edges;
+    stream.adds_per_delta = 1;
+    stream.removes_per_delta = 0;
+    stream.ratings_per_delta = 0;
+    stream.seed = 20240800 + window;
+    std::vector<graph::GraphDelta> singles =
+        data::GenerateTrustDeltas(dataset, stream);
+
+    StalenessRow row;
+    row.window = window;
+    row.worst_staleness = window - 1;
+    for (size_t start = 0; start < singles.size(); start += window) {
+      graph::GraphDelta coalesced;
+      for (size_t i = start; i < std::min(start + window, singles.size());
+           ++i) {
+        coalesced.add_edges.insert(coalesced.add_edges.end(),
+                                   singles[i].add_edges.begin(),
+                                   singles[i].add_edges.end());
+      }
+      Stopwatch watch;
+      auto outcome = pipeline.value().ApplyDelta(coalesced);
+      row.total_ms += watch.ElapsedMillis();
+      AHNTP_CHECK(outcome.ok()) << outcome.status().ToString();
+      ++row.refreshes;
+    }
+    staleness.push_back(row);
+    std::printf(
+        "staleness: window %2zu -> %zu refreshes, %.3f ms total, worst "
+        "staleness %zu edges\n",
+        row.window, row.refreshes, row.total_ms, row.worst_staleness);
+  }
+
+  // --- The headline gate ---------------------------------------------------
+  const SizeRow& one_edge = rows.front();
+  AHNTP_CHECK(one_edge.plan_speedup >= 20.0)
+      << "the 1-edge plan-row patch must be >= 20x faster than a full plan "
+      << "rebuild, got " << one_edge.plan_speedup << "x (patch "
+      << one_edge.plan_patch_ms << " ms vs rebuild "
+      << one_edge.plan_rebuild_ms << " ms)";
+  std::printf("gate: 1-edge plan patch speedup %.1fx >= 20x\n",
+              one_edge.plan_speedup);
+
+  std::string json =
+      "{\n  \"bench\": \"dynamic\",\n  \"cold_build_ms\": " +
+      StrFormat("%.2f", cold_build_ms) + ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SizeRow& row = rows[i];
+    json += StrFormat(
+        "    {\"delta_edges\": %zu, \"apply_ms\": %.4f, "
+        "\"plan_patch_ms\": %.4f, \"refresh_ms\": %.4f, "
+        "\"plan_rebuild_ms\": %.3f, \"pipeline_rebuild_ms\": %.2f, "
+        "\"plan_speedup\": %.1f, \"pipeline_speedup\": %.1f, "
+        "\"refreshed_users\": %.1f, \"pagerank_iters_saved\": %.1f}%s\n",
+        row.delta_edges, row.apply_ms, row.plan_patch_ms, row.refresh_ms,
+        row.plan_rebuild_ms, row.pipeline_rebuild_ms, row.plan_speedup,
+        row.pipeline_speedup, row.refreshed_users, row.pagerank_iters_saved,
+        i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ],\n  \"staleness_vs_latency\": [\n";
+  for (size_t i = 0; i < staleness.size(); ++i) {
+    const StalenessRow& row = staleness[i];
+    json += StrFormat(
+        "    {\"window\": %zu, \"refreshes\": %zu, \"total_ms\": %.4f, "
+        "\"worst_staleness_edges\": %zu}%s\n",
+        row.window, row.refreshes, row.total_ms, row.worst_staleness,
+        i + 1 < staleness.size() ? "," : "");
+  }
+  json += "  ],\n  \"gate\": {\"min_plan_speedup_1edge\": 20.0, "
+          "\"measured\": " +
+          StrFormat("%.1f", one_edge.plan_speedup) + "}\n}\n";
+  AHNTP_CHECK_OK(WriteFileAtomic("BENCH_dynamic.json", json));
+  std::printf("\nwrote BENCH_dynamic.json (%zu rows)\n", rows.size());
+  std::printf(
+      "Expected shape: the plan patch is row-local, so its cost tracks the\n"
+      "dirty-user count while a plan rebuild always re-encodes everyone.\n"
+      "End-to-end apply beats a pipeline rebuild by a smaller factor: the\n"
+      "dirty closure reaches most users within two conv layers (attribute\n"
+      "hyperedges mix globally), so the encoder refresh dominates. Wider\n"
+      "coalescing windows trade staleness for fewer refreshes.\n");
+  return 0;
+}

@@ -2,9 +2,11 @@
 // and verifies its robustness invariants — overload backpressure, deadline
 // expiry, deterministic retry/backoff under injected faults, circuit
 // breaker trip/probe/recover with degraded-mode fallback, corrupt
-// checkpoint hot-reload, and the overload-control layer (priority
-// admission lanes, request coalescing, generation-keyed score cache) —
-// exiting non-zero if any invariant breaks.
+// checkpoint hot-reload, the overload-control layer (priority
+// admission lanes, request coalescing, generation-keyed score cache), and
+// the dynamic write lane (graph deltas applied between batches with
+// generation-keyed cache invalidation) — exiting non-zero if any
+// invariant breaks.
 //
 //   ./build/examples/serve_demo --serve_requests=96
 //       --serve_queue_capacity=48 --serve_batch=8
@@ -32,15 +34,18 @@
 #include "common/fault.h"
 #include "common/fileio.h"
 #include "common/flags.h"
+#include "core/dynamic_pipeline.h"
 #include "core/model_zoo.h"
 #include "core/trainer.h"
 #include "data/features.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "graph/delta.h"
 #include "models/uncertainty.h"
 #include "nn/serialization.h"
 #include "serve/admission.h"
 #include "serve/backend.h"
+#include "serve/dynamic.h"
 #include "serve/score_cache.h"
 #include "serve/server.h"
 
@@ -84,6 +89,10 @@ serve::ServerStats Add(const serve::ServerStats& a,
   s.cache_misses = a.cache_misses + b.cache_misses;
   s.cache_flushes = a.cache_flushes + b.cache_flushes;
   s.abstained = a.abstained + b.abstained;
+  s.mutations_submitted = a.mutations_submitted + b.mutations_submitted;
+  s.mutations_rejected = a.mutations_rejected + b.mutations_rejected;
+  s.mutations_applied = a.mutations_applied + b.mutations_applied;
+  s.mutations_failed = a.mutations_failed + b.mutations_failed;
   return s;
 }
 
@@ -107,6 +116,27 @@ uint64_t FoldResponse(uint64_t h, const serve::TrustResponse& r) {
   for (int shift = 0; shift < 32; shift += 8) {
     byte(static_cast<uint8_t>(conf_bits >> shift));
   }
+  return h;
+}
+
+/// FNV-1a over the deterministic fields of a mutation response: status
+/// code, generation, and the receipt's bookkeeping counts. Latency is
+/// excluded for the same reason as in FoldResponse.
+uint64_t FoldMutation(uint64_t h, const serve::MutationResponse& r) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto fold64 = [&](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h = (h ^ static_cast<uint8_t>(v >> shift)) * kPrime;
+    }
+  };
+  h = (h ^ static_cast<uint8_t>(r.status.code())) * kPrime;
+  fold64(static_cast<uint64_t>(r.generation));
+  fold64(r.receipt.edges_added);
+  fold64(r.receipt.edges_removed);
+  fold64(r.receipt.adds_ignored);
+  fold64(r.receipt.removes_ignored);
+  fold64(r.receipt.rating_rows);
+  fold64(r.receipt.touched_vertices.size());
   return h;
 }
 
@@ -531,8 +561,100 @@ int main(int argc, char** argv) {
         static_cast<long long>(phase4.cache_hits));
   }
 
+  // --- Phase 5: dynamic mutations — write lane + delta invalidation -------
+  // Interleaved read/write traffic against a DynamicBackend: segments of
+  // reads separated by graph deltas, all enqueued closed-loop so segment
+  // composition — and with it every score, generation observation, and
+  // cache flush — is bit-identical at any --threads=N. After the last
+  // mutation the first segment's keys are re-read: same keys, newer
+  // generation, so the score cache must flush rather than serve stale
+  // scores.
+  serve::ServerStats phase5;
+  uint64_t mut_digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  int64_t final_generation = 0;
+  {
+    // Phase 2 owns the fault-recovery interplay; an injected serve.infer
+    // stream here would fold retry noise into the mutation digest.
+    fault::Disable();
+    core::DynamicPipelineOptions dyn_options;
+    dyn_options.model.hidden_dims = {16, 8};
+    auto pipeline = core::DynamicTrustPipeline::Create(dataset, dyn_options);
+    AHNTP_CHECK(pipeline.ok()) << pipeline.status().ToString();
+    serve::DynamicBackend dynamic_backend(&pipeline.value());
+
+    data::DeltaStreamConfig delta_config;
+    delta_config.num_deltas =
+        static_cast<size_t>(flags.GetInt("serve_mutations", 4));
+    std::vector<graph::GraphDelta> deltas =
+        data::GenerateTrustDeltas(dataset, delta_config);
+
+    const int reads_per_segment =
+        static_cast<int>(flags.GetInt("serve_mutation_segment", 8));
+    serve::ServeOptions dyn_serve = options;
+    dyn_serve.queue_capacity =
+        static_cast<size_t>(reads_per_segment) * (deltas.size() + 2) +
+        deltas.size() + 8;
+    serve::ScoreCache cache(score_cache_entries);
+    dyn_serve.shared_score_cache = &cache;
+
+    serve::TrustServer server(dyn_serve, &dynamic_backend, &fallback,
+                              &dynamic_backend);
+    std::vector<std::future<serve::TrustResponse>> read_futures;
+    std::vector<std::future<serve::MutationResponse>> mut_futures;
+    int qi = 0;
+    for (const graph::GraphDelta& delta : deltas) {
+      for (int r = 0; r < reads_per_segment; ++r) {
+        read_futures.push_back(server.Submit(query_at(qi++)));
+      }
+      mut_futures.push_back(server.SubmitMutation(delta));
+    }
+    // Re-read the first segment's keys at the final generation.
+    for (int r = 0; r < reads_per_segment; ++r) {
+      read_futures.push_back(server.Submit(query_at(r)));
+    }
+    server.Start();
+    std::vector<serve::TrustResponse> responses;
+    CheckResponses(&read_futures, &responses);
+    std::vector<serve::MutationResponse> mut_responses;
+    for (auto& f : mut_futures) mut_responses.push_back(f.get());
+    server.Shutdown();
+    phase5 = server.Stats();
+
+    int64_t expected_generation = 0;
+    for (const auto& m : mut_responses) {
+      Expect(m.status.ok(), "every submitted mutation must apply");
+      ++expected_generation;
+      Expect(m.generation == expected_generation,
+             "mutations must observe sequential graph generations");
+      mut_digest = FoldMutation(mut_digest, m);
+    }
+    for (const auto& r : responses) {
+      mut_digest = FoldResponse(mut_digest, r);
+    }
+    final_generation = pipeline.value().generation();
+    Expect(final_generation == static_cast<int64_t>(deltas.size()),
+           "the store generation must equal the number of applied deltas");
+    Expect(phase5.mutations_applied ==
+               static_cast<int64_t>(deltas.size()),
+           "every mutation must be counted applied");
+    Expect(phase5.mutations_submitted - phase5.mutations_rejected ==
+               phase5.mutations_applied + phase5.mutations_failed,
+           "accepted mutations must partition into applied+failed");
+    Expect(phase5.cache_flushes >= 1,
+           "a generation bump across a read segment must flush the cache");
+    std::printf(
+        "phase 5 (mutations): reads %lld, mutations %lld, applied %lld, "
+        "generation %lld, cache flushes %lld\n",
+        static_cast<long long>(phase5.submitted),
+        static_cast<long long>(phase5.mutations_submitted),
+        static_cast<long long>(phase5.mutations_applied),
+        static_cast<long long>(final_generation),
+        static_cast<long long>(phase5.cache_flushes));
+  }
+
   // --- Summary + invariants ------------------------------------------------
-  serve::ServerStats total = Add(Add(Add(phase1, phase2), phase3), phase4);
+  serve::ServerStats total =
+      Add(Add(Add(Add(phase1, phase2), phase3), phase4), phase5);
   const int64_t accepted = total.submitted - total.rejected;
   Expect(accepted == total.expired + total.ok + total.degraded + total.failed,
          "accepted requests must partition into expired+ok+degraded+failed");
@@ -608,6 +730,20 @@ int main(int argc, char** argv) {
       static_cast<long long>(phase4.cache_hits),
       static_cast<long long>(phase4.cache_misses),
       static_cast<unsigned long long>(conf_digest));
+  std::printf(
+      "SERVE_MUT {\"reads\": %lld, \"mutations\": %lld, \"applied\": %lld, "
+      "\"failed\": %lld, \"generation\": %lld, \"cache_hits\": %lld, "
+      "\"cache_misses\": %lld, \"cache_flushes\": %lld, "
+      "\"digest\": \"%016llx\"}\n",
+      static_cast<long long>(phase5.submitted),
+      static_cast<long long>(phase5.mutations_submitted),
+      static_cast<long long>(phase5.mutations_applied),
+      static_cast<long long>(phase5.mutations_failed),
+      static_cast<long long>(final_generation),
+      static_cast<long long>(phase5.cache_hits),
+      static_cast<long long>(phase5.cache_misses),
+      static_cast<long long>(phase5.cache_flushes),
+      static_cast<unsigned long long>(mut_digest));
   std::printf("SERVE_SCORES");
   for (size_t i = 0; i < wave2.size() && i < 8; ++i) {
     std::printf(" %a%s", static_cast<double>(wave2[i].score),

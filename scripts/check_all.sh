@@ -16,6 +16,7 @@ gates=(
   "serving:scripts/check_serve.sh"
   "serve overload, per-lane digests:scripts/check_serve_load.sh"
   "robustness, abstain gate:scripts/check_robustness.sh"
+  "dynamic updates, write lane:scripts/check_dynamic.sh"
   "sharded scale:scripts/check_scale.sh"
   "ASan/UBSan:scripts/check_asan.sh"
   "TSan:scripts/check_tsan.sh"

@@ -601,4 +601,58 @@ void ShardedEdgeBuffer::FlushAll() {
   }
 }
 
+std::vector<graph::GraphDelta> GenerateTrustDeltas(
+    const SocialDataset& dataset, const DeltaStreamConfig& config) {
+  AHNTP_CHECK_GT(dataset.num_users, 1);
+  AHNTP_CHECK_GT(dataset.num_items, 0);
+  Rng rng(config.seed);
+  const int n = dataset.num_users;
+
+  // The live edge set, replayed with the store's applied semantics
+  // (removes before adds, duplicates ignored) so removes in later deltas
+  // target edges that actually exist at that point in the stream.
+  std::vector<graph::Edge> live = dataset.trust_edges;
+  std::unordered_set<int64_t> member;
+  member.reserve(live.size() * 2);
+  auto key = [n](int src, int dst) {
+    return static_cast<int64_t>(src) * n + dst;
+  };
+  for (const graph::Edge& e : live) member.insert(key(e.src, e.dst));
+
+  std::vector<graph::GraphDelta> deltas;
+  deltas.reserve(config.num_deltas);
+  for (size_t d = 0; d < config.num_deltas; ++d) {
+    graph::GraphDelta delta;
+    for (size_t r = 0; r < config.removes_per_delta && !live.empty(); ++r) {
+      const size_t pick =
+          static_cast<size_t>(rng.NextBounded(live.size()));
+      graph::Edge victim = live[pick];
+      delta.remove_edges.push_back(victim);
+      if (member.erase(key(victim.src, victim.dst)) > 0) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    for (size_t a = 0; a < config.adds_per_delta; ++a) {
+      const int src = static_cast<int>(rng.NextBounded(n));
+      int dst = static_cast<int>(rng.NextBounded(n - 1));
+      if (dst >= src) ++dst;  // uniform over dst != src
+      delta.add_edges.push_back({src, dst});
+      if (member.insert(key(src, dst)).second) {
+        live.push_back({src, dst});
+      }
+    }
+    for (size_t p = 0; p < config.ratings_per_delta; ++p) {
+      graph::RatingDelta rating;
+      rating.user = static_cast<int>(rng.NextBounded(n));
+      rating.item = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(dataset.num_items)));
+      rating.rating = static_cast<float>(rng.UniformInt(1, 5));
+      delta.add_ratings.push_back(rating);
+    }
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
 }  // namespace ahntp::data

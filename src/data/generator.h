@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "graph/delta.h"
 
 namespace ahntp::data {
 
@@ -192,6 +193,34 @@ class SocialNetworkGenerator {
  private:
   GeneratorConfig config_;
 };
+
+/// Configuration of the synthetic mutation stream (DESIGN.md §17). Like the
+/// attack overlays, deltas are drawn on their *own* pinned RNG stream
+/// (`seed`), so the clean generation artifacts — and every golden trace
+/// pinned to them — never move when a workload adds mutation traffic.
+struct DeltaStreamConfig {
+  size_t num_deltas = 16;
+  /// Edge adds per delta: endpoints drawn uniformly (src != dst). Adds may
+  /// collide with live edges; the store's idempotent-apply semantics count
+  /// them as ignored, which is part of what the stream exercises.
+  size_t adds_per_delta = 4;
+  /// Edge removes per delta, sampled uniformly from the edges live at that
+  /// point in the stream (the generator replays applied semantics —
+  /// removes before adds — so later deltas see earlier ones' effects).
+  size_t removes_per_delta = 2;
+  /// Rating rows per delta: uniform user/item, integer rating in 1..5.
+  size_t ratings_per_delta = 2;
+  uint64_t seed = 20240717;
+};
+
+/// Deterministic stream of graph deltas against `dataset`'s trust graph:
+/// exactly `config.num_deltas` deltas, each mixing adds, removes of
+/// then-live edges, and rating rows. Pure function of (dataset edge list,
+/// num_users, num_items, config) — independent of thread count and of any
+/// other RNG stream. Drives the dynamic tests, bench_dynamic, and the
+/// serve_demo mutation phase.
+std::vector<graph::GraphDelta> GenerateTrustDeltas(
+    const SocialDataset& dataset, const DeltaStreamConfig& config);
 
 /// Bounded per-shard edge buffering for the streaming path: edges are routed
 /// into per-shard buffers of at most `capacity` edges; a full buffer is

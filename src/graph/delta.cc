@@ -1,0 +1,277 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace ahntp::graph {
+namespace {
+
+bool EdgeLess(const Edge& a, const Edge& b) {
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
+bool EdgeEq(const Edge& a, const Edge& b) {
+  return a.src == b.src && a.dst == b.dst;
+}
+
+bool SortedContains(const std::vector<Edge>& edges, const Edge& e) {
+  auto it = std::lower_bound(edges.begin(), edges.end(), e, EdgeLess);
+  return it != edges.end() && EdgeEq(*it, e);
+}
+
+/// Inserts `e` into a sorted vector, keeping it sorted. Precondition: `e`
+/// is not already present.
+void SortedInsert(std::vector<Edge>* edges, const Edge& e) {
+  auto it = std::lower_bound(edges->begin(), edges->end(), e, EdgeLess);
+  edges->insert(it, e);
+}
+
+/// Removes `e` from a sorted vector. Precondition: `e` is present.
+void SortedErase(std::vector<Edge>* edges, const Edge& e) {
+  auto it = std::lower_bound(edges->begin(), edges->end(), e, EdgeLess);
+  edges->erase(it);
+}
+
+Status ValidateEndpoints(const std::vector<Edge>& edges, size_t num_nodes,
+                         const char* what) {
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0 || static_cast<size_t>(e.src) >= num_nodes ||
+        static_cast<size_t>(e.dst) >= num_nodes) {
+      return Status::InvalidArgument(
+          std::string(what) + " edge (" + std::to_string(e.src) + ", " +
+          std::to_string(e.dst) + ") out of range for " +
+          std::to_string(num_nodes) + " nodes");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+MutableTrustGraph::MutableTrustGraph(size_t num_nodes, std::vector<Edge> base,
+                                     Options options)
+    : num_nodes_(num_nodes), options_(options), base_(std::move(base)) {}
+
+MutableTrustGraph::MutableTrustGraph(MutableTrustGraph&& other) noexcept
+    : num_nodes_(other.num_nodes_),
+      options_(other.options_),
+      base_(std::move(other.base_)),
+      overlay_adds_(std::move(other.overlay_adds_)),
+      overlay_removes_(std::move(other.overlay_removes_)),
+      generation_(other.generation_.load(std::memory_order_acquire)),
+      undo_(std::move(other.undo_)),
+      canonical_(std::move(other.canonical_)),
+      canonical_valid_(other.canonical_valid_),
+      view_(std::move(other.view_)),
+      view_valid_(other.view_valid_) {}
+
+MutableTrustGraph& MutableTrustGraph::operator=(
+    MutableTrustGraph&& other) noexcept {
+  if (this == &other) return *this;
+  num_nodes_ = other.num_nodes_;
+  options_ = other.options_;
+  base_ = std::move(other.base_);
+  overlay_adds_ = std::move(other.overlay_adds_);
+  overlay_removes_ = std::move(other.overlay_removes_);
+  generation_.store(other.generation_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  undo_ = std::move(other.undo_);
+  canonical_ = std::move(other.canonical_);
+  canonical_valid_ = other.canonical_valid_;
+  view_ = std::move(other.view_);
+  view_valid_ = other.view_valid_;
+  return *this;
+}
+
+Result<MutableTrustGraph> MutableTrustGraph::Create(
+    size_t num_nodes, const std::vector<Edge>& initial_edges, Options options) {
+  AHNTP_RETURN_IF_ERROR(ValidateEndpoints(initial_edges, num_nodes, "initial"));
+  std::vector<Edge> base;
+  base.reserve(initial_edges.size());
+  for (const Edge& e : initial_edges) {
+    if (e.src == e.dst) continue;  // same drop rule as Digraph::FromEdges
+    base.push_back(e);
+  }
+  std::sort(base.begin(), base.end(), EdgeLess);
+  base.erase(std::unique(base.begin(), base.end(), EdgeEq), base.end());
+  if (options.compaction_threshold == 0) options.compaction_threshold = 1;
+  return MutableTrustGraph(num_nodes, std::move(base), options);
+}
+
+size_t MutableTrustGraph::num_edges() const {
+  return base_.size() + overlay_adds_.size() - overlay_removes_.size();
+}
+
+bool MutableTrustGraph::HasEdge(int src, int dst) const {
+  Edge e{src, dst};
+  if (SortedContains(overlay_adds_, e)) return true;
+  if (SortedContains(overlay_removes_, e)) return false;
+  return SortedContains(base_, e);
+}
+
+Result<DeltaReceipt> MutableTrustGraph::Apply(const GraphDelta& delta) {
+  AHNTP_RETURN_IF_ERROR(
+      ValidateEndpoints(delta.add_edges, num_nodes_, "add"));
+  AHNTP_RETURN_IF_ERROR(
+      ValidateEndpoints(delta.remove_edges, num_nodes_, "remove"));
+  for (const RatingDelta& r : delta.add_ratings) {
+    if (r.user < 0 || static_cast<size_t>(r.user) >= num_nodes_) {
+      return Status::InvalidArgument("rating user " + std::to_string(r.user) +
+                                     " out of range");
+    }
+    if (r.item < 0 || (options_.num_items > 0 &&
+                       static_cast<size_t>(r.item) >= options_.num_items)) {
+      return Status::InvalidArgument("rating item " + std::to_string(r.item) +
+                                     " out of range");
+    }
+    if (!std::isfinite(r.rating) || r.rating < 1.0f || r.rating > 5.0f) {
+      return Status::InvalidArgument("rating outside the 1..5 review scale");
+    }
+  }
+
+  Snapshot snapshot{base_, overlay_adds_, overlay_removes_, generation()};
+
+  DeltaReceipt receipt;
+  // Removes before adds: a delta that removes and re-adds the same edge
+  // leaves it present (and both sides count as applied).
+  for (const Edge& e : delta.remove_edges) {
+    if (!HasEdge(e.src, e.dst)) {
+      ++receipt.removes_ignored;
+      continue;
+    }
+    if (SortedContains(overlay_adds_, e)) {
+      SortedErase(&overlay_adds_, e);
+    } else {
+      SortedInsert(&overlay_removes_, e);
+    }
+    receipt.applied_removes.push_back(e);
+  }
+  for (const Edge& e : delta.add_edges) {
+    if (e.src == e.dst || HasEdge(e.src, e.dst)) {
+      ++receipt.adds_ignored;
+      continue;
+    }
+    if (SortedContains(overlay_removes_, e)) {
+      SortedErase(&overlay_removes_, e);
+    } else {
+      SortedInsert(&overlay_adds_, e);
+    }
+    receipt.applied_adds.push_back(e);
+  }
+
+  Status fault = fault::FaultPoint("graph.delta.apply", StatusCode::kInternal);
+  if (!fault.ok()) {
+    // Roll the store back to the previous version: state and generation
+    // are bit-identical to before this Apply().
+    base_ = std::move(snapshot.base);
+    overlay_adds_ = std::move(snapshot.overlay_adds);
+    overlay_removes_ = std::move(snapshot.overlay_removes);
+    return fault;
+  }
+
+  receipt.edges_added = receipt.applied_adds.size();
+  receipt.edges_removed = receipt.applied_removes.size();
+  receipt.rating_rows = delta.add_ratings.size();
+  for (const Edge& e : receipt.applied_adds) {
+    receipt.touched_vertices.push_back(e.src);
+    receipt.touched_vertices.push_back(e.dst);
+  }
+  for (const Edge& e : receipt.applied_removes) {
+    receipt.touched_vertices.push_back(e.src);
+    receipt.touched_vertices.push_back(e.dst);
+  }
+  std::sort(receipt.touched_vertices.begin(), receipt.touched_vertices.end());
+  receipt.touched_vertices.erase(
+      std::unique(receipt.touched_vertices.begin(),
+                  receipt.touched_vertices.end()),
+      receipt.touched_vertices.end());
+  for (const RatingDelta& r : delta.add_ratings) {
+    receipt.touched_rating_users.push_back(r.user);
+  }
+  std::sort(receipt.touched_rating_users.begin(),
+            receipt.touched_rating_users.end());
+  receipt.touched_rating_users.erase(
+      std::unique(receipt.touched_rating_users.begin(),
+                  receipt.touched_rating_users.end()),
+      receipt.touched_rating_users.end());
+
+  undo_ = std::move(snapshot);
+  generation_.store(generation() + 1, std::memory_order_release);
+  receipt.generation = generation();
+  MaybeCompact();
+  InvalidateCaches();
+  return receipt;
+}
+
+Status MutableTrustGraph::RevertLast() {
+  if (!undo_.has_value()) {
+    return Status::FailedPrecondition(
+        "no applied delta to revert (undo history is one level deep)");
+  }
+  base_ = std::move(undo_->base);
+  overlay_adds_ = std::move(undo_->overlay_adds);
+  overlay_removes_ = std::move(undo_->overlay_removes);
+  // Restore the previous generation *number*, not a fresh one: the state is
+  // bit-identical to that version, so generation-keyed caches stay sound.
+  generation_.store(undo_->generation, std::memory_order_release);
+  undo_.reset();
+  InvalidateCaches();
+  return Status::Ok();
+}
+
+void MutableTrustGraph::MaybeCompact() {
+  if (overlay_size() <= options_.compaction_threshold) return;
+  // Merge base \ removes with adds; all three are sorted, result stays
+  // sorted and unique.
+  std::vector<Edge> merged;
+  merged.reserve(num_edges());
+  std::set_difference(base_.begin(), base_.end(), overlay_removes_.begin(),
+                      overlay_removes_.end(), std::back_inserter(merged),
+                      EdgeLess);
+  std::vector<Edge> compacted;
+  compacted.reserve(merged.size() + overlay_adds_.size());
+  std::merge(merged.begin(), merged.end(), overlay_adds_.begin(),
+             overlay_adds_.end(), std::back_inserter(compacted), EdgeLess);
+  base_ = std::move(compacted);
+  overlay_adds_.clear();
+  overlay_removes_.clear();
+}
+
+void MutableTrustGraph::InvalidateCaches() {
+  canonical_valid_ = false;
+  view_valid_ = false;
+}
+
+const std::vector<Edge>& MutableTrustGraph::CanonicalEdges() const {
+  if (!canonical_valid_) {
+    canonical_.clear();
+    canonical_.reserve(num_edges());
+    std::vector<Edge> kept;
+    kept.reserve(base_.size());
+    std::set_difference(base_.begin(), base_.end(), overlay_removes_.begin(),
+                        overlay_removes_.end(), std::back_inserter(kept),
+                        EdgeLess);
+    std::merge(kept.begin(), kept.end(), overlay_adds_.begin(),
+               overlay_adds_.end(), std::back_inserter(canonical_), EdgeLess);
+    canonical_valid_ = true;
+  }
+  return canonical_;
+}
+
+const Digraph& MutableTrustGraph::View() const {
+  if (!view_valid_) {
+    auto graph = Digraph::FromEdges(num_nodes_, CanonicalEdges());
+    // Canonical edges are validated at Apply()/Create() time, so this can
+    // only fail on programmer error.
+    view_ = std::make_unique<Digraph>(std::move(graph).value());
+    view_valid_ = true;
+  }
+  return *view_;
+}
+
+}  // namespace ahntp::graph

@@ -1,0 +1,184 @@
+#ifndef AHNTP_GRAPH_DELTA_H_
+#define AHNTP_GRAPH_DELTA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace ahntp::graph {
+
+/// One rating row arriving with a delta. Mirrors data::Purchase field for
+/// field without depending on the data layer, so `graph` stays a leaf
+/// library (the dynamic pipeline converts when it appends to its dataset).
+struct RatingDelta {
+  int user = 0;
+  int item = 0;
+  float rating = 0.0f;  // 1..5 review scale
+};
+
+/// A batched mutation against the trust graph: edges to add, edges to
+/// remove, and rating rows to append. Deltas are *requests*, not ground
+/// truth — adding an edge that already exists or removing one that does not
+/// is ignored (and counted in the receipt), never an error, so replaying a
+/// delta is idempotent. Removes are applied before adds, so a delta that
+/// both removes and adds the same edge leaves it present.
+struct GraphDelta {
+  std::vector<Edge> add_edges;
+  std::vector<Edge> remove_edges;
+  std::vector<RatingDelta> add_ratings;
+
+  bool empty() const {
+    return add_edges.empty() && remove_edges.empty() && add_ratings.empty();
+  }
+};
+
+/// What an Apply() actually did. The applied edge lists (not the requested
+/// ones) are what the incremental layers consume: motif maintenance,
+/// hypergroup diffing, and plan invalidation all key off real membership
+/// changes, so an all-ignored delta costs nothing downstream.
+struct DeltaReceipt {
+  /// Store generation after this apply (every apply bumps it, even when
+  /// every row was ignored — downstream caches key on it).
+  int64_t generation = 0;
+
+  /// Edge adds that actually inserted a new edge, in apply order
+  /// (deduplicated, self-loops and already-present edges excluded).
+  std::vector<Edge> applied_adds;
+  /// Edge removes that actually deleted a present edge, in apply order.
+  std::vector<Edge> applied_removes;
+
+  size_t edges_added = 0;      // == applied_adds.size()
+  size_t edges_removed = 0;    // == applied_removes.size()
+  size_t adds_ignored = 0;     // duplicate / self-loop / already present
+  size_t removes_ignored = 0;  // not present
+
+  /// Rating rows accepted (all of them, once validated).
+  size_t rating_rows = 0;
+
+  /// Sorted, deduplicated endpoints of applied edge changes.
+  std::vector<int> touched_vertices;
+  /// Sorted, deduplicated users with new rating rows.
+  std::vector<int> touched_rating_users;
+
+  bool structural_change() const { return edges_added + edges_removed > 0; }
+};
+
+/// A versioned, mutable trust-graph store.
+///
+/// Layout is base-plus-overlay: a sorted, deduplicated base edge list (the
+/// compacted CSR source) plus two sorted overlays (pending adds / pending
+/// removes, always disjoint from each other and consistent with the base).
+/// Membership tests merge the three in O(log E); once the overlays grow past
+/// `Options::compaction_threshold` entries they are folded into the base, so
+/// steady-state mutation cost is amortized O(delta) instead of O(E).
+///
+/// Every successful Apply() bumps the monotonic `generation()` — the value
+/// serving layers feed into ScoreBackend::generation() so cached scores from
+/// older graph states become unreachable. Apply() is transactional: the
+/// fault site "graph.delta.apply" fires between staging and commit, and a
+/// fault (or validation error) leaves the store bit-identical to its
+/// pre-apply state, same generation included. One level of undo is kept:
+/// RevertLast() restores both the edge state and the generation number of
+/// the previous version (state is bit-identical to before the apply, so
+/// reusing its generation keeps generation-keyed caches sound).
+///
+/// Thread safety: `generation()` is an atomic load, callable from any
+/// thread (serve producers probe it on the Submit fast path). All other
+/// methods must be externally serialized with Apply()/RevertLast() — the
+/// serving layer guarantees this by applying deltas only on the dispatcher
+/// thread, between batches.
+/// Tuning knobs for MutableTrustGraph (namespace scope so the default
+/// argument below can default-construct it).
+struct MutableGraphOptions {
+  /// Fold overlays into the base once adds+removes exceed this.
+  size_t compaction_threshold = 1024;
+  /// When positive, rating rows are range-checked against it.
+  size_t num_items = 0;
+};
+
+class MutableTrustGraph {
+ public:
+  using Options = MutableGraphOptions;
+
+  /// `initial_edges` may contain duplicates/self-loops; they are dropped
+  /// exactly as Digraph::FromEdges drops them. InvalidArgument on
+  /// out-of-range endpoints.
+  static Result<MutableTrustGraph> Create(size_t num_nodes,
+                                          const std::vector<Edge>& initial_edges,
+                                          Options options = Options());
+
+  // Movable (the atomic generation needs a hand-written transfer); not
+  // copyable — a store is the single source of truth for its generation.
+  MutableTrustGraph(MutableTrustGraph&& other) noexcept;
+  MutableTrustGraph& operator=(MutableTrustGraph&& other) noexcept;
+  MutableTrustGraph(const MutableTrustGraph&) = delete;
+  MutableTrustGraph& operator=(const MutableTrustGraph&) = delete;
+
+  /// Validates, stages, and commits `delta`. See the receipt for what was
+  /// actually applied. On any error (validation or injected fault at
+  /// "graph.delta.apply") the store is unchanged.
+  Result<DeltaReceipt> Apply(const GraphDelta& delta);
+
+  /// Restores the state and generation from before the most recent
+  /// successful Apply(). One level deep: FailedPrecondition when there is
+  /// nothing to revert (including reverting twice in a row).
+  Status RevertLast();
+
+  /// Monotonic version counter; 0 for a freshly created store.
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const;
+  /// Pending overlay entries (adds + removes) since the last compaction.
+  size_t overlay_size() const {
+    return overlay_adds_.size() + overlay_removes_.size();
+  }
+
+  bool HasEdge(int src, int dst) const;
+
+  /// The current edge set, sorted by (src, dst) and deduplicated — the
+  /// canonical order every derived structure is built from, so rebuilds
+  /// depend only on the edge *set*, never on mutation history.
+  const std::vector<Edge>& CanonicalEdges() const;
+
+  /// Digraph over CanonicalEdges(), built lazily and cached per generation.
+  const Digraph& View() const;
+
+ private:
+  MutableTrustGraph(size_t num_nodes, std::vector<Edge> base, Options options);
+
+  struct Snapshot {
+    std::vector<Edge> base;
+    std::vector<Edge> overlay_adds;
+    std::vector<Edge> overlay_removes;
+    int64_t generation = 0;
+  };
+
+  void MaybeCompact();
+  void InvalidateCaches();
+
+  size_t num_nodes_ = 0;
+  Options options_;
+  std::vector<Edge> base_;             // sorted by (src, dst), unique
+  std::vector<Edge> overlay_adds_;     // sorted, disjoint from base_
+  std::vector<Edge> overlay_removes_;  // sorted, subset of base_
+  std::atomic<int64_t> generation_{0};
+  std::optional<Snapshot> undo_;
+
+  // Per-generation caches, materialized on demand.
+  mutable std::vector<Edge> canonical_;
+  mutable bool canonical_valid_ = false;
+  mutable std::unique_ptr<Digraph> view_;
+  mutable bool view_valid_ = false;
+};
+
+}  // namespace ahntp::graph
+
+#endif  // AHNTP_GRAPH_DELTA_H_

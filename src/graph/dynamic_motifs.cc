@@ -1,0 +1,107 @@
+#include "graph/dynamic_motifs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ahntp::graph {
+
+namespace {
+uint64_t PairKey(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+}  // namespace
+
+MotifCounts::MotifCounts(const Digraph& graph, Motif motif) : motif_(motif) {
+  const size_t n = graph.num_nodes();
+  out_.resize(n);
+  in_.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (int v : graph.OutNeighbors(static_cast<int>(u))) {
+      out_[u].insert(v);
+      in_[v].insert(static_cast<int>(u));
+    }
+  }
+  tensor::CsrMatrix adj = MotifAdjacency(graph.Adjacency(), motif);
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    for (int k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      counts_[PairKey(static_cast<int>(r), adj.col_idx()[k])] =
+          static_cast<int64_t>(adj.values()[k]);
+    }
+  }
+}
+
+int MotifCounts::ClassifyWith(int u, int v, int w, bool uv) const {
+  return ClassifyTripleEdges(uv, HasEdge(v, u), HasEdge(v, w), HasEdge(w, v),
+                             HasEdge(u, w), HasEdge(w, u));
+}
+
+void MotifCounts::Bump(int a, int b, int64_t amount) {
+  uint64_t key = PairKey(a, b);
+  int64_t& slot = counts_[key];
+  slot += amount;
+  AHNTP_CHECK(slot >= 0);
+  if (slot == 0) counts_.erase(key);
+}
+
+void MotifCounts::UpdateTriples(int u, int v, bool uv_before) {
+  const int want = static_cast<int>(motif_);
+  // Candidate third vertices: undirected neighbours of u that are also
+  // undirected neighbours of v. Only the (u, v) flag changes, so every
+  // other edge indicator is read from the (unchanged) mirror.
+  std::unordered_set<int> seen;
+  auto consider = [&](int w) {
+    if (w == u || w == v || !seen.insert(w).second) return;
+    if (!(HasEdge(v, w) || HasEdge(w, v))) return;
+    int before = ClassifyWith(u, v, w, uv_before);
+    int after = ClassifyWith(u, v, w, !uv_before);
+    if (before == after) return;
+    const int nodes[3] = {u, v, w};
+    int64_t amount = 0;
+    if (before == want) amount -= 1;
+    if (after == want) amount += 1;
+    if (amount == 0) return;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) Bump(nodes[i], nodes[j], amount);
+      }
+    }
+  };
+  for (int w : out_[u]) consider(w);
+  for (int w : in_[u]) consider(w);
+}
+
+void MotifCounts::AddEdge(int u, int v) {
+  AHNTP_CHECK(u != v);
+  AHNTP_CHECK(!HasEdge(u, v));
+  UpdateTriples(u, v, /*uv_before=*/false);
+  out_[u].insert(v);
+  in_[v].insert(u);
+}
+
+void MotifCounts::RemoveEdge(int u, int v) {
+  AHNTP_CHECK(HasEdge(u, v));
+  UpdateTriples(u, v, /*uv_before=*/true);
+  out_[u].erase(v);
+  in_[v].erase(u);
+}
+
+tensor::CsrMatrix MotifCounts::ToCsr() const {
+  std::vector<tensor::Triplet> triplets;
+  triplets.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    triplets.push_back({static_cast<int>(key >> 32),
+                        static_cast<int>(key & 0xffffffffULL),
+                        static_cast<float>(count)});
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const tensor::Triplet& a, const tensor::Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  const size_t n = out_.size();
+  return tensor::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace ahntp::graph

@@ -79,42 +79,47 @@ std::array<CsrMatrix, 7> AllMotifAdjacencies(const CsrMatrix& adjacency) {
   return out;
 }
 
-namespace {
-
-/// Classifies the induced subgraph of a fully-connected triple {a, b, c}
-/// into its motif type; returns 0 when some pair is unconnected.
-int ClassifyTriple(const Digraph& g, int a, int b, int c) {
-  auto connected = [&](int x, int y) {
-    return g.HasEdge(x, y) || g.HasEdge(y, x);
-  };
-  if (!connected(a, b) || !connected(b, c) || !connected(a, c)) return 0;
-  auto bidir = [&](int x, int y) { return g.HasEdge(x, y) && g.HasEdge(y, x); };
-  int num_bidir = (bidir(a, b) ? 1 : 0) + (bidir(b, c) ? 1 : 0) +
-                  (bidir(a, c) ? 1 : 0);
+int ClassifyTripleEdges(bool ab, bool ba, bool bc, bool cb, bool ac, bool ca) {
+  if (!(ab || ba) || !(bc || cb) || !(ac || ca)) return 0;
+  const bool bidir_ab = ab && ba;
+  const bool bidir_bc = bc && cb;
+  const bool bidir_ac = ac && ca;
+  int num_bidir =
+      (bidir_ab ? 1 : 0) + (bidir_bc ? 1 : 0) + (bidir_ac ? 1 : 0);
   if (num_bidir == 3) return 4;
   if (num_bidir == 2) return 3;
   if (num_bidir == 1) {
-    // Identify the reciprocated pair (x, y) and the apex z.
-    int x = a, y = b, z = c;
-    if (bidir(b, c)) {
-      x = b;
-      y = c;
-      z = a;
-    } else if (bidir(a, c)) {
-      x = a;
-      y = c;
-      z = b;
+    // With the reciprocated pair (x, y) and the apex z, the apex's edges
+    // decide: both toward the pair -> M6, both away -> M7, mixed -> M2.
+    bool z_to_x, z_to_y;
+    if (bidir_ab) {
+      z_to_x = ca;  // c -> a
+      z_to_y = cb;  // c -> b
+    } else if (bidir_bc) {
+      z_to_x = ab;  // a -> b
+      z_to_y = ac;  // a -> c
+    } else {
+      z_to_x = ba;  // b -> a
+      z_to_y = bc;  // b -> c
     }
-    bool z_to_x = g.HasEdge(z, x);
-    bool z_to_y = g.HasEdge(z, y);
     if (z_to_x && z_to_y) return 6;
     if (!z_to_x && !z_to_y) return 7;
     return 2;
   }
   // All three pairs unidirectional: cycle -> M1, otherwise feed-forward M5.
-  bool cycle_fwd = g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(c, a);
-  bool cycle_bwd = g.HasEdge(b, a) && g.HasEdge(c, b) && g.HasEdge(a, c);
+  bool cycle_fwd = ab && bc && ca;
+  bool cycle_bwd = ba && cb && ac;
   return (cycle_fwd || cycle_bwd) ? 1 : 5;
+}
+
+namespace {
+
+/// Classifies the induced subgraph of a fully-connected triple {a, b, c}
+/// into its motif type; returns 0 when some pair is unconnected.
+int ClassifyTriple(const Digraph& g, int a, int b, int c) {
+  return ClassifyTripleEdges(g.HasEdge(a, b), g.HasEdge(b, a),
+                             g.HasEdge(b, c), g.HasEdge(c, b),
+                             g.HasEdge(a, c), g.HasEdge(c, a));
 }
 
 }  // namespace

@@ -49,6 +49,13 @@ tensor::CsrMatrix MotifAdjacencyByEnumeration(const Digraph& graph,
 /// contributes to exactly 3 unordered node pairs.
 int64_t CountMotifInstances(const tensor::CsrMatrix& motif_adjacency);
 
+/// Classifies a triple {a, b, c} from its six directed edge indicators
+/// (ab = edge a->b exists, etc.) into a motif id 1..7, or 0 when some pair
+/// is unconnected. This is the single classification rule shared by the
+/// brute-force enumerator and the incremental maintenance path
+/// (graph/dynamic_motifs.h), so the two can never drift.
+int ClassifyTripleEdges(bool ab, bool ba, bool bc, bool cb, bool ac, bool ca);
+
 }  // namespace ahntp::graph
 
 #endif  // AHNTP_GRAPH_MOTIFS_H_

@@ -1,6 +1,7 @@
 #include "graph/pagerank.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/metrics.h"
@@ -18,19 +19,28 @@ namespace {
 /// s_new = d * (P s) + (1-d)/n, with dangling mass redistributed uniformly.
 std::vector<double> PowerIterate(const CsrMatrix& row_normalized_transpose,
                                  const std::vector<bool>& dangling,
-                                 const PageRankOptions& options) {
+                                 const PageRankOptions& options,
+                                 const std::vector<double>* init = nullptr,
+                                 int* iterations_out = nullptr) {
   const size_t n = row_normalized_transpose.rows();
   AHNTP_CHECK_GT(n, 0u);
   const double d = options.damping;
   AHNTP_CHECK(d > 0.0 && d < 1.0);
-  std::vector<double> s(n, 1.0 / static_cast<double>(n));
+  std::vector<double> s;
+  if (init != nullptr && init->size() == n) {
+    s = *init;
+  } else {
+    s.assign(n, 1.0 / static_cast<double>(n));
+  }
   std::vector<float> s_f(n);
+  int iterations_used = 0;
   // Fixed reduction grain: chunk boundaries (and therefore double-sum
   // association order) stay identical at every thread count.
   constexpr size_t kGrain = size_t{1} << 14;
   const auto sum_doubles = [](double x, double y) { return x + y; };
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     AHNTP_METRIC_COUNT("graph.pagerank.iterations", 1);
+    ++iterations_used;
     ParallelFor(0, n, kGrain, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) s_f[i] = static_cast<float>(s[i]);
     });
@@ -68,6 +78,7 @@ std::vector<double> PowerIterate(const CsrMatrix& row_normalized_transpose,
   if (total > 0.0) {
     for (double& v : s) v /= total;
   }
+  if (iterations_out != nullptr) *iterations_out = iterations_used;
   return s;
 }
 
@@ -100,12 +111,35 @@ std::vector<double> PageRank(const CsrMatrix& adjacency,
   return PowerIterate(t.operator_matrix, t.dangling, options);
 }
 
+std::vector<double> PageRankWarm(const CsrMatrix& adjacency,
+                                 const PageRankOptions& options,
+                                 const std::vector<double>* warm_start,
+                                 PageRankStats* stats) {
+  trace::TraceSpan span("graph.pagerank");
+  AHNTP_METRIC_COUNT("graph.pagerank.calls", 1);
+  Transition t = BuildTransition(adjacency);
+  int iterations = 0;
+  std::vector<double> s = PowerIterate(t.operator_matrix, t.dangling, options,
+                                       warm_start, &iterations);
+  if (stats != nullptr) stats->iterations = iterations;
+  return s;
+}
+
 MotifPageRankResult MotifPageRank(const CsrMatrix& adjacency,
                                   const MotifPageRankOptions& options) {
+  return MotifPageRankFrom(adjacency, MotifAdjacency(adjacency, options.motif),
+                           options);
+}
+
+MotifPageRankResult MotifPageRankFrom(const CsrMatrix& adjacency,
+                                      CsrMatrix motif_adjacency,
+                                      const MotifPageRankOptions& options,
+                                      const std::vector<double>* warm_start,
+                                      PageRankStats* stats) {
   trace::TraceSpan span("graph.motif_pagerank");
   AHNTP_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
   MotifPageRankResult result;
-  result.motif_adjacency = MotifAdjacency(adjacency, options.motif);
+  result.motif_adjacency = std::move(motif_adjacency);
   // W_c = alpha * R_U + (1 - alpha) * A^{M_k}   (Eq. 4)
   CsrMatrix weighted_pairwise =
       adjacency.Binarized().Scaled(static_cast<float>(options.alpha));
@@ -113,7 +147,8 @@ MotifPageRankResult MotifPageRank(const CsrMatrix& adjacency,
       result.motif_adjacency.Scaled(static_cast<float>(1.0 - options.alpha));
   result.combined_weights =
       tensor::SparseAdd(weighted_pairwise, weighted_motif).Pruned();
-  result.scores = PageRank(result.combined_weights, options.pagerank);
+  result.scores =
+      PageRankWarm(result.combined_weights, options.pagerank, warm_start, stats);
   return result;
 }
 

@@ -25,6 +25,24 @@ struct PageRankOptions {
 std::vector<double> PageRank(const tensor::CsrMatrix& adjacency,
                              const PageRankOptions& options = {});
 
+/// Iteration telemetry from a PageRank run (the dynamic path uses it for
+/// its iterations-saved metric).
+struct PageRankStats {
+  int iterations = 0;
+};
+
+/// PageRank with an optional warm start: when `warm_start` is non-null and
+/// sized to the graph, the power iteration begins from it instead of the
+/// uniform vector. After a small graph delta the previous score vector is
+/// near the new fixed point, so convergence takes a fraction of the cold
+/// iteration count. Same fixed point, same per-iteration arithmetic — only
+/// the starting point (and so the iterate path) differs; run both at a
+/// tight tolerance to keep them interchangeable downstream.
+std::vector<double> PageRankWarm(const tensor::CsrMatrix& adjacency,
+                                 const PageRankOptions& options,
+                                 const std::vector<double>* warm_start,
+                                 PageRankStats* stats = nullptr);
+
 /// Configuration for Motif-based PageRank (MPR, Eqs. 3-5).
 struct MotifPageRankOptions {
   /// Balance alpha of Eq. (4) between the pairwise adjacency R_U (alpha)
@@ -50,6 +68,18 @@ struct MotifPageRankResult {
 /// on the column-normalized W_c.
 MotifPageRankResult MotifPageRank(const tensor::CsrMatrix& adjacency,
                                   const MotifPageRankOptions& options = {});
+
+/// MotifPageRank with the motif adjacency supplied by the caller (e.g. the
+/// incrementally maintained graph::MotifCounts) instead of recomputed from
+/// scratch, plus an optional warm start for the PageRank iteration. The
+/// W_c blend and iteration are byte-for-byte the MotifPageRank() code, so
+/// feeding the exact MotifAdjacency() matrix with a null warm start
+/// reproduces MotifPageRank() bitwise.
+MotifPageRankResult MotifPageRankFrom(
+    const tensor::CsrMatrix& adjacency, tensor::CsrMatrix motif_adjacency,
+    const MotifPageRankOptions& options = {},
+    const std::vector<double>* warm_start = nullptr,
+    PageRankStats* stats = nullptr);
 
 }  // namespace ahntp::graph
 

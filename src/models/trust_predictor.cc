@@ -113,6 +113,17 @@ void TrustPredictor::SetInferencePrecision(PlanPrecision precision) {
   if (sharded_plan_) sharded_plan_->SetPrecision(precision);
 }
 
+Status TrustPredictor::RefreshPlanRows(const std::vector<int>& users,
+                                       const tensor::Matrix& rows) {
+  if (plan_) {
+    AHNTP_RETURN_IF_ERROR(plan_->RefreshRows(users, rows));
+  }
+  if (sharded_plan_) {
+    AHNTP_RETURN_IF_ERROR(sharded_plan_->RefreshRows(users, rows));
+  }
+  return Status::Ok();
+}
+
 void TrustPredictor::InvalidateCaches() {
   nn::Module::InvalidateCaches();
   if (plan_) plan_->Invalidate();

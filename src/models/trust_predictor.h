@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/status.h"
 #include "data/split.h"
 #include "models/encoder.h"
 #include "nn/mlp.h"
@@ -90,6 +91,15 @@ class TrustPredictor : public nn::Module {
   const ShardedInferencePlan* sharded_plan() const {
     return sharded_plan_.get();
   }
+
+  /// Delta-invalidation (DESIGN.md §17): patches only the given users'
+  /// embedding rows in whichever inference plans exist (monolithic and/or
+  /// sharded) WITHOUT invalidating them — the clean rows of the cached
+  /// tables keep serving. `users` ascending/deduplicated, `rows` their new
+  /// (|users| x d) embeddings. Plans not yet created or not built are left
+  /// alone; they encode the post-delta model from scratch on first use.
+  Status RefreshPlanRows(const std::vector<int>& users,
+                         const tensor::Matrix& rows);
 
   /// Drops the cached embeddings/plan in addition to the recursive module
   /// default. Called after parameter loads and restores.

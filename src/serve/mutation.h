@@ -1,0 +1,47 @@
+#ifndef AHNTP_SERVE_MUTATION_H_
+#define AHNTP_SERVE_MUTATION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/delta.h"
+
+namespace ahntp::serve {
+
+/// The terminal answer every submitted mutation eventually receives.
+struct MutationResponse {
+  /// Ok, or why the delta was not applied: ResourceExhausted (queue full),
+  /// FailedPrecondition (no mutation sink configured / server shut down),
+  /// or whatever the sink's apply cascade returned (e.g. an injected fault
+  /// at "graph.delta.apply" or "plan.delta.refresh" — the store rolls back
+  /// and the previous generation keeps serving).
+  Status status;
+  /// What the apply actually did (applied edge lists, ignored counts, the
+  /// new generation). Default-constructed on failure.
+  graph::DeltaReceipt receipt;
+  /// The backend generation after this mutation; reads submitted after the
+  /// response resolves and served from a later batch segment see at least
+  /// this generation. 0 on failure.
+  int64_t generation = 0;
+  /// Submit-to-applied wall time (queue wait + apply cascade).
+  double latency_ms = 0.0;
+};
+
+/// The write side of a servable backend: applies one graph delta through
+/// whatever incremental maintenance the backend keeps (see DynamicBackend).
+/// Only ever invoked from the server's dispatcher thread, between read
+/// segments, so implementations need no internal locking against reads.
+class MutationSink {
+ public:
+  virtual ~MutationSink() = default;
+
+  /// Applies `delta`; on success the receipt reports the real membership
+  /// changes and the new generation. On failure the sink must be unchanged
+  /// (previous generation included) so cached scores stay sound.
+  virtual Result<graph::DeltaReceipt> ApplyMutation(
+      const graph::GraphDelta& delta) = 0;
+};
+
+}  // namespace ahntp::serve
+
+#endif  // AHNTP_SERVE_MUTATION_H_

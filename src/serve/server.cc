@@ -49,10 +49,11 @@ void ObserveLatency(double latency_ms) {
 }  // namespace
 
 TrustServer::TrustServer(const ServeOptions& options, ScoreBackend* primary,
-                         ScoreBackend* fallback)
+                         ScoreBackend* fallback, MutationSink* mutations)
     : options_(options),
       primary_(primary),
       fallback_(fallback),
+      mutations_(mutations),
       admission_([&options] {
         AdmissionOptions resolved = options.admission;
         resolved.queue_capacity = options.queue_capacity;
@@ -156,6 +157,38 @@ std::future<TrustResponse> TrustServer::Submit(const TrustQuery& query) {
   return future;
 }
 
+std::future<MutationResponse> TrustServer::SubmitMutation(
+    graph::GraphDelta delta) {
+  stats_.mutations_submitted.fetch_add(1, std::memory_order_relaxed);
+  AHNTP_METRIC_COUNT("serve.mutations_submitted", 1);
+  Request request;
+  request.is_mutation = true;
+  request.mutation = std::move(delta);
+  std::future<MutationResponse> future =
+      request.mutation_promise.get_future();
+  if (mutations_ == nullptr) {
+    stats_.mutations_rejected.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.mutations_rejected", 1);
+    MutationResponse response;
+    response.status =
+        Status::FailedPrecondition("no mutation sink configured");
+    request.mutation_promise.set_value(std::move(response));
+    return future;
+  }
+  // The write lane is admitted at full queue capacity — mutations are
+  // never shed by a read lane's limit, never coalesced, and never served
+  // from the cache.
+  Status pushed = queue_.TryPush(request);
+  if (!pushed.ok()) {
+    stats_.mutations_rejected.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.mutations_rejected", 1);
+    MutationResponse response;
+    response.status = pushed;
+    request.mutation_promise.set_value(std::move(response));
+  }
+  return future;
+}
+
 void TrustServer::Start() {
   AHNTP_CHECK(!started_) << "TrustServer started twice";
   started_ = true;
@@ -170,6 +203,14 @@ void TrustServer::Shutdown() {
   std::vector<Request> leftover;
   while (queue_.PopBatch(&leftover, options_.max_batch_size) > 0) {
     for (Request& request : leftover) {
+      if (request.is_mutation) {
+        MutationResponse response;
+        response.status = Status::FailedPrecondition("server shut down");
+        response.latency_ms = request.queued.ElapsedMillis();
+        stats_.mutations_failed.fetch_add(1, std::memory_order_relaxed);
+        request.mutation_promise.set_value(std::move(response));
+        continue;
+      }
       TrustResponse response;
       response.status = Status::FailedPrecondition("server shut down");
       stats_.failed.fetch_add(1, std::memory_order_relaxed);
@@ -205,6 +246,14 @@ ServerStats TrustServer::Stats() const {
   out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
   out.cache_flushes = stats_.cache_flushes.load(std::memory_order_relaxed);
   out.abstained = stats_.abstained.load(std::memory_order_relaxed);
+  out.mutations_submitted =
+      stats_.mutations_submitted.load(std::memory_order_relaxed);
+  out.mutations_rejected =
+      stats_.mutations_rejected.load(std::memory_order_relaxed);
+  out.mutations_applied =
+      stats_.mutations_applied.load(std::memory_order_relaxed);
+  out.mutations_failed =
+      stats_.mutations_failed.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -285,6 +334,57 @@ void TrustServer::Complete(Request* request, TrustResponse response) {
 }
 
 void TrustServer::ProcessBatch(std::vector<Request>* batch) {
+  // Mutations partition the popped batch into read segments. Reads ahead
+  // of a mutation score against the pre-delta generation, reads behind it
+  // against the post-delta one — the interleaving is exactly the queue
+  // order, so a fixed submission sequence yields a fixed read/write
+  // schedule at any thread count. A mutation-free batch takes the
+  // single-segment path, byte-identical to the pre-write-lane server.
+  std::vector<Request*> segment;
+  segment.reserve(batch->size());
+  for (Request& request : *batch) {
+    if (request.is_mutation) {
+      if (!segment.empty()) {
+        ProcessReadSegment(segment);
+        segment.clear();
+      }
+      ApplyMutationRequest(&request);
+      continue;
+    }
+    segment.push_back(&request);
+  }
+  if (!segment.empty()) ProcessReadSegment(segment);
+}
+
+void TrustServer::ApplyMutationRequest(Request* request) {
+  trace::TraceSpan span("serve.mutation");
+  MutationResponse response;
+  Result<graph::DeltaReceipt> applied =
+      mutations_->ApplyMutation(request->mutation);
+  if (applied.ok()) {
+    response.receipt = std::move(applied).value();
+    // The backend generation, not the receipt's store generation: the
+    // contract is "reads served after this response see at least this
+    // generation", and the backend is what reads observe.
+    response.generation = primary_->generation();
+    stats_.mutations_applied.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.mutations_applied", 1);
+  } else {
+    response.status = applied.status();
+    stats_.mutations_failed.fetch_add(1, std::memory_order_relaxed);
+    AHNTP_METRIC_COUNT("serve.mutations_failed", 1);
+    AHNTP_LOG(Warning) << "serve: mutation failed: "
+                       << response.status.ToString();
+  }
+  response.latency_ms = request->queued.ElapsedMillis();
+  if (metrics::Enabled()) {
+    metrics::GetHistogram("serve.mutation_latency_seconds")
+        .Observe(response.latency_ms * 1e-3);
+  }
+  request->mutation_promise.set_value(std::move(response));
+}
+
+void TrustServer::ProcessReadSegment(const std::vector<Request*>& segment) {
   trace::TraceSpan span("serve.batch");
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   AHNTP_METRIC_COUNT("serve.batches", 1);
@@ -292,12 +392,13 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
     metrics::GetGauge("serve.queue_depth")
         .Set(static_cast<double>(queue_.size()));
     metrics::GetHistogram("serve.batch_size")
-        .Observe(static_cast<double>(batch->size()));
+        .Observe(static_cast<double>(segment.size()));
   }
   const uint64_t batch_key = batch_ordinal_++;
 
-  // One generation observation per batch: a bump since the last batch
-  // (hot reload, training, sharded-plan rebuild) flushes the cache. The
+  // One generation observation per segment: a bump since the last segment
+  // (hot reload, training, sharded-plan rebuild, or a write-lane delta
+  // applied at the previous mutation boundary) flushes the cache. The
   // flush is hygiene — stale entries are already unreachable because the
   // generation is part of every key.
   const int64_t generation = primary_->generation();
@@ -316,26 +417,27 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
   std::vector<data::TrustPair> pairs;
   std::vector<Request*> downgraded;
   std::vector<data::TrustPair> downgraded_pairs;
-  live.reserve(batch->size());
-  pairs.reserve(batch->size());
-  for (Request& request : *batch) {
-    if (request.query.deadline.Expired()) {
+  live.reserve(segment.size());
+  pairs.reserve(segment.size());
+  for (Request* request : segment) {
+    if (request->query.deadline.Expired()) {
       TrustResponse response;
       response.status =
           Status::DeadlineExceeded("deadline expired before inference");
       CountOutcome(response);
-      Complete(&request, std::move(response));
+      Complete(request, std::move(response));
       continue;
     }
-    if (request.downgrade && fallback_ != nullptr) {
+    if (request->downgrade && fallback_ != nullptr) {
       stats_.downgraded.fetch_add(1, std::memory_order_relaxed);
       AHNTP_METRIC_COUNT("serve.downgraded", 1);
-      downgraded.push_back(&request);
-      downgraded_pairs.push_back({request.query.src, request.query.dst, 0.0f});
+      downgraded.push_back(request);
+      downgraded_pairs.push_back(
+          {request->query.src, request->query.dst, 0.0f});
       continue;
     }
     if (cache_ != nullptr) {
-      ScoreKey key{request.query.src, request.query.dst, generation};
+      ScoreKey key{request->query.src, request->query.dst, generation};
       std::optional<CachedScore> hit = cache_->Get(key);
       if (hit && hit->confidence >= options_.min_confidence) {
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -345,14 +447,14 @@ void TrustServer::ProcessBatch(std::vector<Request>* batch) {
         response.confidence = hit->confidence;
         response.cached = true;
         CountOutcome(response);
-        Complete(&request, std::move(response));
+        Complete(request, std::move(response));
         continue;
       }
       stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       AHNTP_METRIC_COUNT("serve.cache_misses", 1);
     }
-    live.push_back(&request);
-    pairs.push_back({request.query.src, request.query.dst, 0.0f});
+    live.push_back(request);
+    pairs.push_back({request->query.src, request->query.dst, 0.0f});
   }
   if (!downgraded.empty()) {
     Degrade(downgraded, downgraded_pairs,

@@ -19,6 +19,7 @@
 #include "serve/backend.h"
 #include "serve/bounded_queue.h"
 #include "serve/circuit_breaker.h"
+#include "serve/mutation.h"
 #include "serve/retry.h"
 #include "serve/score_cache.h"
 
@@ -144,6 +145,14 @@ struct ServerStats {
   /// was withheld by the min_confidence abstain policy. Each lands in the
   /// `degraded` partition (fallback served) or `failed` (no fallback).
   int64_t abstained = 0;
+  /// Write-lane totals. `mutations_submitted - mutations_rejected`
+  /// admitted mutations partition into `mutations_applied +
+  /// mutations_failed` once the server drains (failed covers apply-cascade
+  /// errors and shutdown drains alike).
+  int64_t mutations_submitted = 0;
+  int64_t mutations_rejected = 0;
+  int64_t mutations_applied = 0;
+  int64_t mutations_failed = 0;
 };
 
 /// The online inference substrate: a bounded MPMC queue feeding batched
@@ -161,13 +170,27 @@ struct ServerStats {
 /// seed, so a closed-loop run (enqueue everything, then Start) yields
 /// bit-identical counters and scores at any --threads=N.
 ///
+/// Writes ride the same FIFO through a dedicated lane: SubmitMutation()
+/// enqueues a graph delta that the dispatcher applies *between* read
+/// segments — a batch containing mutations is split at each mutation
+/// boundary, reads before the boundary score against the pre-delta
+/// generation and reads after it against the post-delta one. Each segment
+/// re-observes the backend generation, so an applied delta flushes the
+/// score cache through the existing generation key. With a fixed
+/// submission order (closed-loop: enqueue everything, then Start) the
+/// interleaving is part of the queue order, so mixed read/write runs stay
+/// bit-identical at any --threads=N.
+///
 /// The server does not own its backends: `primary` (and optional
-/// `fallback`) must outlive it, which lets a demo hot-reload the
-/// ModelBackend or share backends across server instances.
+/// `fallback`/`mutations`) must outlive it, which lets a demo hot-reload
+/// the ModelBackend or share backends across server instances.
 class TrustServer {
  public:
+  /// `mutations` is the write-lane sink (typically the same DynamicBackend
+  /// instance as `primary`); null keeps the server read-only and makes
+  /// SubmitMutation resolve FailedPrecondition immediately.
   TrustServer(const ServeOptions& options, ScoreBackend* primary,
-              ScoreBackend* fallback);
+              ScoreBackend* fallback, MutationSink* mutations = nullptr);
   ~TrustServer();
 
   TrustServer(const TrustServer&) = delete;
@@ -178,6 +201,15 @@ class TrustServer {
   /// immediately with ResourceExhausted / FailedPrecondition when the
   /// lane's admission limit is exhausted / the server is shut down.
   std::future<TrustResponse> Submit(const TrustQuery& query);
+
+  /// Enqueues a graph delta on the write lane; never blocks. Mutations are
+  /// admitted up to full queue capacity (they are never shed by a read
+  /// lane's limit), never coalesced, cached, or downgraded, and are applied
+  /// in FIFO order on the dispatcher thread between read segments. The
+  /// future always completes: with the apply receipt, or with
+  /// ResourceExhausted (queue full) / FailedPrecondition (no sink, or the
+  /// server shut down before the delta was applied).
+  std::future<MutationResponse> SubmitMutation(graph::GraphDelta delta);
 
   /// Spawns the dispatcher. Submitting before Start() is allowed (the
   /// queue buffers up to capacity) and is how deterministic closed-loop
@@ -217,10 +249,24 @@ class TrustServer {
     /// the same key attach to `group`.
     ScoreKey key;
     std::shared_ptr<CoalesceGroup> group;  // null unless coalescing
+    /// Write-lane payload: when set, `mutation`/`mutation_promise` carry
+    /// the request and every read field above is ignored.
+    bool is_mutation = false;
+    graph::GraphDelta mutation;
+    std::promise<MutationResponse> mutation_promise;
   };
 
   void DispatchLoop();
+  /// Splits the popped batch into read segments at mutation boundaries:
+  /// each segment runs the full read path (its own generation observation,
+  /// breaker decision, retry loop), and each boundary applies its delta on
+  /// this thread before the next segment starts.
   void ProcessBatch(std::vector<Request>* batch);
+  /// The read path for one mutation-free segment (the entire batch when no
+  /// mutations are queued — behaviour then is byte-identical to the
+  /// pre-write-lane server).
+  void ProcessReadSegment(const std::vector<Request*>& segment);
+  void ApplyMutationRequest(Request* request);
   /// Scores `live` on the fallback (degraded=true) or, without one,
   /// completes everything with `reason`. The abstain path passes the
   /// rejected primary confidences (parallel to `live`; null otherwise) so
@@ -240,6 +286,7 @@ class TrustServer {
   ServeOptions options_;
   ScoreBackend* primary_;
   ScoreBackend* fallback_;  // nullable
+  MutationSink* mutations_;  // nullable; write lane disabled when null
   AdmissionController admission_;
   BoundedQueue<Request> queue_;
   CircuitBreaker breaker_;  // dispatcher-thread only
@@ -264,6 +311,8 @@ class TrustServer {
     std::atomic<int64_t> lane_rejected[kNumLanes] = {};
     std::atomic<int64_t> downgraded{0}, coalesced{0}, coalesced_expired{0},
         cache_hits{0}, cache_misses{0}, cache_flushes{0}, abstained{0};
+    std::atomic<int64_t> mutations_submitted{0}, mutations_rejected{0},
+        mutations_applied{0}, mutations_failed{0};
   };
   AtomicStats stats_;
 };

@@ -12,7 +12,9 @@
 #include <fstream>
 #include <future>
 #include <limits>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -26,6 +28,7 @@
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/split.h"
+#include "graph/delta.h"
 #include "graph/sharding.h"
 #include "hypergraph/hypergraph.h"
 #include "models/inference_plan.h"
@@ -798,6 +801,94 @@ TEST_P(QuantBlockFuzzTest, RandomBitFlipsRejectedThenRefaultCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantBlockFuzzTest, ::testing::Range(1, 4));
+
+// ---------------------------------------------------------------------------
+// GraphDelta fuzzing: random deltas — heavy on duplicate adds, removes of
+// absent edges, self-loops, and the occasional fully empty delta — applied
+// to a MutableTrustGraph with a tiny compaction threshold must track a
+// reference edge set exactly, with receipt bookkeeping that balances and a
+// generation that bumps on every apply.
+// ---------------------------------------------------------------------------
+
+class GraphDeltaFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphDeltaFuzzTest, RandomDeltasTrackReferenceEdgeSet) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 4099);
+  const int n = 12;
+  graph::MutableGraphOptions options;
+  options.compaction_threshold = 5;  // force frequent compactions
+  auto store = graph::MutableTrustGraph::Create(n, {}, options);
+  ASSERT_TRUE(store.ok());
+  std::set<std::pair<int, int>> model;
+  int64_t expected_generation = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    graph::GraphDelta delta;
+    if (rng.NextBounded(8) != 0) {  // one in eight deltas stays empty
+      // The tiny vertex range makes duplicate adds, removes of absent
+      // edges, and self-loops the common case, not the corner case.
+      const size_t removes = rng.NextBounded(4);
+      for (size_t i = 0; i < removes; ++i) {
+        delta.remove_edges.push_back({static_cast<int>(rng.NextBounded(n)),
+                                      static_cast<int>(rng.NextBounded(n))});
+      }
+      const size_t adds = rng.NextBounded(5);
+      for (size_t i = 0; i < adds; ++i) {
+        delta.add_edges.push_back({static_cast<int>(rng.NextBounded(n)),
+                                   static_cast<int>(rng.NextBounded(n))});
+      }
+      if (!delta.add_edges.empty() && rng.NextBounded(3) == 0) {
+        // Repeat a requested add verbatim: an in-delta duplicate.
+        delta.add_edges.push_back(delta.add_edges.front());
+      }
+    }
+
+    // Replay the delta against the reference set (removes before adds,
+    // self-loops and duplicates ignored) while predicting the receipt.
+    size_t want_removed = 0, want_removes_ignored = 0;
+    for (const graph::Edge& e : delta.remove_edges) {
+      if (model.erase({e.src, e.dst}) > 0) {
+        ++want_removed;
+      } else {
+        ++want_removes_ignored;
+      }
+    }
+    size_t want_added = 0, want_adds_ignored = 0;
+    for (const graph::Edge& e : delta.add_edges) {
+      if (e.src != e.dst && model.insert({e.src, e.dst}).second) {
+        ++want_added;
+      } else {
+        ++want_adds_ignored;
+      }
+    }
+
+    auto receipt = store.value().Apply(delta);
+    ASSERT_TRUE(receipt.ok()) << "step " << step;
+    ++expected_generation;  // every apply bumps, even an all-ignored one
+    EXPECT_EQ(receipt->generation, expected_generation) << "step " << step;
+    EXPECT_EQ(store.value().generation(), expected_generation);
+    EXPECT_EQ(receipt->edges_added, want_added) << "step " << step;
+    EXPECT_EQ(receipt->edges_removed, want_removed) << "step " << step;
+    EXPECT_EQ(receipt->adds_ignored, want_adds_ignored) << "step " << step;
+    EXPECT_EQ(receipt->removes_ignored, want_removes_ignored)
+        << "step " << step;
+    EXPECT_EQ(receipt->applied_adds.size(), receipt->edges_added);
+    EXPECT_EQ(receipt->applied_removes.size(), receipt->edges_removed);
+
+    // The store's canonical edge set must equal the reference set exactly,
+    // and the overlays must stay bounded by the compaction threshold.
+    std::vector<std::pair<int, int>> canonical;
+    for (const graph::Edge& e : store.value().CanonicalEdges()) {
+      canonical.emplace_back(e.src, e.dst);
+    }
+    std::vector<std::pair<int, int>> want(model.begin(), model.end());
+    ASSERT_EQ(canonical, want) << "step " << step;
+    EXPECT_EQ(store.value().num_edges(), model.size());
+    EXPECT_LE(store.value().overlay_size(), options.compaction_threshold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphDeltaFuzzTest, ::testing::Range(1, 7));
 
 // ---------------------------------------------------------------------------
 // Adversarial AttackSpec fuzzing
